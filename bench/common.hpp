@@ -1,0 +1,166 @@
+// Shared harness code for the figure/table benches.
+//
+// Every bench reproduces one table or figure of the paper: it prints the
+// same rows/series the paper reports, normalized -- like the paper's
+// figures -- by the demands-aware optimum *within the same augmented DAGs*.
+// Evaluation is over a finite pool of corner/hotspot matrices of the
+// uncertainty box (see tm::cornerPool); the same pool drives COYOTE's
+// optimizer, and the exact slave-LP oracle can be enabled on small networks
+// with COYOTE_EXACT=1. Shapes (who wins, by what factor, where crossovers
+// fall), not absolute values, are the reproduction target; see
+// EXPERIMENTS.md.
+//
+// Environment knobs (all benches):
+//   COYOTE_FULL=1   full parameter sweeps (all margins / all networks)
+//   COYOTE_EXACT=1  add exact slave-LP cutting planes (small networks)
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
+#include "tm/uncertainty.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::bench {
+
+inline bool envFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// One row of the Fig. 6-9 / Table I comparison.
+struct SchemeRow {
+  double margin = 1.0;
+  double ecmp = 0.0;        ///< traditional TE with ECMP
+  double base = 0.0;        ///< demands-aware optimum for the base matrix
+  double oblivious = 0.0;   ///< COYOTE, no demand knowledge
+  double partial = 0.0;     ///< COYOTE, optimized for the uncertainty box
+};
+
+struct SweepOptions {
+  /// Corner-pool shape for the per-margin evaluation/optimization pool.
+  tm::PoolOptions pool;
+  core::CoyoteOptions coyote;
+  bool exact_oracle = false;  ///< add slave-LP cutting planes (small nets)
+  /// Evaluate the four schemes with the exact slave-LP adversary over the
+  /// whole box (one LP per edge per scheme) instead of the corner pool.
+  /// This is what exposes how quickly the base-optimal routing degrades
+  /// under uncertainty; affordable up to ~15-node networks.
+  bool exact_eval = false;
+
+  SweepOptions() {
+    pool.random_corners = 6;
+    pool.source_hotspots = false;  // halves the per-margin LP count
+    pool.max_hotspots = 12;        // caps LP count on the larger networks
+    pool.seed = 1;
+    coyote.splitting.iterations = 300;
+  }
+};
+
+/// Margin-sweep harness for one network. The margin-independent schemes
+/// (ECMP, the base-matrix optimum, COYOTE-oblivious) are computed once and
+/// re-evaluated under every margin's pool; COYOTE-partial-knowledge is
+/// re-optimized per margin.
+class NetworkSweep {
+ public:
+  NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
+               const tm::TrafficMatrix& base_tm, SweepOptions opt)
+      : g_(g),
+        dags_(std::move(dags)),
+        base_tm_(base_tm),
+        opt_(std::move(opt)),
+        ecmp_(routing::ecmpConfig(g, dags_)),
+        base_routing_(
+            routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
+                .routing),
+        oblivious_([&] {
+          core::CoyoteOptions copt = opt_.coyote;
+          copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
+          return core::coyoteOblivious(g, dags_, copt).routing;
+        }()) {}
+
+  [[nodiscard]] SchemeRow run(double margin) const {
+    SchemeRow row;
+    row.margin = margin;
+    const tm::DemandBounds box = tm::marginBounds(base_tm_, margin);
+    routing::PerformanceEvaluator pool(g_, dags_, opt_.coyote.lp);
+    pool.addPool(tm::cornerPool(box, opt_.pool));
+
+    core::CoyoteOptions copt = opt_.coyote;
+    copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
+    const core::CoyoteResult pk = core::optimizeAgainstPool(g_, pool, &box, copt);
+
+    if (opt_.exact_eval) {
+      const auto exact = [&](const routing::RoutingConfig& cfg) {
+        return routing::findWorstCaseDemand(g_, cfg, &box, opt_.coyote.lp)
+            .ratio;
+      };
+      row.ecmp = exact(ecmp_);
+      row.base = exact(base_routing_);
+      row.oblivious = exact(oblivious_);
+      row.partial = exact(pk.routing);
+    } else {
+      row.ecmp = pool.ratioFor(ecmp_);
+      row.base = pool.ratioFor(base_routing_);
+      row.oblivious = pool.ratioFor(oblivious_);
+      row.partial = pool.ratioFor(pk.routing);
+    }
+    return row;
+  }
+
+  [[nodiscard]] const routing::RoutingConfig& ecmpRouting() const {
+    return ecmp_;
+  }
+  [[nodiscard]] const routing::RoutingConfig& obliviousRouting() const {
+    return oblivious_;
+  }
+
+ private:
+  const Graph& g_;
+  std::shared_ptr<const DagSet> dags_;
+  const tm::TrafficMatrix& base_tm_;
+  SweepOptions opt_;
+  routing::RoutingConfig ecmp_;
+  routing::RoutingConfig base_routing_;
+  routing::RoutingConfig oblivious_;
+};
+
+/// Margins used by the sweeps: the paper uses 1..3 (figures) and 1..5
+/// (Table I) in 0.5 steps; the quick default thins them out.
+inline std::vector<double> marginGrid(double max_margin, bool full) {
+  std::vector<double> out;
+  for (double m = 1.0; m <= max_margin + 1e-9; m += full ? 0.5 : 1.0) {
+    out.push_back(m);
+  }
+  return out;
+}
+
+inline void printSchemeHeader(const char* network, const char* model) {
+  std::printf("# %s, %s base matrix\n", network, model);
+  std::printf("# ratios are worst-case link utilization relative to the\n");
+  std::printf("# demands-aware optimum within the same augmented DAGs\n");
+  std::printf("%-8s %-8s %-8s %-12s %-12s\n", "margin", "ECMP", "Base",
+              "COYOTE-obl", "COYOTE-pk");
+}
+
+inline void printSchemeRow(const SchemeRow& r) {
+  std::printf("%-8.1f %-8.2f %-8.2f %-12.2f %-12.2f\n", r.margin, r.ecmp,
+              r.base, r.oblivious, r.partial);
+}
+
+}  // namespace coyote::bench

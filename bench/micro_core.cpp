@@ -1,0 +1,95 @@
+// Microbenchmarks of COYOTE's core machinery: optimizer iteration
+// throughput, lie synthesis, split apportionment, fluid-simulator steps.
+#include <benchmark/benchmark.h>
+
+#include "core/dag_builder.hpp"
+#include "core/splitting_optimizer.hpp"
+#include "fibbing/lie_synthesis.hpp"
+#include "fibbing/ospf_model.hpp"
+#include "routing/evaluator.hpp"
+#include "sim/fluid.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace coyote;
+
+void BM_SplittingOptimizerIterations(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  routing::PerformanceEvaluator eval(g, dags);
+  tm::PoolOptions popt;
+  popt.source_hotspots = false;
+  popt.random_corners = 2;
+  eval.addPool(
+      tm::cornerPool(tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt));
+  const auto init = routing::RoutingConfig::uniform(g, dags);
+  core::SplittingOptions opt;
+  opt.iterations = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimizeSplitting(g, eval, init, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * opt.iterations);
+}
+BENCHMARK(BM_SplittingOptimizerIterations)->Arg(50)->Arg(200);
+
+void BM_LieSynthesisAllDests(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Geant");
+  const auto dags = core::augmentedDagsShared(g);
+  const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  for (auto _ : state) {
+    int fake_nodes = 0;
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      fake_nodes += fib::synthesizeLies(g, cfg, t, t, 8).fake_nodes;
+    }
+    benchmark::DoNotOptimize(fake_nodes);
+  }
+}
+BENCHMARK(BM_LieSynthesisAllDests);
+
+void BM_ApportionSplits(benchmark::State& state) {
+  const std::vector<double> ratios = {0.3817, 0.2511, 0.1903, 0.1102, 0.0667};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fib::apportionSplits(ratios, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ApportionSplits)->Arg(4)->Arg(11)->Arg(32);
+
+void BM_OspfSpfGeant(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Geant");
+  fib::OspfModel model(g);
+  for (NodeId t = 0; t < g.numNodes(); ++t) model.advertisePrefix(t, t);
+  for (auto _ : state) {
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      benchmark::DoNotOptimize(model.computeFibs(t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * g.numNodes());
+}
+BENCHMARK(BM_OspfSpfGeant);
+
+void BM_FluidSimulation(benchmark::State& state) {
+  const Graph g = topo::prototypeTriangle();
+  const NodeId s1 = *g.findNode("s1");
+  const NodeId s2 = *g.findNode("s2");
+  const NodeId t = *g.findNode("t");
+  sim::FluidNetwork net(g);
+  for (const sim::PrefixId p : {0, 1}) {
+    net.setPrefixOwner(p, t);
+    net.setForwarding(p, s1, {{*g.findEdge(s1, t), 0.5},
+                              {*g.findEdge(s1, s2), 0.5}});
+    net.setForwarding(p, s2, {{*g.findEdge(s2, t), 1.0}});
+  }
+  net.addFlow({s1, 0, 1.5, 0.0, 45.0});
+  net.addFlow({s2, 1, 1.5, 0.0, 45.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.run(45.0, 0.1));
+  }
+}
+BENCHMARK(BM_FluidSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

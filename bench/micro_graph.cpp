@@ -1,0 +1,61 @@
+// Microbenchmarks of the graph substrate: Dijkstra, DAG construction and
+// augmentation, flow propagation.
+#include <benchmark/benchmark.h>
+
+#include "core/dag_builder.hpp"
+#include "graph/dijkstra.hpp"
+#include "routing/propagation.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/generator.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace coyote;
+
+void BM_DijkstraBackbone(benchmark::State& state) {
+  const Graph g = topo::randomBackbone(static_cast<int>(state.range(0)), 3.0, 1);
+  for (auto _ : state) {
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      benchmark::DoNotOptimize(shortestPathsTo(g, t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * g.numNodes());
+}
+BENCHMARK(BM_DijkstraBackbone)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AugmentedDags(benchmark::State& state) {
+  const Graph g = topo::randomBackbone(static_cast<int>(state.range(0)), 3.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::augmentedDags(g));
+  }
+}
+BENCHMARK(BM_AugmentedDags)->Arg(16)->Arg(32);
+
+void BM_FlowPropagationGeant(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Geant");
+  const auto dags = core::augmentedDagsShared(g);
+  const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::computeLoads(g, cfg, d));
+  }
+}
+BENCHMARK(BM_FlowPropagationGeant);
+
+void BM_MaxUtilizationZoo(benchmark::State& state) {
+  const auto names = topo::zooNames();
+  const Graph g = topo::makeZoo(names[static_cast<std::size_t>(state.range(0))]);
+  const auto dags = core::augmentedDagsShared(g);
+  const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::maxLinkUtilization(g, cfg, d));
+  }
+  state.SetLabel(names[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_MaxUtilizationZoo)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

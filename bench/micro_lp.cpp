@@ -1,0 +1,75 @@
+// Microbenchmarks of the LP substrate: the simplex solver on the LP
+// families the pipeline actually solves (OPTU normalization, base-optimal
+// routing, worst-case slave LP).
+#include <benchmark/benchmark.h>
+
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/generator.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace coyote;
+
+void BM_OptuDagRestricted(benchmark::State& state) {
+  const auto names = topo::zooNames();
+  const Graph g = topo::makeZoo(names[static_cast<std::size_t>(state.range(0))]);
+  const DagSet dags = core::augmentedDags(g);
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::optimalUtilization(g, dags, d));
+  }
+  state.SetLabel(names[static_cast<std::size_t>(state.range(0))] + " n=" +
+                 std::to_string(g.numNodes()));
+}
+BENCHMARK(BM_OptuDagRestricted)->Arg(3)->Arg(14)->Arg(10)->Arg(9);
+// indices into zooNames(): Abilene, NSF, Germany, Geant
+
+void BM_OptuUnrestricted(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Abilene");
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::optimalUtilizationUnrestricted(g, d));
+  }
+}
+BENCHMARK(BM_OptuUnrestricted);
+
+void BM_BaseOptimalRouting(benchmark::State& state) {
+  const Graph g = topo::makeZoo("NSF");
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::optimalRoutingForDemand(g, dags, d));
+  }
+}
+BENCHMARK(BM_BaseOptimalRouting);
+
+void BM_SlaveLpSingleEdge(benchmark::State& state) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const auto ecmp = routing::ecmpConfig(g, dags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing::findWorstCaseDemandForEdge(g, ecmp, 0));
+  }
+}
+BENCHMARK(BM_SlaveLpSingleEdge);
+
+void BM_SlaveLpAllEdgesAbilene(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  const auto ecmp = routing::ecmpConfig(g, dags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::findWorstCaseDemand(g, ecmp));
+  }
+}
+BENCHMARK(BM_SlaveLpAllEdgesAbilene)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Precomputing failover configurations.
+//
+// Sec. VI-A: "routing configurations for failure scenarios (e.g., every
+// single link/node failure) can be precomputed" -- COYOTE is static, so the
+// operator computes one robust configuration per failure case offline and
+// swaps the corresponding lies in when the failure is detected.
+//
+// This example walks every single-link failure of the NSF backbone,
+// recomputes COYOTE for the degraded topology, and reports how the
+// worst-case ratio (margin 2.0 around a gravity estimate) moves -- plus how
+// plain ECMP would fare on the same degraded topology.
+//
+// Build & run:   ./build/examples/failover
+
+#include <cstdio>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/zoo.hpp"
+
+namespace {
+
+using namespace coyote;
+
+/// Rebuilds the graph without one bidirectional link.
+Graph withoutLink(const Graph& g, EdgeId link) {
+  Graph out;
+  for (NodeId v = 0; v < g.numNodes(); ++v) out.addNode(g.nodeName(v));
+  const EdgeId rev = g.edge(link).reverse;
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (e == link || e == rev) continue;
+    if (ed.reverse != kInvalidEdge && ed.reverse < e) continue;
+    out.addLink(ed.src, ed.dst, ed.capacity, ed.weight);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = topo::makeZoo("NSF");
+  std::printf("NSF backbone: precomputing COYOTE for every single-link "
+              "failure (margin 2.0)\n\n");
+  std::printf("%-28s %-10s %-12s\n", "failed link", "ECMP", "COYOTE-pk");
+
+  const auto runCase = [](const Graph& net, const char* label) {
+    if (!net.stronglyConnected()) {
+      std::printf("%-28s (network partitioned; skipped)\n", label);
+      return;
+    }
+    const auto dags = core::augmentedDagsShared(net);
+    const tm::TrafficMatrix base = tm::gravityMatrix(net, 1.0);
+    const tm::DemandBounds box = tm::marginBounds(base, 2.0);
+    routing::PerformanceEvaluator eval(net, dags);
+    tm::PoolOptions popt;
+    popt.source_hotspots = false;
+    popt.random_corners = 2;
+    eval.addPool(tm::cornerPool(box, popt));
+    core::CoyoteOptions copt;
+    copt.splitting.iterations = 200;
+    const core::CoyoteResult res =
+        core::optimizeAgainstPool(net, eval, &box, copt);
+    std::printf("%-28s %-10.2f %-12.2f\n", label,
+                eval.ratioFor(routing::ecmpConfig(net, dags)),
+                res.pool_ratio);
+    std::fflush(stdout);
+  };
+
+  runCase(g, "(no failure)");
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (ed.reverse != kInvalidEdge && ed.reverse < e) continue;
+    const std::string label =
+        g.nodeName(ed.src) + "-" + g.nodeName(ed.dst);
+    runCase(withoutLink(g, e), label.c_str());
+  }
+  std::printf("\nEach row is an offline-precomputed configuration; swapping\n"
+              "them in on failure needs only a new set of lies, no router\n"
+              "reconfiguration (Sec. VI-A).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// WAN traffic engineering under demand uncertainty.
+//
+// The scenario from the paper's introduction: an operator runs a backbone
+// (here: Geant), has only a rough estimate of the traffic matrix (a gravity
+// model), and traffic may drift anywhere within a multiplicative margin of
+// it. The example compares what the operator gets from
+//   * traditional OSPF/ECMP,
+//   * the demands-aware optimum for the estimate ("Base"), which is what a
+//     classical TE pipeline would install, and
+//   * COYOTE's robust splitting ratios,
+// as the drift margin grows.
+//
+// Build & run:   ./build/examples/wan_te [network] [max_margin]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/optu.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/zoo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coyote;
+  const std::string network = argc > 1 ? argv[1] : "Geant";
+  const double max_margin = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+  const Graph g = topo::makeZoo(network);
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix estimate = tm::gravityMatrix(g, 1.0);
+  std::printf("%s: %d routers, %d links; gravity estimate, drift margins up "
+              "to %.1fx\n\n",
+              network.c_str(), g.numNodes(), g.numEdges() / 2, max_margin);
+
+  // Configurations that do not depend on the margin.
+  const routing::RoutingConfig ecmp = routing::ecmpConfig(g, dags);
+  const routing::RoutingConfig base =
+      routing::optimalRoutingForDemand(g, dags, estimate).routing;
+
+  std::printf("%-8s %-10s %-10s %-12s\n", "margin", "ECMP", "Base-opt",
+              "COYOTE-pk");
+  for (double margin = 1.0; margin <= max_margin + 1e-9; margin += 1.0) {
+    const tm::DemandBounds box = tm::marginBounds(estimate, margin);
+    routing::PerformanceEvaluator eval(g, dags);
+    tm::PoolOptions popt;
+    popt.source_hotspots = false;
+    popt.max_hotspots = 12;
+    popt.random_corners = 4;
+    eval.addPool(tm::cornerPool(box, popt));
+
+    core::CoyoteOptions copt;
+    copt.splitting.iterations = 250;
+    const core::CoyoteResult coyote =
+        core::optimizeAgainstPool(g, eval, &box, copt);
+
+    std::printf("%-8.1f %-10.2f %-10.2f %-12.2f\n", margin,
+                eval.ratioFor(ecmp), eval.ratioFor(base), coyote.pool_ratio);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nReading: 1.00 = as good as the demands-aware optimum for the\n"
+      "worst drift in the margin; ECMP and Base degrade with uncertainty,\n"
+      "COYOTE stays close to optimal (Sec. VI-B of the paper).\n");
+  return 0;
+}

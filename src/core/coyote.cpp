@@ -1,0 +1,88 @@
+#include "core/coyote.hpp"
+
+#include <limits>
+
+#include "routing/ecmp.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
+
+namespace coyote::core {
+
+CoyoteResult optimizeAgainstPool(const Graph& g,
+                                 routing::PerformanceEvaluator& pool,
+                                 const tm::DemandBounds* box,
+                                 const CoyoteOptions& opt) {
+  require(pool.size() > 0, "optimization pool is empty");
+  const auto dags = pool.dagsPtr();
+
+  // Single-matrix pools admit the exact LP optimum (used at margin 1, where
+  // COYOTE-partial-knowledge provably matches the demands-aware optimum).
+  routing::RoutingConfig cfg =
+      (pool.size() == 1)
+          ? routing::optimalRoutingForDemand(g, dags, pool.matrix(0), opt.lp)
+                .routing
+          : optimizeSplitting(g, pool,
+                              routing::RoutingConfig::uniform(g, dags),
+                              opt.splitting);
+
+  CoyoteResult out{cfg, 0.0, 0};
+
+  // Cutting-plane rounds with the exact slave-LP separation oracle: add the
+  // worst-case matrix the oracle finds, re-optimize, and keep the best
+  // configuration by *exact* ratio across rounds.
+  if (opt.oracle_rounds > 0) {
+    double best_exact = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < opt.oracle_rounds; ++round) {
+      const routing::WorstCaseResult wc =
+          routing::findWorstCaseDemand(g, cfg, box, opt.lp);
+      if (wc.ratio < best_exact) {
+        best_exact = wc.ratio;
+        out.routing = cfg;
+      }
+      const double pool_ratio = pool.ratioFor(cfg);
+      if (wc.ratio <= pool_ratio * (1.0 + opt.oracle_tolerance)) break;
+      if (pool.addMatrix(wc.demand) < 0) break;  // duplicate/degenerate
+      ++out.oracle_rounds_used;
+      cfg = optimizeSplitting(g, pool, cfg, opt.splitting);
+    }
+    // The last re-optimized config was never scored; score it.
+    const double final_exact =
+        routing::findWorstCaseDemand(g, cfg, box, opt.lp).ratio;
+    if (final_exact < best_exact) {
+      best_exact = final_exact;
+      out.routing = cfg;
+    }
+    if (opt.ensure_not_worse_than_ecmp) {
+      const routing::RoutingConfig ecmp = routing::ecmpConfig(g, dags);
+      const double ecmp_exact =
+          routing::findWorstCaseDemand(g, ecmp, box, opt.lp).ratio;
+      if (ecmp_exact < best_exact) out.routing = ecmp;
+    }
+  } else if (opt.ensure_not_worse_than_ecmp) {
+    const routing::RoutingConfig ecmp = routing::ecmpConfig(g, dags);
+    if (pool.ratioFor(ecmp) < pool.ratioFor(out.routing)) {
+      out.routing = ecmp;
+    }
+  }
+  out.pool_ratio = pool.ratioFor(out.routing);
+  return out;
+}
+
+CoyoteResult coyoteWithBounds(const Graph& g,
+                              std::shared_ptr<const DagSet> dags,
+                              const tm::DemandBounds& box,
+                              const CoyoteOptions& opt) {
+  routing::PerformanceEvaluator pool(g, std::move(dags), opt.lp);
+  pool.addPool(tm::cornerPool(box, opt.corner_pool));
+  return optimizeAgainstPool(g, pool, &box, opt);
+}
+
+CoyoteResult coyoteOblivious(const Graph& g,
+                             std::shared_ptr<const DagSet> dags,
+                             const CoyoteOptions& opt) {
+  routing::PerformanceEvaluator pool(g, std::move(dags), opt.lp);
+  pool.addPool(tm::obliviousPool(g.numNodes(), opt.oblivious_pool));
+  return optimizeAgainstPool(g, pool, /*box=*/nullptr, opt);
+}
+
+}  // namespace coyote::core

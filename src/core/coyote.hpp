@@ -1,0 +1,67 @@
+// COYOTE's top-level flow-computation pipeline (Fig. 5):
+//
+//   uncertainty bounds + topology
+//        -> per-destination DAG construction        (dag_builder / local_search)
+//        -> in-DAG splitting-ratio optimization     (splitting_optimizer)
+//        -> [optional] exact cutting-plane rounds   (worst_case slave LP)
+//
+// The OSPF translation stage ("lies") lives in src/fibbing/.
+//
+// Two entry points mirror the paper's two variants:
+//   * coyoteWithBounds  -- "COYOTE partial knowledge": optimized against the
+//     corners of the operator's uncertainty box.
+//   * coyoteOblivious   -- "COYOTE oblivious": optimized against a pool
+//     standing in for all possible demand matrices.
+//
+// Both guarantee the result is no worse (on the optimization pool) than
+// traditional ECMP, because ECMP's equal splitting over shortest paths is a
+// feasible point of the search space (Sec. V-B).
+#pragma once
+
+#include <optional>
+
+#include "core/splitting_optimizer.hpp"
+#include "lp/lp.hpp"
+#include "routing/evaluator.hpp"
+#include "tm/uncertainty.hpp"
+
+namespace coyote::core {
+
+struct CoyoteOptions {
+  SplittingOptions splitting;
+  /// Extra cutting-plane rounds driven by the exact slave-LP oracle
+  /// (0 = pool-only; exact separation is practical on small networks).
+  int oracle_rounds = 0;
+  double oracle_tolerance = 0.02;
+  tm::PoolOptions corner_pool;
+  tm::ObliviousPoolOptions oblivious_pool;
+  lp::SimplexOptions lp;
+  /// Keep the better of {optimized config, ECMP} on the pool.
+  bool ensure_not_worse_than_ecmp = true;
+};
+
+struct CoyoteResult {
+  routing::RoutingConfig routing;
+  double pool_ratio = 0.0;  ///< PERF over the (final) optimization pool
+  int oracle_rounds_used = 0;
+};
+
+/// Optimizes splitting ratios against an existing evaluator pool; the pool
+/// grows if oracle rounds find violating matrices. `box` (may be null) is
+/// forwarded to the exact oracle.
+[[nodiscard]] CoyoteResult optimizeAgainstPool(
+    const Graph& g, routing::PerformanceEvaluator& pool,
+    const tm::DemandBounds* box, const CoyoteOptions& opt = {});
+
+/// COYOTE with operator uncertainty bounds (the "partial knowledge" line of
+/// Figs. 6-9 / Table I).
+[[nodiscard]] CoyoteResult coyoteWithBounds(
+    const Graph& g, std::shared_ptr<const DagSet> dags,
+    const tm::DemandBounds& box, const CoyoteOptions& opt = {});
+
+/// Fully demands-oblivious COYOTE (the "oblivious" line).
+[[nodiscard]] CoyoteResult coyoteOblivious(const Graph& g,
+                                           std::shared_ptr<const DagSet> dags,
+                                           const CoyoteOptions& opt = {});
+
+}  // namespace coyote::core

@@ -1,0 +1,54 @@
+#include "core/dag_builder.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace coyote::core {
+
+Dag augmentedDag(const Graph& g, NodeId dest) {
+  const ShortestPathsToDest sp = shortestPathsTo(g, dest);
+  std::vector<EdgeId> edges = shortestPathDagEdges(g, sp);
+  std::vector<char> in_dag(g.numEdges(), 0);
+  for (const EdgeId e : edges) in_dag[e] = 1;
+
+  // Orient every remaining physical link toward the endpoint closer to dest.
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (in_dag[e]) continue;
+    if (ed.reverse != kInvalidEdge && in_dag[ed.reverse]) continue;
+    if (ed.reverse != kInvalidEdge && ed.reverse < e) continue;  // visit once
+    const double ds = sp.dist[ed.src];
+    const double dt = sp.dist[ed.dst];
+    if (std::isinf(ds) || std::isinf(dt)) continue;  // disconnected endpoint
+    EdgeId oriented = e;  // src -> dst, used when dst is closer
+    if (dt < ds) {
+      oriented = e;
+    } else if (ds < dt) {
+      oriented = ed.reverse;
+    } else {
+      // Tie: orient from the lexicographically smaller node id to the
+      // larger one -- deterministic and acyclic (ids strictly increase
+      // along tie edges), and it reproduces the Fig. 1c orientation
+      // (s2 -> v) of the paper's running example.
+      oriented = (ed.src < ed.dst) ? e : ed.reverse;
+    }
+    if (oriented == kInvalidEdge) continue;  // unidirectional, wrong way
+    if (g.edge(oriented).src == dest) continue;  // never point out of dest
+    in_dag[oriented] = 1;
+    edges.push_back(oriented);
+  }
+  return Dag(g, dest, std::move(edges));
+}
+
+DagSet augmentedDags(const Graph& g) {
+  DagSet dags;
+  dags.reserve(g.numNodes());
+  for (NodeId t = 0; t < g.numNodes(); ++t) dags.push_back(augmentedDag(g, t));
+  return dags;
+}
+
+std::shared_ptr<const DagSet> augmentedDagsShared(const Graph& g) {
+  return std::make_shared<const DagSet>(augmentedDags(g));
+}
+
+}  // namespace coyote::core

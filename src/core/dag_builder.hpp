@@ -1,0 +1,30 @@
+// COYOTE DAG construction (Sec. V-B).
+//
+// Step I: compute a shortest-path DAG per destination from link weights
+// (either inverse-capacity weights -- Cisco's default -- or weights found by
+// the local-search heuristic of Appendix A, see local_search.hpp).
+//
+// Step II ("DAG augmentation"): every physical link absent from the
+// shortest-path DAG of destination t is added, oriented toward the endpoint
+// closer to t (ties broken lexicographically by node id). Augmentation
+// strictly enlarges the solution space while preserving acyclicity, so
+// COYOTE is never worse than ECMP over the same weights.
+#pragma once
+
+#include <memory>
+
+#include "graph/dag.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace coyote::core {
+
+/// Augmented DAG for one destination, from the graph's current weights.
+[[nodiscard]] Dag augmentedDag(const Graph& g, NodeId dest);
+
+/// Augmented DAGs for every destination, from the graph's current weights.
+[[nodiscard]] DagSet augmentedDags(const Graph& g);
+
+/// Convenience: shared pointer form used by routing configurations.
+[[nodiscard]] std::shared_ptr<const DagSet> augmentedDagsShared(const Graph& g);
+
+}  // namespace coyote::core

@@ -1,0 +1,216 @@
+#include "fibbing/lie_synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/dijkstra.hpp"
+
+namespace coyote::fib {
+namespace {
+
+/// Largest-remainder rounding of p * total, capped at max_multiplicity.
+std::vector<int> roundToTotal(const std::vector<double>& p, int total,
+                              int max_multiplicity) {
+  const int k = static_cast<int>(p.size());
+  std::vector<int> m(k, 0);
+  std::vector<std::pair<double, int>> rem(k);
+  int assigned = 0;
+  for (int i = 0; i < k; ++i) {
+    const double exact = p[i] * total;
+    m[i] = std::min(static_cast<int>(exact), max_multiplicity);
+    assigned += m[i];
+    rem[i] = {exact - m[i], i};
+  }
+  std::sort(rem.begin(), rem.end(), std::greater<>());
+  for (int j = 0; j < k && assigned < total; ++j) {
+    const int i = rem[j].second;
+    if (m[i] < max_multiplicity) {
+      ++m[i];
+      ++assigned;
+    }
+  }
+  return m;
+}
+
+double linfError(const std::vector<double>& p, const std::vector<int>& m) {
+  const int total = std::accumulate(m.begin(), m.end(), 0);
+  if (total == 0) return std::numeric_limits<double>::infinity();
+  double err = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    err = std::max(err, std::abs(p[i] - static_cast<double>(m[i]) / total));
+  }
+  return err;
+}
+
+}  // namespace
+
+std::vector<int> apportionSplits(const std::vector<double>& ratios,
+                                 int max_multiplicity) {
+  require(!ratios.empty(), "empty ratio vector");
+  require(max_multiplicity >= 1, "max_multiplicity must be >= 1");
+  double sum = 0.0;
+  for (const double r : ratios) {
+    require(r >= 0.0, "negative ratio");
+    sum += r;
+  }
+  require(sum > 0.0, "all-zero ratio vector");
+  std::vector<double> p(ratios);
+  for (double& v : p) v /= sum;
+
+  const int k = static_cast<int>(p.size());
+  std::vector<int> best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (int total = 1; total <= k * max_multiplicity; ++total) {
+    const std::vector<int> m = roundToTotal(p, total, max_multiplicity);
+    const double err = linfError(p, m);
+    if (err < best_err - 1e-15) {
+      best_err = err;
+      best = m;
+    }
+  }
+  ensure(!best.empty(), "apportionment failed");
+  return best;
+}
+
+routing::RoutingConfig quantizeConfig(const Graph& g,
+                                      const routing::RoutingConfig& cfg,
+                                      int max_multiplicity) {
+  routing::RoutingConfig out(g, cfg.dagsPtr());
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    const Dag& dag = cfg.dags()[t];
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      if (u == t) continue;
+      const auto& edges = dag.outEdges(u);
+      if (edges.empty()) continue;
+      std::vector<double> p(edges.size(), 0.0);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        p[i] = cfg.ratio(t, edges[i]);
+        sum += p[i];
+      }
+      if (sum <= 0.0) continue;
+      const std::vector<int> m = apportionSplits(p, max_multiplicity);
+      const double total = std::accumulate(m.begin(), m.end(), 0);
+      for (std::size_t i = 0; i < edges.size(); ++i) {
+        out.setRatio(t, edges[i], static_cast<double>(m[i]) / total);
+      }
+    }
+  }
+  out.validate(g);
+  return out;
+}
+
+LiePlan synthesizeLies(const Graph& g, const routing::RoutingConfig& cfg,
+                       NodeId dest, PrefixId prefix, int max_multiplicity) {
+  require(dest >= 0 && dest < g.numNodes(), "dest out of range");
+  LiePlan plan;
+  const Dag& dag = cfg.dags()[dest];
+  const ShortestPathsToDest sp = shortestPathsTo(g, dest);
+
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (u == dest || std::isinf(sp.dist[u])) continue;
+    const auto& edges = dag.outEdges(u);
+    if (edges.empty()) continue;
+
+    // Desired next-hop multiset.
+    std::vector<double> p;
+    std::vector<EdgeId> used;
+    double sum = 0.0;
+    for (const EdgeId e : edges) {
+      const double r = cfg.ratio(dest, e);
+      if (r > 0.0) {
+        p.push_back(r);
+        used.push_back(e);
+        sum += r;
+      }
+    }
+    if (used.empty()) continue;
+    const std::vector<int> m = apportionSplits(p, max_multiplicity);
+
+    // Plain OSPF would install multiplicity-1 ECMP next-hops; skip the lie
+    // if that is exactly what we want.
+    const std::vector<EdgeId> ecmp = ecmpNextHops(g, sp, u);
+    bool matches_plain = std::all_of(m.begin(), m.end(),
+                                     [](int x) { return x == 1; }) &&
+                         used.size() == ecmp.size();
+    if (matches_plain) {
+      for (const EdgeId e : used) {
+        if (std::find(ecmp.begin(), ecmp.end(), e) == ecmp.end()) {
+          matches_plain = false;
+          break;
+        }
+      }
+    }
+    if (matches_plain) continue;
+
+    // One fake advertisement per next-hop, all at the same cost strictly
+    // below the real IGP distance so only the lie multiset is installed.
+    const double cost = sp.dist[u] / 2.0;
+    ++plan.routers_lied_to;
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      if (m[i] == 0) continue;
+      FakeAdvertisement lie;
+      lie.router = u;
+      lie.prefix = prefix;
+      lie.via = g.edge(used[i]).dst;
+      lie.count = m[i];
+      lie.cost = cost;
+      plan.lies.push_back(lie);
+      plan.fake_nodes += m[i];
+    }
+  }
+  return plan;
+}
+
+void applyPlan(OspfModel& model, const LiePlan& plan) {
+  for (const auto& lie : plan.lies) model.injectLie(lie);
+}
+
+bool verifyRealization(const OspfModel& model,
+                       const routing::RoutingConfig& cfg, NodeId dest,
+                       PrefixId prefix, int max_multiplicity) {
+  const Graph& g = model.graph();
+  const std::vector<FibEntry> fibs = model.computeFibs(prefix);
+  const Dag& dag = cfg.dags()[dest];
+
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (u == dest) continue;
+    std::vector<double> p;
+    std::vector<EdgeId> used;
+    for (const EdgeId e : dag.outEdges(u)) {
+      const double r = cfg.ratio(dest, e);
+      if (r > 0.0) {
+        p.push_back(r);
+        used.push_back(e);
+      }
+    }
+    const FibEntry& fib = fibs[u];
+    if (used.empty()) {
+      // Nothing desired: router follows plain OSPF; nothing to check.
+      continue;
+    }
+    const std::vector<int> m = apportionSplits(p, max_multiplicity);
+    const int total = fib.totalMultiplicity();
+    const int want_total = std::accumulate(m.begin(), m.end(), 0);
+    if (total != want_total) return false;
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      int got = 0;
+      for (const auto& h : fib.next_hops) {
+        if (h.edge == used[i]) got = h.multiplicity;
+      }
+      if (got != m[i]) return false;
+    }
+    // No extra next-hops beyond the desired ones.
+    for (const auto& h : fib.next_hops) {
+      if (h.multiplicity > 0 &&
+          std::find(used.begin(), used.end(), h.edge) == used.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace coyote::fib

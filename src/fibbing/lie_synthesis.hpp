@@ -1,0 +1,62 @@
+// Translation of COYOTE routing configurations into OSPF lies (Sec. V-D).
+//
+// Two ingredients:
+//
+//  1. Split apportionment (Nemeth et al. [18]): a splitting vector
+//     (p_1..p_k) over a router's next-hops is approximated by integer ECMP
+//     multiplicities (m_1..m_k), m_i <= max_multiplicity, realized with
+//     m_i - 1 fake nodes per next-hop. Fig. 10 sweeps this budget.
+//
+//  2. Per-destination DAG enforcement (Fibbing [8,9]): wherever the desired
+//     next-hop multiset differs from what plain OSPF/ECMP would compute, the
+//     router is given fake advertisements for the destination prefix --
+//     all at one cost strictly below its real IGP distance, so exactly the
+//     fake multiset is installed. Loop-freedom is inherited from the DAG.
+#pragma once
+
+#include <vector>
+
+#include "fibbing/ospf_model.hpp"
+#include "routing/config.hpp"
+
+namespace coyote::fib {
+
+/// Approximates `ratios` (nonnegative, summing to ~1) with integer
+/// multiplicities in [0, max_multiplicity], at least one positive,
+/// minimizing the L-infinity error |p_i - m_i/sum(m)|. Exhaustive over the
+/// total sum (<= k*max_multiplicity) with largest-remainder rounding.
+[[nodiscard]] std::vector<int> apportionSplits(const std::vector<double>& ratios,
+                                               int max_multiplicity);
+
+/// The routing that ECMP-with-multiplicities actually realizes: every
+/// splitting vector of `cfg` replaced by its apportioned approximation.
+/// Fig. 10 evaluates this config against the ideal one.
+[[nodiscard]] routing::RoutingConfig quantizeConfig(
+    const Graph& g, const routing::RoutingConfig& cfg, int max_multiplicity);
+
+/// The lies realizing `cfg` for destination `dest` advertised as `prefix`.
+struct LiePlan {
+  std::vector<FakeAdvertisement> lies;
+  int fake_nodes = 0;      ///< total fake nodes (sum of lie counts)
+  int routers_lied_to = 0; ///< routers needing at least one lie
+};
+
+/// Synthesizes the lie plan for one destination. Routers whose desired
+/// next-hop multiset already equals their plain-OSPF ECMP set need no lies.
+[[nodiscard]] LiePlan synthesizeLies(const Graph& g,
+                                     const routing::RoutingConfig& cfg,
+                                     NodeId dest, PrefixId prefix,
+                                     int max_multiplicity);
+
+/// Injects the plan into `model` (which must already advertise `prefix`).
+void applyPlan(OspfModel& model, const LiePlan& plan);
+
+/// Checks that the model's computed FIBs realize exactly the apportioned
+/// next-hop multisets of `cfg` toward `dest`. Returns false with no side
+/// effects on mismatch (used by tests and the prototype).
+[[nodiscard]] bool verifyRealization(const OspfModel& model,
+                                     const routing::RoutingConfig& cfg,
+                                     NodeId dest, PrefixId prefix,
+                                     int max_multiplicity);
+
+}  // namespace coyote::fib

@@ -1,0 +1,106 @@
+#include "fibbing/ospf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.hpp"
+
+namespace coyote::fib {
+
+void OspfModel::advertisePrefix(PrefixId prefix, NodeId owner) {
+  require(owner >= 0 && owner < g_.numNodes(), "prefix owner out of range");
+  require(prefix >= 0, "negative prefix id");
+  require(!prefix_owner_.count(prefix), "prefix already advertised");
+  prefix_owner_[prefix] = owner;
+}
+
+void OspfModel::injectLie(const FakeAdvertisement& lie) {
+  require(prefix_owner_.count(lie.prefix), "lie for unknown prefix");
+  require(lie.count >= 1, "lie count must be >= 1");
+  require(lie.cost > 0.0 && std::isfinite(lie.cost),
+          "lie cost must be positive");
+  require(g_.findEdge(lie.router, lie.via).has_value(),
+          "lie forwarding address must be a real neighbor");
+  lies_.push_back(lie);
+}
+
+int OspfModel::fakeNodeCount() const {
+  int count = 0;
+  for (const auto& lie : lies_) count += lie.count;
+  return count;
+}
+
+std::vector<FibEntry> OspfModel::computeFibs(PrefixId prefix) const {
+  const auto it = prefix_owner_.find(prefix);
+  require(it != prefix_owner_.end(), "unknown prefix");
+  const NodeId owner = it->second;
+  const ShortestPathsToDest sp = shortestPathsTo(g_, owner);
+
+  std::vector<FibEntry> fibs(g_.numNodes());
+  constexpr double kEps = 1e-9;
+  for (NodeId u = 0; u < g_.numNodes(); ++u) {
+    if (u == owner) continue;
+    // Candidate costs: the real IGP distance and this router's own lies.
+    double best = sp.dist[u];
+    for (const auto& lie : lies_) {
+      if (lie.router == u && lie.prefix == prefix) {
+        best = std::min(best, lie.cost);
+      }
+    }
+    if (std::isinf(best)) continue;  // no route
+
+    std::vector<FibNextHop>& hops = fibs[u].next_hops;
+    const auto bump = [&](EdgeId e, int by) {
+      for (auto& h : hops) {
+        if (h.edge == e) {
+          h.multiplicity += by;
+          return;
+        }
+      }
+      hops.push_back({e, by});
+    };
+    if (sp.dist[u] <= best + kEps) {
+      for (const EdgeId e : ecmpNextHops(g_, sp, u)) bump(e, 1);
+    }
+    for (const auto& lie : lies_) {
+      if (lie.router == u && lie.prefix == prefix &&
+          lie.cost <= best + kEps) {
+        const auto e = g_.findEdge(u, lie.via);
+        ensure(e.has_value(), "lie neighbor disappeared");
+        bump(*e, lie.count);
+      }
+    }
+    std::sort(hops.begin(), hops.end(),
+              [](const FibNextHop& a, const FibNextHop& b) {
+                return a.edge < b.edge;
+              });
+  }
+  return fibs;
+}
+
+bool OspfModel::forwardingIsLoopFree(PrefixId prefix) const {
+  const std::vector<FibEntry> fibs = computeFibs(prefix);
+  // Kahn's algorithm over the forwarding edges.
+  const int n = g_.numNodes();
+  std::vector<int> indeg(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const auto& h : fibs[u].next_hops) ++indeg[g_.edge(h.edge).dst];
+  }
+  std::vector<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  int seen = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (const auto& h : fibs[u].next_hops) {
+      const NodeId w = g_.edge(h.edge).dst;
+      if (--indeg[w] == 0) queue.push_back(w);
+    }
+  }
+  return seen == n;
+}
+
+}  // namespace coyote::fib

@@ -1,0 +1,89 @@
+// OSPF/ECMP control-plane model.
+//
+// Models what a legacy router computes from a (possibly lied-to) link-state
+// database: per-prefix shortest-path distances and ECMP next-hop *multisets*
+// (a fake node mapped onto a real neighbor makes that neighbor appear
+// multiple times in the FIB entry, which is how unequal splitting is
+// approximated with equal-cost multipath -- Nemeth et al. [18]).
+//
+// Lies follow Fibbing [8,9]: a fake node is attached to exactly one real
+// router u, advertises a prefix at a chosen total cost, and maps to a real
+// neighbor v of u as its forwarding address. Only u routes through its own
+// fake nodes (the controller advertises the fake adjacency with infinite
+// reverse cost, so no other router transits it).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote::fib {
+
+/// A prefix advertised by a destination router. Prefix ids are dense.
+using PrefixId = std::int32_t;
+
+/// One Fibbing lie: router `router` believes the prefix is additionally
+/// reachable via `count` fake node(s) at total cost `cost`, with forwarding
+/// address on real neighbor `via` (there must be a (router, via) edge).
+struct FakeAdvertisement {
+  NodeId router = kInvalidNode;
+  PrefixId prefix = -1;
+  NodeId via = kInvalidNode;
+  int count = 1;
+  double cost = 0.0;
+};
+
+/// Next-hop entry of a FIB: a real out-edge plus its ECMP multiplicity.
+struct FibNextHop {
+  EdgeId edge = kInvalidEdge;
+  int multiplicity = 0;
+};
+
+/// Forwarding entry of one router for one prefix.
+struct FibEntry {
+  std::vector<FibNextHop> next_hops;  ///< empty at the prefix owner
+
+  /// Total multiplicity (ECMP fan-out including virtual duplicates).
+  [[nodiscard]] int totalMultiplicity() const {
+    int s = 0;
+    for (const auto& h : next_hops) s += h.multiplicity;
+    return s;
+  }
+};
+
+/// The simulated OSPF domain: real topology + prefix ownership + lies.
+class OspfModel {
+ public:
+  explicit OspfModel(const Graph& g) : g_(g) {}
+
+  /// Declares that router `owner` originates `prefix`.
+  void advertisePrefix(PrefixId prefix, NodeId owner);
+
+  /// Injects a lie. Throws if (router, via) is not a real adjacency or the
+  /// cost is not positive.
+  void injectLie(const FakeAdvertisement& lie);
+
+  /// Number of fake nodes the lies amount to (the paper's FIB/LSA budget
+  /// metric, Fig. 10).
+  [[nodiscard]] int fakeNodeCount() const;
+
+  /// Computes every router's FIB entry for `prefix` by SPF over the
+  /// lied-to topology: a router forwards to the minimum-cost candidates
+  /// among (real shortest paths) and (its own fake advertisements), with
+  /// multiset semantics. Routers with no route get an empty entry.
+  [[nodiscard]] std::vector<FibEntry> computeFibs(PrefixId prefix) const;
+
+  /// True if per-prefix forwarding is loop-free (it always is when lie
+  /// costs are consistent; checked defensively).
+  [[nodiscard]] bool forwardingIsLoopFree(PrefixId prefix) const;
+
+  [[nodiscard]] const Graph& graph() const { return g_; }
+
+ private:
+  const Graph& g_;
+  std::map<PrefixId, NodeId> prefix_owner_;
+  std::vector<FakeAdvertisement> lies_;
+};
+
+}  // namespace coyote::fib

@@ -1,0 +1,65 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+
+namespace coyote {
+
+Dag::Dag(const Graph& g, NodeId dest, std::vector<EdgeId> edges)
+    : dest_(dest), edges_(std::move(edges)) {
+  require(dest >= 0 && dest < g.numNodes(), "dag dest out of range");
+  const int n = g.numNodes();
+  member_.assign(g.numEdges(), 0);
+  out_.assign(n, {});
+  in_.assign(n, {});
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  for (const EdgeId e : edges_) {
+    require(e >= 0 && e < g.numEdges(), "dag edge id out of range");
+    const Edge& ed = g.edge(e);
+    require(ed.src != dest_, "dag must not contain edges out of dest");
+    member_[e] = 1;
+    out_[ed.src].push_back(e);
+    in_[ed.dst].push_back(e);
+  }
+
+  // Kahn topological sort; detects cycles.
+  std::vector<int> indeg(n, 0);
+  for (const EdgeId e : edges_) ++indeg[g.edge(e).dst];
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  // Stable processing order: smallest id first, so topo order is
+  // deterministic across runs (matters for reproducible benchmarks).
+  std::sort(queue.begin(), queue.end());
+  topo_.reserve(n);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    topo_.push_back(u);
+    for (const EdgeId e : out_[u]) {
+      const NodeId w = g.edge(e).dst;
+      if (--indeg[w] == 0) queue.push_back(w);
+    }
+  }
+  require(static_cast<int>(topo_.size()) == n,
+          "dag edge set contains a directed cycle");
+
+  // Reverse reachability to dest inside the DAG.
+  reaches_.assign(n, 0);
+  reaches_[dest_] = 1;
+  std::vector<NodeId> stack{dest_};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : in_[v]) {
+      const NodeId u = g.edge(e).src;
+      if (!reaches_[u]) {
+        reaches_[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+}
+
+}  // namespace coyote

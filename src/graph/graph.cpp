@@ -1,0 +1,110 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace coyote {
+
+NodeId Graph::addNode(std::string name) {
+  nodes_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  if (nodes_.back().empty()) nodes_.back() = "n" + std::to_string(id);
+  return id;
+}
+
+EdgeId Graph::addEdge(NodeId src, NodeId dst, double capacity, double weight) {
+  checkNode(src);
+  checkNode(dst);
+  require(src != dst, "self loops are not allowed");
+  require(capacity > 0.0, "edge capacity must be positive");
+  require(weight > 0.0, "edge weight must be positive");
+  Edge e;
+  e.src = src;
+  e.dst = dst;
+  e.capacity = capacity;
+  e.weight = weight;
+  edges_.push_back(e);
+  const auto id = static_cast<EdgeId>(edges_.size() - 1);
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+EdgeId Graph::addLink(NodeId a, NodeId b, double capacity, double weight) {
+  const EdgeId fwd = addEdge(a, b, capacity, weight);
+  const EdgeId bwd = addEdge(b, a, capacity, weight);
+  edges_[fwd].reverse = bwd;
+  edges_[bwd].reverse = fwd;
+  return fwd;
+}
+
+std::optional<NodeId> Graph::findNode(const std::string& name) const {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), name);
+  if (it == nodes_.end()) return std::nullopt;
+  return static_cast<NodeId>(it - nodes_.begin());
+}
+
+std::optional<EdgeId> Graph::findEdge(NodeId src, NodeId dst) const {
+  checkNode(dst);
+  for (const EdgeId e : outEdges(src)) {
+    if (edges_[e].dst == dst) return e;
+  }
+  return std::nullopt;
+}
+
+void Graph::setWeight(EdgeId e, double w) {
+  require(w > 0.0, "edge weight must be positive");
+  edges_[checkEdge(e)].weight = w;
+}
+
+void Graph::setCapacity(EdgeId e, double c) {
+  require(c > 0.0, "edge capacity must be positive");
+  edges_[checkEdge(e)].capacity = c;
+}
+
+void Graph::setInverseCapacityWeights() {
+  double max_cap = 0.0;
+  for (const Edge& e : edges_) max_cap = std::max(max_cap, e.capacity);
+  if (max_cap <= 0.0) return;
+  for (Edge& e : edges_) e.weight = max_cap / e.capacity;
+}
+
+double Graph::outCapacity(NodeId v) const {
+  double sum = 0.0;
+  for (const EdgeId e : outEdges(v)) sum += edges_[e].capacity;
+  return sum;
+}
+
+double Graph::inCapacity(NodeId v) const {
+  double sum = 0.0;
+  for (const EdgeId e : inEdges(v)) sum += edges_[e].capacity;
+  return sum;
+}
+
+bool Graph::stronglyConnected() const {
+  if (numNodes() == 0) return true;
+  // BFS forward and backward from node 0.
+  const auto bfs = [&](bool forward) {
+    std::vector<char> seen(numNodes(), 0);
+    std::vector<NodeId> stack{0};
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const auto& adj = forward ? out_[u] : in_[u];
+      for (const EdgeId e : adj) {
+        const NodeId w = forward ? edges_[e].dst : edges_[e].src;
+        if (!seen[w]) {
+          seen[w] = 1;
+          stack.push_back(w);
+        }
+      }
+    }
+    return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+  };
+  return bfs(true) && bfs(false);
+}
+
+}  // namespace coyote

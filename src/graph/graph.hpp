@@ -1,0 +1,117 @@
+// Directed capacitated multigraph used throughout COYOTE.
+//
+// The network model of the paper (Sec. III): a directed graph G = (V, E)
+// where every edge e carries a capacity c(e) and an IGP weight w(e).
+// Backbone links are physically bidirectional; addLink() inserts the two
+// directed edges and records them as mutual "reverse" edges so that DAG
+// construction can orient each physical link in exactly one direction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace coyote {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// One directed edge of the network graph.
+struct Edge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity = 1.0;  ///< link capacity (arbitrary rate units)
+  double weight = 1.0;    ///< IGP (OSPF) link weight
+  EdgeId reverse = kInvalidEdge;  ///< opposite direction of the same physical
+                                  ///< link, or kInvalidEdge if unidirectional
+};
+
+/// Directed capacitated multigraph with stable integer node/edge ids.
+///
+/// Node and edge ids are dense indices (0..n-1), which lets every algorithm
+/// in the library use flat vectors keyed by id instead of hash maps.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node and returns its id. `name` is used in reports and parsing.
+  NodeId addNode(std::string name = {});
+
+  /// Adds one directed edge. Returns its id.
+  EdgeId addEdge(NodeId src, NodeId dst, double capacity = 1.0,
+                 double weight = 1.0);
+
+  /// Adds a bidirectional link: two directed edges that reference each other
+  /// via Edge::reverse. Returns the id of the src->dst direction (the
+  /// dst->src direction is the returned id's reverse).
+  EdgeId addLink(NodeId a, NodeId b, double capacity = 1.0,
+                 double weight = 1.0);
+
+  [[nodiscard]] int numNodes() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int numEdges() const { return static_cast<int>(edges_.size()); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[checkEdge(e)]; }
+  [[nodiscard]] const std::string& nodeName(NodeId v) const {
+    return nodes_[checkNode(v)];
+  }
+
+  /// Renames a node (parser convenience).
+  void setNodeName(NodeId v, std::string name) {
+    nodes_[checkNode(v)] = std::move(name);
+  }
+
+  /// Finds a node by name; returns std::nullopt if absent. O(|V|).
+  [[nodiscard]] std::optional<NodeId> findNode(const std::string& name) const;
+
+  /// Out-going / in-coming edge ids of a node.
+  [[nodiscard]] const std::vector<EdgeId>& outEdges(NodeId v) const {
+    return out_[checkNode(v)];
+  }
+  [[nodiscard]] const std::vector<EdgeId>& inEdges(NodeId v) const {
+    return in_[checkNode(v)];
+  }
+
+  /// First edge src->dst, if any. O(out-degree).
+  [[nodiscard]] std::optional<EdgeId> findEdge(NodeId src, NodeId dst) const;
+
+  /// Mutators for capacities/weights (used by weight-search heuristics).
+  void setWeight(EdgeId e, double w);
+  void setCapacity(EdgeId e, double c);
+
+  /// Sets every edge weight to 1/capacity (Cisco default OSPF weights,
+  /// scaled so the smallest weight is 1).
+  void setInverseCapacityWeights();
+
+  /// Total capacity leaving / entering a node (used by the gravity model).
+  [[nodiscard]] double outCapacity(NodeId v) const;
+  [[nodiscard]] double inCapacity(NodeId v) const;
+
+  /// All edges as a span-like accessor.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True if every node can reach every other node along directed edges.
+  [[nodiscard]] bool stronglyConnected() const;
+
+ private:
+  NodeId checkNode(NodeId v) const {
+    require(v >= 0 && v < numNodes(), "node id out of range");
+    return v;
+  }
+  EdgeId checkEdge(EdgeId e) const {
+    require(e >= 0 && e < numEdges(), "edge id out of range");
+    return e;
+  }
+
+  std::vector<std::string> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace coyote

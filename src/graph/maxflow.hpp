@@ -1,0 +1,23 @@
+// Dinic max-flow / min-cut.
+//
+// Used by the traffic-matrix substrate to scale demands to the routable
+// region (the NP-hardness gadget analysis in Sec. IV normalizes demands by
+// min-cuts) and by tests as an independent cross-check of the LP solver.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote {
+
+/// Value of the maximum s->t flow where every edge e has capacity
+/// g.edge(e).capacity. The graph is treated as directed (call sites use
+/// addLink for bidirectional capacity).
+[[nodiscard]] double maxFlow(const Graph& g, NodeId s, NodeId t);
+
+/// Maximum flow from a set of sources to t (adds an implicit super-source).
+[[nodiscard]] double maxFlow(const Graph& g, const std::vector<NodeId>& sources,
+                             NodeId t);
+
+}  // namespace coyote

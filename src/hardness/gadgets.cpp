@@ -1,0 +1,159 @@
+#include "hardness/gadgets.hpp"
+
+namespace coyote::hardness {
+
+BipartitionInstance makeBipartitionInstance(const std::vector<double>& w) {
+  require(!w.empty(), "empty integer set");
+  BipartitionInstance inst;
+  inst.weights = w;
+  for (const double wi : w) {
+    require(wi > 0.0, "integers must be positive");
+    inst.sum += wi;
+  }
+  Graph& g = inst.graph;
+  inst.s1 = g.addNode("s1");
+  inst.s2 = g.addNode("s2");
+  inst.t = g.addNode("t");
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const std::string suffix = std::to_string(i);
+    const NodeId x1 = g.addNode("x1_" + suffix);
+    const NodeId x2 = g.addNode("x2_" + suffix);
+    const NodeId mi = g.addNode("m_" + suffix);
+    inst.x1.push_back(x1);
+    inst.x2.push_back(x2);
+    inst.m.push_back(mi);
+    const double wi = w[i];
+    g.addLink(x1, x2, wi);  // bidirectional, capacity w_i
+    g.addLink(x1, mi, wi);
+    g.addLink(x2, mi, wi);
+    g.addEdge(inst.s1, x1, 2.0 * wi);  // directed source feeds
+    g.addEdge(inst.s2, x2, 2.0 * wi);
+    g.addEdge(mi, inst.t, 2.0 * wi);   // directed gadget exit
+  }
+  return inst;
+}
+
+std::pair<tm::TrafficMatrix, tm::TrafficMatrix> extremeDemands(
+    const BipartitionInstance& inst) {
+  tm::TrafficMatrix d1(inst.graph.numNodes());
+  tm::TrafficMatrix d2(inst.graph.numNodes());
+  d1.set(inst.s1, inst.t, 2.0 * inst.sum);
+  d2.set(inst.s2, inst.t, 2.0 * inst.sum);
+  return {d1, d2};
+}
+
+std::shared_ptr<const DagSet> bipartitionDags(
+    const BipartitionInstance& inst, const std::vector<bool>& orient_1to2) {
+  require(orient_1to2.size() == inst.weights.size(), "orientation size");
+  const Graph& g = inst.graph;
+  DagSet dags;
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    std::vector<EdgeId> edges;
+    if (t == inst.t) {
+      for (std::size_t i = 0; i < inst.weights.size(); ++i) {
+        edges.push_back(*g.findEdge(inst.s1, inst.x1[i]));
+        edges.push_back(*g.findEdge(inst.s2, inst.x2[i]));
+        edges.push_back(*g.findEdge(inst.m[i], inst.t));
+        edges.push_back(*g.findEdge(inst.x1[i], inst.m[i]));
+        edges.push_back(*g.findEdge(inst.x2[i], inst.m[i]));
+        if (orient_1to2[i]) {
+          edges.push_back(*g.findEdge(inst.x1[i], inst.x2[i]));
+        } else {
+          edges.push_back(*g.findEdge(inst.x2[i], inst.x1[i]));
+        }
+      }
+    }
+    // Non-target destinations carry no demand in the reduction; empty DAGs.
+    dags.emplace_back(g, t, std::move(edges));
+  }
+  return std::make_shared<const DagSet>(std::move(dags));
+}
+
+routing::RoutingConfig lemma2Routing(const BipartitionInstance& inst,
+                                     const std::vector<bool>& in_p1) {
+  require(in_p1.size() == inst.weights.size(), "partition size mismatch");
+  const Graph& g = inst.graph;
+  // The DAG orientation of Lemma 2: (x1->x2) iff w_i in P1 ... the split at
+  // x1_i is 1/2 toward x2_i when i is in P1; symmetric for P2.
+  std::vector<bool> orient(in_p1);
+  auto dags = bipartitionDags(inst, orient);
+  routing::RoutingConfig cfg(g, dags);
+  const NodeId t = inst.t;
+  const double sum3 = 3.0 * inst.sum;
+  for (std::size_t i = 0; i < inst.weights.size(); ++i) {
+    const double wi = inst.weights[i];
+    const bool p1 = in_p1[i];
+    // Splits at the sources (Lemma 2): 4w/3SUM toward "its" partition's
+    // gadget entry, 2w/3SUM otherwise.
+    cfg.setRatio(t, *g.findEdge(inst.s1, inst.x1[i]),
+                 (p1 ? 4.0 : 2.0) * wi / sum3);
+    cfg.setRatio(t, *g.findEdge(inst.s2, inst.x2[i]),
+                 (p1 ? 2.0 : 4.0) * wi / sum3);
+    // Splits inside the gadget.
+    if (p1) {
+      cfg.setRatio(t, *g.findEdge(inst.x1[i], inst.x2[i]), 0.5);
+      cfg.setRatio(t, *g.findEdge(inst.x1[i], inst.m[i]), 0.5);
+      cfg.setRatio(t, *g.findEdge(inst.x2[i], inst.m[i]), 1.0);
+    } else {
+      cfg.setRatio(t, *g.findEdge(inst.x2[i], inst.x1[i]), 0.5);
+      cfg.setRatio(t, *g.findEdge(inst.x2[i], inst.m[i]), 0.5);
+      cfg.setRatio(t, *g.findEdge(inst.x1[i], inst.m[i]), 1.0);
+    }
+    cfg.setRatio(t, *g.findEdge(inst.m[i], inst.t), 1.0);
+  }
+  // For an even bipartition the source splits already sum to 1; for uneven
+  // partitions (used by tests to show they are worse) rescale them
+  // proportionally.
+  cfg.normalize(g);
+  cfg.validate(g);
+  return cfg;
+}
+
+PathInstance makePathInstance(int n) {
+  require(n >= 2, "path needs >= 2 vertices");
+  PathInstance inst;
+  Graph& g = inst.graph;
+  // "Infinite" internal capacity: large enough that the path never binds
+  // for any demand in the experiments, small enough to keep the LPs
+  // well-conditioned.
+  constexpr double kHuge = 1e6;
+  for (int i = 0; i < n; ++i) {
+    inst.x.push_back(g.addNode("x" + std::to_string(i + 1)));
+  }
+  inst.t = g.addNode("t");
+  for (int i = 0; i + 1 < n; ++i) g.addLink(inst.x[i], inst.x[i + 1], kHuge);
+  for (int i = 0; i < n; ++i) g.addEdge(inst.x[i], inst.t, 1.0);
+  return inst;
+}
+
+std::vector<tm::TrafficMatrix> pathDemands(const PathInstance& inst) {
+  const int n = static_cast<int>(inst.x.size());
+  std::vector<tm::TrafficMatrix> out;
+  for (int i = 0; i < n; ++i) {
+    tm::TrafficMatrix d(inst.graph.numNodes());
+    d.set(inst.x[i], inst.t, static_cast<double>(n));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+routing::RoutingConfig allDirectRouting(const PathInstance& inst) {
+  const Graph& g = inst.graph;
+  DagSet dags;
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    std::vector<EdgeId> edges;
+    if (t == inst.t) {
+      for (const NodeId x : inst.x) edges.push_back(*g.findEdge(x, inst.t));
+    }
+    dags.emplace_back(g, t, std::move(edges));
+  }
+  auto shared = std::make_shared<const DagSet>(std::move(dags));
+  routing::RoutingConfig cfg(g, shared);
+  for (const NodeId x : inst.x) {
+    cfg.setRatio(inst.t, *g.findEdge(x, inst.t), 1.0);
+  }
+  cfg.validate(g);
+  return cfg;
+}
+
+}  // namespace coyote::hardness

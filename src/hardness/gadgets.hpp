@@ -1,0 +1,74 @@
+// Constructions behind the negative results of Sec. IV.
+//
+//  * The BIPARTITION reduction (Theorem 1, Figs. 2-3): an instance
+//    W = {w_1..w_k} of positive integers becomes a network of k INTEGER
+//    gadgets between two sources and one target. A positive instance admits
+//    an oblivious per-destination routing of ratio 4/3 (Lemma 2, realized
+//    here explicitly); a negative one does not (Lemma 3). Tests check both
+//    directions numerically.
+//
+//  * The Omega(|V|) gap (Theorem 4, Fig. 4): an n-node path with infinite
+//    internal capacity and unit-capacity exits forces every oblivious
+//    per-destination routing to performance ratio >= n on single-source
+//    demands, while the all-direct routing attains exactly n.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "routing/config.hpp"
+#include "tm/traffic_matrix.hpp"
+
+namespace coyote::hardness {
+
+struct BipartitionInstance {
+  Graph graph;
+  NodeId s1 = kInvalidNode;
+  NodeId s2 = kInvalidNode;
+  NodeId t = kInvalidNode;
+  std::vector<NodeId> x1, x2, m;  ///< gadget vertices, one entry per integer
+  std::vector<double> weights;    ///< the integers W
+  double sum = 0.0;               ///< SUM of W
+};
+
+/// Builds the reduction network for the integer set `w` (all > 0).
+[[nodiscard]] BipartitionInstance makeBipartitionInstance(
+    const std::vector<double>& w);
+
+/// The two non-dominated demand vertices D1 = (2*SUM, 0), D2 = (0, 2*SUM).
+[[nodiscard]] std::pair<tm::TrafficMatrix, tm::TrafficMatrix> extremeDemands(
+    const BipartitionInstance& inst);
+
+/// The explicit routing of Lemma 2 for the partition given by `in_p1`
+/// (in_p1[i] == true places w_i in P1). For an even bipartition this routing
+/// has worst-case utilization exactly 4/3 on {D1, D2}; for uneven
+/// partitions the lemma's source splits are rescaled proportionally (and
+/// the resulting worst case exceeds 4/3).
+[[nodiscard]] routing::RoutingConfig lemma2Routing(
+    const BipartitionInstance& inst, const std::vector<bool>& in_p1);
+
+/// DAG toward t for a given gadget-edge orientation (orient_1to2[i] == true
+/// orients (x1_i -> x2_i)); the DAG underlying lemma2Routing.
+[[nodiscard]] std::shared_ptr<const DagSet> bipartitionDags(
+    const BipartitionInstance& inst, const std::vector<bool>& orient_1to2);
+
+struct PathInstance {
+  Graph graph;
+  std::vector<NodeId> x;  ///< the path vertices x_1..x_n
+  NodeId t = kInvalidNode;
+};
+
+/// The Theorem 4 network: an n-vertex bidirectional path of effectively
+/// infinite capacity, each vertex wired to t by a unit-capacity edge.
+[[nodiscard]] PathInstance makePathInstance(int n);
+
+/// The n single-source demand matrices D_i (x_i sends n units to t).
+[[nodiscard]] std::vector<tm::TrafficMatrix> pathDemands(
+    const PathInstance& inst);
+
+/// The "all direct" routing (every x_i uses only its (x_i,t) edge), which
+/// attains performance ratio exactly n -- the optimum by Theorem 4.
+[[nodiscard]] routing::RoutingConfig allDirectRouting(const PathInstance& inst);
+
+}  // namespace coyote::hardness

@@ -1,0 +1,92 @@
+// Self-contained linear-programming solver.
+//
+// The paper solves several families of LPs (the demands-aware optimum
+// OPTU(D), the per-edge worst-case-demand "slave LP" of Sec. IV/Appendix C,
+// and the optimal base-TM routing of [24]) with AMPL+MOSEK. Neither is
+// available offline, so this module implements a dense revised primal
+// simplex (two-phase, explicit basis inverse with periodic refactorization,
+// Bland anti-cycling fallback). Problem sizes in this repository are a few
+// thousand variables and a few hundred to ~2000 rows, which this solver
+// handles in well under a second per instance.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace coyote::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kMinimize, kMaximize };
+enum class Rel { kLe, kGe, kEq };
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+[[nodiscard]] std::string toString(Status s);
+
+/// One nonzero coefficient of a constraint row.
+struct Term {
+  int var = 0;
+  double coef = 0.0;
+};
+
+/// Incrementally built LP:
+///     optimize  c^T x
+///     s.t.      sum_j a_ij x_j  {<=,=,>=}  b_i      for every row i
+///               lb_j <= x_j <= ub_j                 for every variable j
+/// Lower bounds must be finite (variables are shifted internally);
+/// ub may be +infinity.
+class LpProblem {
+ public:
+  explicit LpProblem(Sense sense = Sense::kMinimize) : sense_(sense) {}
+
+  /// Adds a variable, returns its index.
+  int addVar(double obj = 0.0, double lb = 0.0, double ub = kInfinity,
+             std::string name = {});
+
+  /// Adds a constraint row. Terms may repeat a variable (coefficients add).
+  void addConstraint(std::vector<Term> terms, Rel rel, double rhs);
+
+  void setObjective(int var, double coef);
+
+  [[nodiscard]] Sense sense() const { return sense_; }
+  [[nodiscard]] int numVars() const { return static_cast<int>(obj_.size()); }
+  [[nodiscard]] int numRows() const { return static_cast<int>(rhs_.size()); }
+  [[nodiscard]] const std::string& varName(int j) const { return names_[j]; }
+
+ private:
+  friend class SimplexSolver;
+  Sense sense_;
+  std::vector<double> obj_, lb_, ub_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<Term>> rows_;
+  std::vector<Rel> rels_;
+  std::vector<double> rhs_;
+};
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_every = 512;
+  /// Switch to Bland's rule after this many non-improving pivots.
+  int stall_limit = 2000;
+  double feas_tol = 1e-7;
+  double opt_tol = 1e-8;
+};
+
+struct LpResult {
+  Status status = Status::kIterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< primal solution in original variable space
+  int iterations = 0;
+
+  [[nodiscard]] bool optimal() const { return status == Status::kOptimal; }
+};
+
+/// Solves the LP. Never throws for infeasible/unbounded inputs (reported via
+/// Status); throws std::invalid_argument for malformed problems.
+[[nodiscard]] LpResult solve(const LpProblem& p, const SimplexOptions& opt = {});
+
+}  // namespace coyote::lp

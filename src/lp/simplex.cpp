@@ -1,0 +1,430 @@
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "lp/lp.hpp"
+
+namespace coyote::lp {
+
+std::string toString(Status s) {
+  switch (s) {
+    case Status::kOptimal: return "optimal";
+    case Status::kInfeasible: return "infeasible";
+    case Status::kUnbounded: return "unbounded";
+    case Status::kIterLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+int LpProblem::addVar(double obj, double lb, double ub, std::string name) {
+  require(std::isfinite(lb), "variable lower bound must be finite");
+  require(ub >= lb, "variable upper bound below lower bound");
+  obj_.push_back(obj);
+  lb_.push_back(lb);
+  ub_.push_back(ub);
+  if (name.empty()) name = "x" + std::to_string(obj_.size() - 1);
+  names_.push_back(std::move(name));
+  return numVars() - 1;
+}
+
+void LpProblem::addConstraint(std::vector<Term> terms, Rel rel, double rhs) {
+  for (const Term& t : terms) {
+    require(t.var >= 0 && t.var < numVars(), "constraint references bad var");
+    require(std::isfinite(t.coef), "non-finite constraint coefficient");
+  }
+  require(std::isfinite(rhs), "non-finite rhs");
+  rows_.push_back(std::move(terms));
+  rels_.push_back(rel);
+  rhs_.push_back(rhs);
+}
+
+void LpProblem::setObjective(int var, double coef) {
+  require(var >= 0 && var < numVars(), "setObjective: bad var");
+  obj_[var] = coef;
+}
+
+namespace {
+
+/// Column-sparse matrix entry.
+struct Nz {
+  int row;
+  double val;
+};
+
+}  // namespace
+
+/// Revised primal simplex over the standard form
+///     min c^T x,  A x = b,  x >= 0,
+/// built from the user problem by shifting lower bounds, splitting free-ish
+/// structure away (lb must be finite by contract), turning finite upper
+/// bounds into rows, and adding slack/artificial columns.
+class SimplexSolver {
+ public:
+  SimplexSolver(const LpProblem& p, const SimplexOptions& opt)
+      : p_(p), opt_(opt) {}
+
+  LpResult run() {
+    build();
+    LpResult res;
+    // ---- Phase 1: minimize sum of artificials.
+    if (num_artificial_ > 0) {
+      std::vector<double> phase1(cols_.size(), 0.0);
+      for (int j = first_artificial_; j < static_cast<int>(cols_.size()); ++j) {
+        phase1[j] = 1.0;
+      }
+      const Status s1 = iterate(phase1, res.iterations);
+      if (s1 != Status::kOptimal) {
+        res.status = (s1 == Status::kUnbounded) ? Status::kInfeasible : s1;
+        return res;
+      }
+      double art_sum = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        if (basis_[i] >= first_artificial_) art_sum += xb_[i];
+      }
+      if (art_sum > opt_.feas_tol * (1.0 + normB_)) {
+        res.status = Status::kInfeasible;
+        return res;
+      }
+      banned_from_ = first_artificial_;  // artificials may not re-enter
+      // Artificials still basic (at zero) would be free to drift positive
+      // during phase 2, silently violating their rows. Pivot them out with
+      // degenerate pivots; rows where no structural column can enter are
+      // redundant and their artificial provably stays at zero.
+      driveOutArtificials();
+    }
+    // ---- Phase 2: original objective.
+    const Status s2 = iterate(cost_, res.iterations);
+    res.status = s2;
+    if (s2 != Status::kOptimal) return res;
+
+    // Recover original-space solution.
+    std::vector<double> xs(cols_.size(), 0.0);
+    for (int i = 0; i < m_; ++i) xs[basis_[i]] = std::max(0.0, xb_[i]);
+    res.x.assign(p_.numVars(), 0.0);
+    double obj = 0.0;
+    for (int j = 0; j < p_.numVars(); ++j) {
+      res.x[j] = xs[j] + p_.lb_[j];
+      obj += p_.obj_[j] * res.x[j];
+    }
+    res.objective = obj;
+    return res;
+  }
+
+ private:
+  void build() {
+    const int n = p_.numVars();
+    // Row right-hand sides after shifting x by lb.
+    std::vector<double> rhs = p_.rhs_;
+    for (int i = 0; i < p_.numRows(); ++i) {
+      for (const Term& t : p_.rows_[i]) rhs[i] -= t.coef * p_.lb_[t.var];
+    }
+    // Upper-bound rows: x_j - lb_j <= ub_j - lb_j.
+    std::vector<int> ub_rows;
+    for (int j = 0; j < n; ++j) {
+      if (std::isfinite(p_.ub_[j])) ub_rows.push_back(j);
+    }
+    m_ = p_.numRows() + static_cast<int>(ub_rows.size());
+
+    // Assemble dense row data first (sign-normalized so b >= 0), then
+    // transpose into sparse columns.
+    std::vector<double> b(m_);
+    std::vector<Rel> rel(m_);
+    std::vector<std::vector<Term>> rows(m_);
+    for (int i = 0; i < p_.numRows(); ++i) {
+      rows[i] = p_.rows_[i];
+      rel[i] = p_.rels_[i];
+      b[i] = rhs[i];
+    }
+    for (std::size_t k = 0; k < ub_rows.size(); ++k) {
+      const int i = p_.numRows() + static_cast<int>(k);
+      const int j = ub_rows[k];
+      rows[i] = {Term{j, 1.0}};
+      rel[i] = Rel::kLe;
+      b[i] = p_.ub_[j] - p_.lb_[j];
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (b[i] < 0.0) {
+        b[i] = -b[i];
+        for (Term& t : rows[i]) t.coef = -t.coef;
+        rel[i] = (rel[i] == Rel::kLe)   ? Rel::kGe
+                 : (rel[i] == Rel::kGe) ? Rel::kLe
+                                        : Rel::kEq;
+      }
+    }
+    b_ = b;
+    normB_ = 0.0;
+    for (const double v : b_) normB_ = std::max(normB_, std::abs(v));
+
+    // Structural columns (possibly duplicate terms are merged here).
+    const double sgn = (p_.sense_ == Sense::kMaximize) ? -1.0 : 1.0;
+    cols_.assign(n, {});
+    cost_.assign(n, 0.0);
+    for (int j = 0; j < n; ++j) cost_[j] = sgn * p_.obj_[j];
+    std::vector<std::vector<Nz>> by_col(n);
+    for (int i = 0; i < m_; ++i) {
+      // Merge duplicate variables within the row.
+      std::sort(rows[i].begin(), rows[i].end(),
+                [](const Term& a, const Term& c) { return a.var < c.var; });
+      for (std::size_t k = 0; k < rows[i].size();) {
+        double sum = 0.0;
+        const int v = rows[i][k].var;
+        while (k < rows[i].size() && rows[i][k].var == v) sum += rows[i][k++].coef;
+        if (sum != 0.0) by_col[v].push_back({i, sum});
+      }
+    }
+    cols_ = std::move(by_col);
+
+    // Slack / surplus columns; build initial basis.
+    basis_.assign(m_, -1);
+    for (int i = 0; i < m_; ++i) {
+      if (rel[i] == Rel::kLe) {
+        cols_.push_back({Nz{i, 1.0}});
+        cost_.push_back(0.0);
+        basis_[i] = static_cast<int>(cols_.size()) - 1;
+      } else if (rel[i] == Rel::kGe) {
+        cols_.push_back({Nz{i, -1.0}});
+        cost_.push_back(0.0);
+      }
+    }
+    // Artificial columns for rows without a basic slack.
+    first_artificial_ = static_cast<int>(cols_.size());
+    num_artificial_ = 0;
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < 0) {
+        cols_.push_back({Nz{i, 1.0}});
+        cost_.push_back(0.0);
+        basis_[i] = static_cast<int>(cols_.size()) - 1;
+        ++num_artificial_;
+      }
+    }
+    banned_from_ = static_cast<int>(cols_.size());
+
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    xb_ = b_;
+    basic_flag_.assign(cols_.size(), 0);
+    for (int i = 0; i < m_; ++i) basic_flag_[basis_[i]] = 1;
+  }
+
+  /// Runs simplex pivots for the given phase cost vector. Shares basis state
+  /// across phases.
+  Status iterate(const std::vector<double>& cost, int& iter_count) {
+    const int ncols = static_cast<int>(cols_.size());
+    std::vector<double> y(m_);
+    std::vector<double> d(m_);
+    int stall = 0;
+    double last_obj = objValue(cost);
+    bool bland = false;
+    for (int it = 0; it < opt_.max_iterations; ++it, ++iter_count) {
+      if (it > 0 && it % opt_.refactor_every == 0) refactorize();
+      // y = c_B^T * Binv
+      for (int i = 0; i < m_; ++i) {
+        double s = 0.0;
+        for (int k = 0; k < m_; ++k) {
+          s += cost[basis_[k]] * binv_[static_cast<std::size_t>(k) * m_ + i];
+        }
+        y[i] = s;
+      }
+      // Pricing.
+      int enter = -1;
+      double best_rc = -opt_.opt_tol;
+      for (int j = 0; j < ncols; ++j) {
+        if (j >= banned_from_) break;
+        if (in_basis(j)) continue;
+        double rc = cost[j];
+        for (const Nz& nz : cols_[j]) rc -= y[nz.row] * nz.val;
+        if (bland) {
+          if (rc < -opt_.opt_tol) {
+            enter = j;
+            break;
+          }
+        } else if (rc < best_rc) {
+          best_rc = rc;
+          enter = j;
+        }
+      }
+      if (enter < 0) return Status::kOptimal;
+
+      // d = Binv * A_enter
+      std::fill(d.begin(), d.end(), 0.0);
+      for (const Nz& nz : cols_[enter]) {
+        const double v = nz.val;
+        const double* col = &binv_[nz.row];  // column nz.row, stride m_
+        for (int i = 0; i < m_; ++i) d[i] += v * col[static_cast<std::size_t>(i) * m_];
+      }
+      // Ratio test (prefer larger pivots among ties for stability).
+      int leave = -1;
+      double theta = kInfinity;
+      constexpr double kPivTol = 1e-9;
+      for (int i = 0; i < m_; ++i) {
+        if (d[i] > kPivTol) {
+          const double t = std::max(0.0, xb_[i]) / d[i];
+          if (t < theta - 1e-12 ||
+              (t < theta + 1e-12 && (leave < 0 || d[i] > d[leave]))) {
+            theta = t;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return Status::kUnbounded;
+
+      // Update basic solution and basis inverse (pivot on row `leave`).
+      for (int i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
+      xb_[leave] = theta;
+      applyPivot(enter, leave, d);
+
+      const double obj = objValue(cost);
+      if (obj < last_obj - 1e-12 * (1.0 + std::abs(last_obj))) {
+        stall = 0;
+        bland = false;
+      } else if (++stall > opt_.stall_limit) {
+        bland = true;  // anti-cycling
+      }
+      last_obj = obj;
+    }
+    return Status::kIterLimit;
+  }
+
+  /// Replaces basis_[leave] by `enter` and updates the basis inverse.
+  /// `d` must be Binv * A_enter with d[leave] != 0.
+  void applyPivot(int enter, int leave, const std::vector<double>& d) {
+    basic_flag_[basis_[leave]] = 0;
+    basic_flag_[enter] = 1;
+    basis_[leave] = enter;
+    const double piv = d[leave];
+    double* prow = &binv_[static_cast<std::size_t>(leave) * m_];
+    for (int k = 0; k < m_; ++k) prow[k] /= piv;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leave || d[i] == 0.0) continue;
+      double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      const double f = d[i];
+      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
+    }
+  }
+
+  /// Degenerate pivots removing basic artificials after phase 1. Rows whose
+  /// artificial cannot be replaced by any structural column are linearly
+  /// dependent; their Binv row keeps (Binv*A_j)[r] == 0 for every column,
+  /// so the artificial can never re-grow and is safe to leave in place.
+  void driveOutArtificials() {
+    std::vector<double> d(m_);
+    for (int r = 0; r < m_; ++r) {
+      if (basis_[r] < first_artificial_) continue;
+      const double* br = &binv_[static_cast<std::size_t>(r) * m_];
+      int enter = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (in_basis(j)) continue;
+        double alpha = 0.0;
+        for (const Nz& nz : cols_[j]) alpha += br[nz.row] * nz.val;
+        if (std::abs(alpha) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) continue;
+      std::fill(d.begin(), d.end(), 0.0);
+      for (const Nz& nz : cols_[enter]) {
+        const double v = nz.val;
+        const double* col = &binv_[nz.row];
+        for (int i = 0; i < m_; ++i) {
+          d[i] += v * col[static_cast<std::size_t>(i) * m_];
+        }
+      }
+      // x_B is unchanged: the artificial sits at zero, so theta == 0.
+      xb_[r] = 0.0;
+      applyPivot(enter, r, d);
+    }
+  }
+
+  [[nodiscard]] double objValue(const std::vector<double>& cost) const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) s += cost[basis_[i]] * std::max(0.0, xb_[i]);
+    return s;
+  }
+
+  [[nodiscard]] bool in_basis(int j) const { return basic_flag_[j] != 0; }
+
+  /// Rebuilds binv_ and xb_ from scratch via Gauss-Jordan on the basis
+  /// matrix; controls numerical drift of the product-form updates.
+  void refactorize() {
+    std::vector<double> B(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      for (const Nz& nz : cols_[basis_[k]]) {
+        B[static_cast<std::size_t>(nz.row) * m_ + k] = nz.val;
+      }
+    }
+    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    for (int col = 0; col < m_; ++col) {
+      int piv = col;
+      double best = std::abs(B[static_cast<std::size_t>(col) * m_ + col]);
+      for (int r = col + 1; r < m_; ++r) {
+        const double v = std::abs(B[static_cast<std::size_t>(r) * m_ + col]);
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      ensure(best > 1e-13, "simplex refactorization: singular basis");
+      if (piv != col) {
+        for (int k = 0; k < m_; ++k) {
+          std::swap(B[static_cast<std::size_t>(piv) * m_ + k],
+                    B[static_cast<std::size_t>(col) * m_ + k]);
+          std::swap(inv[static_cast<std::size_t>(piv) * m_ + k],
+                    inv[static_cast<std::size_t>(col) * m_ + k]);
+        }
+      }
+      const double pv = B[static_cast<std::size_t>(col) * m_ + col];
+      for (int k = 0; k < m_; ++k) {
+        B[static_cast<std::size_t>(col) * m_ + k] /= pv;
+        inv[static_cast<std::size_t>(col) * m_ + k] /= pv;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = B[static_cast<std::size_t>(r) * m_ + col];
+        if (f == 0.0) continue;
+        for (int k = 0; k < m_; ++k) {
+          B[static_cast<std::size_t>(r) * m_ + k] -=
+              f * B[static_cast<std::size_t>(col) * m_ + k];
+          inv[static_cast<std::size_t>(r) * m_ + k] -=
+              f * inv[static_cast<std::size_t>(col) * m_ + k];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    // xb = Binv * b
+    for (int i = 0; i < m_; ++i) {
+      double s = 0.0;
+      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+      for (int k = 0; k < m_; ++k) s += row[k] * b_[k];
+      xb_[i] = s;
+    }
+  }
+
+  const LpProblem& p_;
+  const SimplexOptions& opt_;
+  int m_ = 0;
+  double normB_ = 0.0;
+  std::vector<std::vector<Nz>> cols_;
+  std::vector<double> cost_;
+  std::vector<double> b_;
+  std::vector<double> xb_;
+  std::vector<int> basis_;
+  std::vector<char> basic_flag_;
+  std::vector<double> binv_;  // row-major m_ x m_
+  int first_artificial_ = 0;
+  int num_artificial_ = 0;
+  int banned_from_ = 0;
+};
+
+LpResult solve(const LpProblem& p, const SimplexOptions& opt) {
+  require(p.numVars() > 0, "LP has no variables");
+  SimplexSolver solver(p, opt);
+  LpResult res = solver.run();
+  if (res.status == Status::kOptimal && p.sense() == Sense::kMaximize) {
+    // SimplexSolver already reports the objective in original sense.
+  }
+  return res;
+}
+
+}  // namespace coyote::lp

@@ -1,0 +1,61 @@
+// Per-destination routing configurations (Sec. III).
+//
+// A routing configuration phi assigns, for every destination t and edge
+// e=(u,v), the fraction phi_t(e) of the t-destined flow entering u that is
+// forwarded on e. Ratios live on the edges of a per-destination DAG, which
+// makes the induced flows well-defined and loop-free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "graph/graph.hpp"
+
+namespace coyote::routing {
+
+class RoutingConfig {
+ public:
+  /// Creates an all-zero configuration over the given DAG set (one DAG per
+  /// destination, indexed by destination id; dags->size() must equal |V|).
+  RoutingConfig(const Graph& g, std::shared_ptr<const DagSet> dags);
+
+  /// Equal splitting over every DAG out-edge (the "uniform" starting point
+  /// of COYOTE's optimizer; also ECMP when the DAGs are shortest-path DAGs).
+  [[nodiscard]] static RoutingConfig uniform(const Graph& g,
+                                             std::shared_ptr<const DagSet> dags);
+
+  [[nodiscard]] const DagSet& dags() const { return *dags_; }
+  [[nodiscard]] std::shared_ptr<const DagSet> dagsPtr() const { return dags_; }
+  [[nodiscard]] int numNodes() const { return num_nodes_; }
+  [[nodiscard]] int numEdges() const { return num_edges_; }
+
+  [[nodiscard]] double ratio(NodeId t, EdgeId e) const {
+    return ratios_[index(t, e)];
+  }
+
+  /// Sets phi_t(e). `e` must belong to the DAG of `t`.
+  void setRatio(NodeId t, EdgeId e, double value);
+
+  /// Rescales out-ratios at every (destination, node) to sum to one.
+  /// Nodes whose out-ratios are all ~zero fall back to equal splitting over
+  /// their DAG out-edges (needed when deriving configs from LP flows whose
+  /// support does not cover every node).
+  void normalize(const Graph& g, double eps = 1e-12);
+
+  /// Checks structural validity: ratios are >= 0, live only on DAG edges,
+  /// and sum to 1 (within tol) at every non-destination node with DAG
+  /// out-edges that can reach the destination. Throws std::logic_error with
+  /// a description on violation.
+  void validate(const Graph& g, double tol = 1e-6) const;
+
+ private:
+  [[nodiscard]] std::size_t index(NodeId t, EdgeId e) const;
+
+  std::shared_ptr<const DagSet> dags_;
+  int num_nodes_;
+  int num_edges_;
+  std::vector<double> ratios_;  // [t * numEdges + e]
+};
+
+}  // namespace coyote::routing

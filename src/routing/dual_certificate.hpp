@@ -1,0 +1,106 @@
+// Dual certificates for the oblivious performance ratio (Theorem 5 /
+// Appendix C).
+//
+// Theorem 5: a routing phi has oblivious ratio <= r if there exist
+// nonnegative weights pi_e(h) (one per ordered pair of edges) with
+//
+//   R1:  sum_h pi_e(h) * c(h) <= r                        for every edge e
+//   R2:  f_st(u) * phi_t(u,v) <= c(e) * sum_k pi_e(a_k)   for every edge
+//        e = (u,v), demand (s,t) and s->t path (a_1..a_l) in the DAG of t.
+//
+// R2's exponentially many path constraints collapse to polynomially many by
+// introducing shortest-path distances p_e(i,t) under the weights pi_e
+// (triangle inequalities (14) in the paper). For a FIXED routing phi, the
+// minimal certifiable r is one LP per edge -- precisely the LP dual of the
+// worst-case "slave LP" of worst_case.hpp, so strong duality makes the two
+// computations coincide: the certificate is machine-checkable proof that
+// PERF(phi, all demands) <= r, while the slave LP exhibits a demand matrix
+// attaining it. Tests assert both sides agree.
+//
+// This header implements the fully oblivious case (demands bounded only by
+// routability within the DAG capacities), matching
+// findWorstCaseDemand(g, cfg, /*box=*/nullptr).
+#pragma once
+
+#include <vector>
+
+#include "lp/lp.hpp"
+#include "routing/config.hpp"
+#include "tm/uncertainty.hpp"
+
+namespace coyote::routing {
+
+/// Certificate for one edge: weights pi over all edges plus the certified
+/// utilization bound for that edge.
+struct EdgeCertificate {
+  EdgeId edge = kInvalidEdge;
+  double ratio = 0.0;              ///< certified bound on this edge's load
+  std::vector<double> pi;          ///< pi_e(h), indexed by EdgeId h
+};
+
+/// Full certificate: max over edges = certified oblivious ratio.
+struct ObliviousCertificate {
+  double ratio = 0.0;
+  std::vector<EdgeCertificate> edges;
+};
+
+/// Computes the minimal certifiable oblivious ratio of `cfg` by solving the
+/// Theorem 5 LP for every edge.
+[[nodiscard]] ObliviousCertificate certifyObliviousRatio(
+    const Graph& g, const RoutingConfig& cfg, const lp::SimplexOptions& = {});
+
+/// Independently validates a certificate against R1/R2 (recomputing the
+/// shortest pi_e-distances and every load coefficient from scratch).
+/// Returns true if the certificate proves PERF(cfg) <= cert.ratio + tol.
+[[nodiscard]] bool checkCertificate(const Graph& g, const RoutingConfig& cfg,
+                                    const ObliviousCertificate& cert,
+                                    double tol = 1e-6);
+
+// ---------------------------------------------------------------------------
+// Bounded demand sets (the paper's closing paragraph of Appendix C): when
+// demands are confined to the scaled box lambda*dmin <= d <= lambda*dmax,
+// the dualization gains slack weights s+/s- per demand pair:
+//
+//     l_st(e)/c(e) <= p_t(s) + s+_st - s-_st          (replaces (15))
+//     sum_st (dmax_st * s+_st - dmin_st * s-_st) <= 0 (the lambda column)
+//
+// with the node potentials p_t now free (they may go negative). The
+// certificate below stores the full dual solution per edge, and the checker
+// verifies every dual-feasibility condition mechanically, so a valid
+// certificate is machine-checkable proof (by weak LP duality) that the
+// within-box performance ratio of `cfg` is at most `ratio`.
+// ---------------------------------------------------------------------------
+
+/// Dual solution certifying a within-box bound for one edge.
+struct BoxEdgeCertificate {
+  EdgeId edge = kInvalidEdge;
+  double ratio = 0.0;
+  std::vector<double> pi;  ///< pi_e(h) >= 0, indexed by EdgeId
+  /// Node potentials per destination: p[t][v] (free sign); empty vector for
+  /// destinations without load on this edge.
+  std::vector<std::vector<double>> p;
+  /// Box slack weights per (s,t) pair, flattened s*n+t; >= 0.
+  std::vector<double> s_plus, s_minus;
+};
+
+struct BoxCertificate {
+  double ratio = 0.0;
+  std::vector<BoxEdgeCertificate> edges;
+};
+
+/// Minimal certifiable performance ratio of `cfg` over the uncertainty box
+/// (the dual of findWorstCaseDemand(g, cfg, &box); strong duality makes
+/// them agree, asserted in tests).
+[[nodiscard]] BoxCertificate certifyBoxRatio(const Graph& g,
+                                             const RoutingConfig& cfg,
+                                             const tm::DemandBounds& box,
+                                             const lp::SimplexOptions& = {});
+
+/// Mechanically verifies every dual-feasibility condition of `cert`.
+[[nodiscard]] bool checkBoxCertificate(const Graph& g,
+                                       const RoutingConfig& cfg,
+                                       const tm::DemandBounds& box,
+                                       const BoxCertificate& cert,
+                                       double tol = 1e-6);
+
+}  // namespace coyote::routing

@@ -1,0 +1,98 @@
+#include "routing/evaluator.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "routing/propagation.hpp"
+
+namespace coyote::routing {
+
+int PerformanceEvaluator::addMatrix(const tm::TrafficMatrix& d) {
+  require(d.numNodes() == g_.numNodes(), "matrix/graph size mismatch");
+  if (d.total() <= 0.0) return -1;
+  const double optu = (norm_ == Normalization::kWithinDags)
+                          ? optimalUtilization(g_, *dags_, d, lp_options_)
+                          : optimalUtilizationUnrestricted(g_, d, lp_options_);
+  if (optu <= 1e-12) return -1;
+  tm::TrafficMatrix scaled = d;
+  scaled.scale(1.0 / optu);
+  // Deduplicate: corner pools at margin 1 collapse to the base matrix, and
+  // the cutting-plane loop must detect an oracle returning a known matrix.
+  for (int i = 0; i < size(); ++i) {
+    if (pool_[i] == scaled) return -1;
+  }
+  pool_.push_back(std::move(scaled));
+  return size() - 1;
+}
+
+void PerformanceEvaluator::addPool(const std::vector<tm::TrafficMatrix>& pool) {
+  // Solve the normalization LPs concurrently (they are independent), then
+  // insert sequentially so ordering and deduplication stay deterministic.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(1u, hw), pool.size());
+  if (workers <= 1) {
+    for (const auto& d : pool) addMatrix(d);
+    return;
+  }
+  std::vector<double> optu(pool.size(), 0.0);
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < pool.size();
+             i = next.fetch_add(1)) {
+          optu[i] = (pool[i].total() <= 0.0) ? 0.0
+                    : (norm_ == Normalization::kWithinDags)
+                        ? optimalUtilization(g_, *dags_, pool[i], lp_options_)
+                        : optimalUtilizationUnrestricted(g_, pool[i],
+                                                         lp_options_);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (optu[i] <= 1e-12) continue;
+    tm::TrafficMatrix scaled = pool[i];
+    scaled.scale(1.0 / optu[i]);
+    bool dup = false;
+    for (const auto& existing : pool_) {
+      if (existing == scaled) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) pool_.push_back(std::move(scaled));
+  }
+}
+
+double PerformanceEvaluator::ratioFor(const RoutingConfig& cfg) const {
+  return worst(cfg).second;
+}
+
+std::pair<int, double> PerformanceEvaluator::worst(
+    const RoutingConfig& cfg) const {
+  int arg = -1;
+  double best = 0.0;
+  for (int i = 0; i < size(); ++i) {
+    const double u = maxLinkUtilization(g_, cfg, pool_[i]);
+    if (u > best) {
+      best = u;
+      arg = i;
+    }
+  }
+  return {arg, best};
+}
+
+}  // namespace coyote::routing

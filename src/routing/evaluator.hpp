@@ -1,0 +1,71 @@
+// Performance-ratio evaluation against a finite pool of demand matrices.
+//
+// PERF(phi, D) = max over D in the pool of MxLU(phi, D) / OPTU(D), where
+// OPTU is the demands-aware optimum within the same DAGs (the normalization
+// used by the paper's figures). Each matrix's OPTU is an LP solved once and
+// cached; evaluating a routing is then |pool| cheap propagations, which is
+// what makes the Table I sweep tractable. The same pool doubles as the
+// cutting-plane set of COYOTE's optimizer. For exact worst-case evaluation
+// over the whole box, see worst_case.hpp.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lp/lp.hpp"
+#include "routing/config.hpp"
+#include "routing/optu.hpp"
+#include "tm/uncertainty.hpp"
+
+namespace coyote::routing {
+
+/// How pool matrices are normalized to "optimum = 1".
+enum class Normalization {
+  kWithinDags,    ///< by OPTU restricted to the DAGs (the paper's figures)
+  kUnrestricted,  ///< by OPTU over all destination-based routings (Sec. IV)
+};
+
+class PerformanceEvaluator {
+ public:
+  PerformanceEvaluator(const Graph& g, std::shared_ptr<const DagSet> dags,
+                       lp::SimplexOptions lp_options = {},
+                       Normalization norm = Normalization::kWithinDags)
+      : g_(g), dags_(std::move(dags)), lp_options_(lp_options), norm_(norm) {
+    require(dags_ != nullptr, "null dag set");
+  }
+
+  /// Adds a matrix to the pool: computes OPTU within the DAGs once and
+  /// stores the matrix rescaled so its OPTU equals 1. Matrices with zero
+  /// demand, or equal (after normalization) to one already pooled, are
+  /// ignored. Returns the pool index, or -1 if ignored.
+  int addMatrix(const tm::TrafficMatrix& d);
+
+  /// Adds every matrix of a pool (see tm::cornerPool / tm::obliviousPool).
+  /// Normalization LPs for distinct matrices are independent and run on
+  /// multiple threads; results keep the pool's order.
+  void addPool(const std::vector<tm::TrafficMatrix>& pool);
+
+  [[nodiscard]] int size() const { return static_cast<int>(pool_.size()); }
+  /// i-th matrix, normalized to OPTU == 1.
+  [[nodiscard]] const tm::TrafficMatrix& matrix(int i) const {
+    return pool_.at(i);
+  }
+
+  /// PERF(cfg, pool) = max_i MxLU(cfg, matrix(i)).
+  [[nodiscard]] double ratioFor(const RoutingConfig& cfg) const;
+
+  /// (pool index, ratio) of the worst matrix for cfg; index -1 if empty.
+  [[nodiscard]] std::pair<int, double> worst(const RoutingConfig& cfg) const;
+
+  [[nodiscard]] const Graph& graph() const { return g_; }
+  [[nodiscard]] std::shared_ptr<const DagSet> dagsPtr() const { return dags_; }
+
+ private:
+  const Graph& g_;
+  std::shared_ptr<const DagSet> dags_;
+  lp::SimplexOptions lp_options_;
+  Normalization norm_;
+  std::vector<tm::TrafficMatrix> pool_;
+};
+
+}  // namespace coyote::routing

@@ -1,0 +1,158 @@
+#include "routing/optu.hpp"
+
+#include <string>
+#include <vector>
+
+namespace coyote::routing {
+namespace {
+
+/// Shared LP construction for the DAG-restricted and unrestricted variants.
+/// For destination t, `edgesFor(t)` yields the edges flow to t may use.
+class OptuBuilder {
+ public:
+  OptuBuilder(const Graph& g, const tm::TrafficMatrix& d) : g_(g), d_(d) {
+    require(d.numNodes() == g.numNodes(), "matrix/graph size mismatch");
+  }
+
+  /// Builds and solves; returns (alpha, flows) where flows[t] maps EdgeId to
+  /// the optimal aggregate flow toward t (empty for inactive destinations).
+  std::pair<double, std::vector<std::vector<double>>> solve(
+      const std::vector<std::vector<EdgeId>>& edges_per_dest,
+      const lp::SimplexOptions& opt) {
+    const int n = g_.numNodes();
+    lp::LpProblem p(lp::Sense::kMinimize);
+    const int alpha = p.addVar(1.0, 0.0, lp::kInfinity, "alpha");
+
+    // var_[t][e] = LP variable of flow toward t on edge e (or -1).
+    var_.assign(n, std::vector<int>(g_.numEdges(), -1));
+    std::vector<char> active(n, 0);
+    for (NodeId t = 0; t < n; ++t) {
+      for (NodeId s = 0; s < n; ++s) {
+        if (s != t && d_.at(s, t) > 0.0) {
+          active[t] = 1;
+          break;
+        }
+      }
+      if (!active[t]) continue;
+      for (const EdgeId e : edges_per_dest[t]) {
+        var_[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
+      }
+    }
+
+    // Conservation at every non-destination node.
+    for (NodeId t = 0; t < n; ++t) {
+      if (!active[t]) continue;
+      for (NodeId u = 0; u < n; ++u) {
+        if (u == t) continue;
+        std::vector<lp::Term> terms;
+        for (const EdgeId e : g_.outEdges(u)) {
+          if (var_[t][e] >= 0) terms.push_back({var_[t][e], 1.0});
+        }
+        for (const EdgeId e : g_.inEdges(u)) {
+          if (var_[t][e] >= 0) terms.push_back({var_[t][e], -1.0});
+        }
+        const double dem = d_.at(u, t);
+        if (terms.empty()) {
+          require(dem <= 0.0, "demand from " + g_.nodeName(u) + " to " +
+                                  g_.nodeName(t) +
+                                  " cannot be routed (no usable edges)");
+          continue;
+        }
+        p.addConstraint(std::move(terms), lp::Rel::kEq, dem);
+      }
+    }
+
+    // Capacity: sum_t g_t(e) - alpha*c(e) <= 0.
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+      std::vector<lp::Term> terms;
+      for (NodeId t = 0; t < n; ++t) {
+        if (active[t] && var_[t][e] >= 0) terms.push_back({var_[t][e], 1.0});
+      }
+      if (terms.empty()) continue;
+      terms.push_back({alpha, -g_.edge(e).capacity});
+      p.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
+    }
+
+    const lp::LpResult res = lp::solve(p, opt);
+    if (res.status != lp::Status::kOptimal) {
+      throw std::runtime_error("OPTU LP not optimal: " +
+                               lp::toString(res.status));
+    }
+    std::vector<std::vector<double>> flows(n);
+    for (NodeId t = 0; t < n; ++t) {
+      if (!active[t]) continue;
+      flows[t].assign(g_.numEdges(), 0.0);
+      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+        if (var_[t][e] >= 0) flows[t][e] = std::max(0.0, res.x[var_[t][e]]);
+      }
+    }
+    return {res.x[alpha], std::move(flows)};
+  }
+
+ private:
+  const Graph& g_;
+  const tm::TrafficMatrix& d_;
+  std::vector<std::vector<int>> var_;
+};
+
+std::vector<std::vector<EdgeId>> dagEdgeSets(const Graph& g,
+                                             const DagSet& dags) {
+  std::vector<std::vector<EdgeId>> sets(g.numNodes());
+  for (NodeId t = 0; t < g.numNodes(); ++t) sets[t] = dags[t].edges();
+  return sets;
+}
+
+std::vector<std::vector<EdgeId>> allEdgeSets(const Graph& g) {
+  std::vector<std::vector<EdgeId>> sets(g.numNodes());
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      if (g.edge(e).src != t) sets[t].push_back(e);
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+double optimalUtilization(const Graph& g, const DagSet& dags,
+                          const tm::TrafficMatrix& d,
+                          const lp::SimplexOptions& opt) {
+  require(static_cast<int>(dags.size()) == g.numNodes(), "bad dag set");
+  OptuBuilder builder(g, d);
+  return builder.solve(dagEdgeSets(g, dags), opt).first;
+}
+
+double optimalUtilizationUnrestricted(const Graph& g,
+                                      const tm::TrafficMatrix& d,
+                                      const lp::SimplexOptions& opt) {
+  OptuBuilder builder(g, d);
+  return builder.solve(allEdgeSets(g), opt).first;
+}
+
+OptimalRouting optimalRoutingForDemand(const Graph& g,
+                                       std::shared_ptr<const DagSet> dags,
+                                       const tm::TrafficMatrix& d,
+                                       const lp::SimplexOptions& opt) {
+  require(dags != nullptr, "null dag set");
+  OptuBuilder builder(g, d);
+  auto [alpha, flows] = builder.solve(dagEdgeSets(g, *dags), opt);
+
+  RoutingConfig cfg(g, dags);
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    if (flows[t].empty()) continue;
+    const Dag& dag = (*dags)[t];
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      if (u == t) continue;
+      const auto& out = dag.outEdges(u);
+      double sum = 0.0;
+      for (const EdgeId e : out) sum += flows[t][e];
+      if (sum <= 1e-12) continue;  // normalize() fills in uniform defaults
+      for (const EdgeId e : out) cfg.setRatio(t, e, flows[t][e] / sum);
+    }
+  }
+  cfg.normalize(g);
+  cfg.validate(g);
+  return {alpha, std::move(cfg)};
+}
+
+}  // namespace coyote::routing

@@ -1,0 +1,50 @@
+// Demands-aware optimal routing: OPTU(D) (Sec. III).
+//
+// OPTU(D) = min over per-destination routings of the maximum link
+// utilization when routing D. With destination-based routing this is a
+// plain LP over per-destination aggregate flows g_t(e):
+//
+//     min alpha
+//     s.t. for every destination t, node u != t:
+//              sum_out g_t - sum_in g_t = d(u,t)          (conservation)
+//          for every edge e:  sum_t g_t(e) <= alpha*c(e)  (capacity)
+//          g >= 0
+//
+// The DAG-restricted variant (flow variables only on DAG edges) computes
+// the "demands-aware optimum within the same DAGs" that the paper's figures
+// normalize by; the unrestricted variant is the formal OPTU over all
+// per-destination routings.
+#pragma once
+
+#include "lp/lp.hpp"
+#include "routing/config.hpp"
+#include "tm/traffic_matrix.hpp"
+
+namespace coyote::routing {
+
+/// OPTU restricted to the DAG set. Throws std::runtime_error if some demand
+/// cannot be routed inside its DAG at any utilization (disconnected DAG).
+[[nodiscard]] double optimalUtilization(const Graph& g, const DagSet& dags,
+                                        const tm::TrafficMatrix& d,
+                                        const lp::SimplexOptions& opt = {});
+
+/// OPTU over all destination-based routings (no DAG restriction).
+[[nodiscard]] double optimalUtilizationUnrestricted(
+    const Graph& g, const tm::TrafficMatrix& d,
+    const lp::SimplexOptions& opt = {});
+
+struct OptimalRouting {
+  double utilization = 0.0;
+  RoutingConfig routing;
+};
+
+/// OPTU within the DAGs plus the splitting ratios realizing it, derived from
+/// the optimal aggregate flows (phi_t(u,e) = g_t(e) / sum of g_t out of u).
+/// Nodes off the flow's support fall back to equal splitting -- the derived
+/// routing is exact for `d` and merely well-defined elsewhere. This is the
+/// paper's "Base" scheme: the demands-aware optimum for the base matrix.
+[[nodiscard]] OptimalRouting optimalRoutingForDemand(
+    const Graph& g, std::shared_ptr<const DagSet> dags,
+    const tm::TrafficMatrix& d, const lp::SimplexOptions& opt = {});
+
+}  // namespace coyote::routing

@@ -1,0 +1,27 @@
+#include "routing/stretch.hpp"
+
+#include "routing/propagation.hpp"
+
+namespace coyote::routing {
+
+double averageStretch(const Graph& g, const RoutingConfig& cfg,
+                      const RoutingConfig& reference) {
+  require(cfg.numNodes() == g.numNodes() &&
+              reference.numNodes() == g.numNodes(),
+          "config/graph size mismatch");
+  double sum = 0.0;
+  int count = 0;
+  for (NodeId s = 0; s < g.numNodes(); ++s) {
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      if (s == t) continue;
+      const double ref = expectedHopCount(g, reference, s, t);
+      if (ref <= 0.0) continue;  // unreachable under the reference
+      const double got = expectedHopCount(g, cfg, s, t);
+      sum += got / ref;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 1.0;
+}
+
+}  // namespace coyote::routing

@@ -1,0 +1,17 @@
+// Path-stretch metric (Fig. 11): the average, over all ordered pairs (s,t),
+// of the expected hop count of the s->t flow under a routing, divided by the
+// expected hop count under the reference (ECMP) routing. Values below 1 are
+// possible because ECMP follows weighted shortest paths, which need not be
+// hop-shortest (the paper observes this on BBNPlanet).
+#pragma once
+
+#include "routing/config.hpp"
+
+namespace coyote::routing {
+
+/// Average of E[hops under cfg] / E[hops under reference] across all pairs
+/// with positive reference hop count.
+[[nodiscard]] double averageStretch(const Graph& g, const RoutingConfig& cfg,
+                                    const RoutingConfig& reference);
+
+}  // namespace coyote::routing

@@ -1,0 +1,179 @@
+#include "routing/worst_case.hpp"
+
+#include <vector>
+
+#include "routing/propagation.hpp"
+
+namespace coyote::routing {
+namespace {
+
+/// l[t][s][e-slot] coefficients: fraction of the (s,t) demand placed on each
+/// DAG edge of t by cfg. Slots follow dags()[t].edges() ordering.
+struct LoadCoefficients {
+  // load[t*n+s] maps slot -> l_st(edge).
+  std::vector<std::vector<double>> per_pair;
+
+  LoadCoefficients(const Graph& g, const RoutingConfig& cfg) {
+    const int n = g.numNodes();
+    per_pair.assign(static_cast<std::size_t>(n) * n, {});
+    for (NodeId t = 0; t < n; ++t) {
+      const Dag& dag = cfg.dags()[t];
+      const auto& edges = dag.edges();
+      for (NodeId s = 0; s < n; ++s) {
+        if (s == t) continue;
+        const std::vector<double> f = sourceFractions(g, cfg, s, t);
+        auto& l = per_pair[static_cast<std::size_t>(t) * n + s];
+        l.assign(edges.size(), 0.0);
+        for (std::size_t k = 0; k < edges.size(); ++k) {
+          const EdgeId e = edges[k];
+          l[k] = f[g.edge(e).src] * cfg.ratio(t, e);
+        }
+      }
+    }
+  }
+};
+
+class SlaveLp {
+ public:
+  SlaveLp(const Graph& g, const RoutingConfig& cfg,
+          const tm::DemandBounds* box)
+      : g_(g), cfg_(cfg), box_(box), coef_(g, cfg) {}
+
+  WorstCaseResult solveForEdge(EdgeId target, const lp::SimplexOptions& opt) {
+    const int n = g_.numNodes();
+    lp::LpProblem p(lp::Sense::kMaximize);
+
+    // Demand variables. Oblivious case: only pairs whose flow crosses
+    // `target` can increase the objective; every other pair's optimal
+    // demand is zero (it merely consumes capacity), so we omit it.
+    // Box case: all pairs with dmax > 0 participate (they are lower-bounded
+    // by lambda*dmin and consume capacity).
+    std::vector<std::vector<int>> dvar(n, std::vector<int>(n, -1));
+    int lambda = -1;
+    int num_dvars = 0;
+    if (box_ != nullptr) lambda = p.addVar(0.0, 0.0, lp::kInfinity, "lambda");
+    const double target_cap = g_.edge(target).capacity;
+    for (NodeId t = 0; t < n; ++t) {
+      const auto& edges = cfg_.dags()[t].edges();
+      const auto slot = slotOf(edges, target);
+      for (NodeId s = 0; s < n; ++s) {
+        if (s == t) continue;
+        const double l =
+            slot ? coef_.per_pair[static_cast<std::size_t>(t) * n + s][*slot]
+                 : 0.0;
+        const bool in_box = box_ != nullptr && box_->hi.at(s, t) > 0.0;
+        if (l <= 0.0 && !in_box) continue;
+        dvar[s][t] = p.addVar(l / target_cap, 0.0, lp::kInfinity);
+        ++num_dvars;
+        if (box_ != nullptr) {
+          // d <= lambda*dmax ; d >= lambda*dmin.
+          p.addConstraint({{dvar[s][t], 1.0}, {lambda, -box_->hi.at(s, t)}},
+                          lp::Rel::kLe, 0.0);
+          if (box_->lo.at(s, t) > 0.0) {
+            p.addConstraint({{dvar[s][t], 1.0}, {lambda, -box_->lo.at(s, t)}},
+                            lp::Rel::kGe, 0.0);
+          }
+        }
+      }
+    }
+
+    // No demand can load this edge at all (e.g., every destination routes
+    // zero traffic across it): the worst case is trivially 0.
+    if (num_dvars == 0) return {tm::TrafficMatrix(n), 0.0, target};
+
+    // Witness flows g_t(e) on DAG edges for destinations with any demand
+    // variable; conservation ties them to d.
+    std::vector<std::vector<int>> gvar(n);
+    for (NodeId t = 0; t < n; ++t) {
+      bool any = false;
+      for (NodeId s = 0; s < n; ++s) any = any || dvar[s][t] >= 0;
+      if (!any) continue;
+      const auto& edges = cfg_.dags()[t].edges();
+      gvar[t].assign(g_.numEdges(), -1);
+      for (const EdgeId e : edges) {
+        gvar[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
+      }
+      const Dag& dag = cfg_.dags()[t];
+      for (NodeId u = 0; u < n; ++u) {
+        if (u == t) continue;
+        std::vector<lp::Term> terms;
+        for (const EdgeId e : dag.outEdges(u)) terms.push_back({gvar[t][e], 1.0});
+        for (const EdgeId e : dag.inEdges(u)) terms.push_back({gvar[t][e], -1.0});
+        if (dvar[u][t] >= 0) {
+          terms.push_back({dvar[u][t], -1.0});
+        } else if (terms.empty()) {
+          continue;
+        }
+        p.addConstraint(std::move(terms), lp::Rel::kEq, 0.0);
+      }
+    }
+
+    // Capacity of every edge.
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+      std::vector<lp::Term> terms;
+      for (NodeId t = 0; t < n; ++t) {
+        if (!gvar[t].empty() && gvar[t][e] >= 0) {
+          terms.push_back({gvar[t][e], 1.0});
+        }
+      }
+      if (terms.empty()) continue;
+      p.addConstraint(std::move(terms), lp::Rel::kLe, g_.edge(e).capacity);
+    }
+
+    const lp::LpResult res = lp::solve(p, opt);
+    WorstCaseResult out{tm::TrafficMatrix(n), 0.0, target};
+    if (res.status != lp::Status::kOptimal) {
+      // Degenerate cases (no demand can cross the edge) report ratio 0.
+      return out;
+    }
+    out.ratio = res.objective;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (dvar[s][t] >= 0 && res.x[dvar[s][t]] > 1e-12) {
+          out.demand.set(s, t, res.x[dvar[s][t]]);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::optional<std::size_t> slotOf(const std::vector<EdgeId>& edges,
+                                           EdgeId e) {
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+      if (edges[k] == e) return k;
+    }
+    return std::nullopt;
+  }
+
+  const Graph& g_;
+  const RoutingConfig& cfg_;
+  const tm::DemandBounds* box_;
+  LoadCoefficients coef_;
+};
+
+}  // namespace
+
+WorstCaseResult findWorstCaseDemandForEdge(const Graph& g,
+                                           const RoutingConfig& cfg,
+                                           EdgeId edge,
+                                           const tm::DemandBounds* box,
+                                           const lp::SimplexOptions& opt) {
+  require(edge >= 0 && edge < g.numEdges(), "edge out of range");
+  SlaveLp lp(g, cfg, box);
+  return lp.solveForEdge(edge, opt);
+}
+
+WorstCaseResult findWorstCaseDemand(const Graph& g, const RoutingConfig& cfg,
+                                    const tm::DemandBounds* box,
+                                    const lp::SimplexOptions& opt) {
+  SlaveLp lp(g, cfg, box);
+  WorstCaseResult best{tm::TrafficMatrix(g.numNodes()), -1.0, kInvalidEdge};
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    WorstCaseResult r = lp.solveForEdge(e, opt);
+    if (r.ratio > best.ratio) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace coyote::routing

@@ -1,0 +1,50 @@
+// Exact worst-case-demand oracle (the "slave LP" of Sec. IV / Appendix C).
+//
+// Given a fixed routing phi, the demand matrix maximizing the utilization of
+// an edge e -- among all matrices routable within the capacities of the
+// per-destination DAGs (i.e., OPTU <= 1 after rescaling) and, optionally,
+// inside the scaled uncertainty box  lambda*dmin <= d <= lambda*dmax -- is
+// found by one LP per edge:
+//
+//     max  sum_st l_st(e) * d(s,t) / c(e)
+//     s.t. g_t routes d inside the DAGs           (conservation, equality)
+//          sum_t g_t(a) <= c(a)   for every a     (capacity)
+//          lambda*dmin <= d <= lambda*dmax        (box case only)
+//          d, g, lambda >= 0
+//
+// where l_st(e) = f_st(u) * phi_t(e) is the fraction of the (s,t) demand
+// that phi places on e. The max over all edges is the exact performance
+// ratio PERF(phi, D) relative to the in-DAG optimum.
+//
+// Cost: one LP with O(|V||E|) variables per edge. Exact evaluation is
+// practical for small/medium networks and is used by tests and ablations;
+// the figure benches default to the corner-pool evaluator (see
+// evaluator.hpp) whose pools the cutting-plane optimizer also consumes.
+#pragma once
+
+#include <optional>
+
+#include "lp/lp.hpp"
+#include "routing/config.hpp"
+#include "tm/uncertainty.hpp"
+
+namespace coyote::routing {
+
+struct WorstCaseResult {
+  tm::TrafficMatrix demand;       ///< worst-case matrix (OPTU <= 1 scale)
+  double ratio = 0.0;             ///< = MxLU(phi, demand) = performance ratio
+  EdgeId edge = kInvalidEdge;     ///< the edge attaining it
+};
+
+/// Worst case over all demand matrices (box == nullptr, the oblivious case)
+/// or over the scaled uncertainty box.
+[[nodiscard]] WorstCaseResult findWorstCaseDemand(
+    const Graph& g, const RoutingConfig& cfg,
+    const tm::DemandBounds* box = nullptr, const lp::SimplexOptions& opt = {});
+
+/// Worst case for a single edge (exposed for tests and incremental use).
+[[nodiscard]] WorstCaseResult findWorstCaseDemandForEdge(
+    const Graph& g, const RoutingConfig& cfg, EdgeId edge,
+    const tm::DemandBounds* box = nullptr, const lp::SimplexOptions& opt = {});
+
+}  // namespace coyote::routing

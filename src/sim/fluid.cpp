@@ -1,0 +1,143 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coyote::sim {
+
+FluidNetwork::FluidNetwork(const Graph& g) : g_(g) {}
+
+int FluidNetwork::prefixSlot(PrefixId p) const {
+  for (std::size_t i = 0; i < prefix_ids_.size(); ++i) {
+    if (prefix_ids_[i] == p) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FluidNetwork::ensurePrefix(PrefixId p) {
+  const int slot = prefixSlot(p);
+  if (slot >= 0) return slot;
+  prefix_ids_.push_back(p);
+  PrefixState st;
+  st.splits.assign(g_.numNodes(), {});
+  prefixes_.push_back(std::move(st));
+  return static_cast<int>(prefix_ids_.size()) - 1;
+}
+
+void FluidNetwork::setPrefixOwner(PrefixId prefix, NodeId owner) {
+  require(owner >= 0 && owner < g_.numNodes(), "owner out of range");
+  prefixes_[ensurePrefix(prefix)].owner = owner;
+}
+
+void FluidNetwork::setForwarding(PrefixId prefix, NodeId node,
+                                 std::vector<std::pair<EdgeId, double>> splits) {
+  require(node >= 0 && node < g_.numNodes(), "node out of range");
+  double sum = 0.0;
+  for (const auto& [e, f] : splits) {
+    require(e >= 0 && e < g_.numEdges(), "edge out of range");
+    require(g_.edge(e).src == node, "forwarding edge must leave the node");
+    require(f >= 0.0, "negative split fraction");
+    sum += f;
+  }
+  require(splits.empty() || std::abs(sum - 1.0) <= 1e-6,
+          "split fractions must sum to 1");
+  prefixes_[ensurePrefix(prefix)].splits[node] = std::move(splits);
+}
+
+void FluidNetwork::addFlow(const Flow& flow) {
+  require(flow.src >= 0 && flow.src < g_.numNodes(), "flow src out of range");
+  require(flow.rate >= 0.0, "negative flow rate");
+  require(flow.end >= flow.start, "flow ends before it starts");
+  require(prefixSlot(flow.prefix) >= 0, "flow toward unknown prefix");
+  flows_.push_back(flow);
+}
+
+std::vector<StepStats> FluidNetwork::run(double duration, double dt) const {
+  require(duration > 0.0 && dt > 0.0, "bad duration/step");
+
+  // Topological order per prefix over its positive-split edges (throws on a
+  // forwarding loop).
+  std::vector<std::vector<NodeId>> topo(prefixes_.size());
+  for (std::size_t pi = 0; pi < prefixes_.size(); ++pi) {
+    const auto& st = prefixes_[pi];
+    require(st.owner != kInvalidNode, "prefix without an owner");
+    std::vector<int> indeg(g_.numNodes(), 0);
+    for (NodeId u = 0; u < g_.numNodes(); ++u) {
+      for (const auto& [e, f] : st.splits[u]) {
+        if (f > 0.0) ++indeg[g_.edge(e).dst];
+      }
+    }
+    std::vector<NodeId> queue;
+    for (NodeId v = 0; v < g_.numNodes(); ++v) {
+      if (indeg[v] == 0) queue.push_back(v);
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const auto& [e, f] : st.splits[u]) {
+        if (f > 0.0 && --indeg[g_.edge(e).dst] == 0) {
+          queue.push_back(g_.edge(e).dst);
+        }
+      }
+    }
+    require(static_cast<int>(queue.size()) == g_.numNodes(),
+            "forwarding loop for a prefix");
+    topo[pi] = std::move(queue);
+  }
+
+  std::vector<StepStats> stats;
+  const int steps = static_cast<int>(std::ceil(duration / dt - 1e-9));
+  std::vector<double> factor(g_.numEdges(), 1.0);  // delivered fraction
+  std::vector<double> arrivals(g_.numEdges(), 0.0);
+  std::vector<double> inflow(g_.numNodes(), 0.0);
+
+  for (int s = 0; s < steps; ++s) {
+    StepStats st;
+    st.time = s * dt;
+
+    // Injections active during this step.
+    std::vector<std::vector<double>> inject(prefixes_.size(),
+                                            std::vector<double>(g_.numNodes(), 0.0));
+    for (const Flow& f : flows_) {
+      const double overlap =
+          std::max(0.0, std::min(f.end, st.time + dt) - std::max(f.start, st.time));
+      if (overlap <= 0.0) continue;
+      const double rate = f.rate * overlap / dt;
+      inject[prefixSlot(f.prefix)][f.src] += rate;
+      st.sent += rate * dt;
+    }
+
+    // Fixed point on link drop factors (links couple the prefixes).
+    std::fill(factor.begin(), factor.end(), 1.0);
+    double delivered_rate = 0.0;
+    for (int round = 0; round < 60; ++round) {
+      std::fill(arrivals.begin(), arrivals.end(), 0.0);
+      delivered_rate = 0.0;
+      for (std::size_t pi = 0; pi < prefixes_.size(); ++pi) {
+        const auto& pre = prefixes_[pi];
+        std::copy(inject[pi].begin(), inject[pi].end(), inflow.begin());
+        for (const NodeId u : topo[pi]) {
+          if (u == pre.owner) continue;
+          for (const auto& [e, frac] : pre.splits[u]) {
+            const double offered = inflow[u] * frac;
+            arrivals[e] += offered;
+            inflow[g_.edge(e).dst] += offered * factor[e];
+          }
+        }
+        delivered_rate += inflow[pre.owner];
+      }
+      double worst_adjust = 0.0;
+      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+        const double want =
+            arrivals[e] > g_.edge(e).capacity ? g_.edge(e).capacity / arrivals[e] : 1.0;
+        worst_adjust = std::max(worst_adjust, std::abs(want - factor[e]));
+        factor[e] = want;
+      }
+      if (worst_adjust < 1e-12) break;
+    }
+    st.delivered = delivered_rate * dt;
+    stats.push_back(st);
+  }
+  return stats;
+}
+
+}  // namespace coyote::sim

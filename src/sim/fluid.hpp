@@ -1,0 +1,78 @@
+// Flow-level (fluid) network emulator -- the stand-in for the paper's
+// mininet/iperf3 prototype testbed (Sec. VII, Fig. 12).
+//
+// Constant-bit-rate flows are routed by per-prefix splitting tables; every
+// link delivers at most its capacity and drops the excess proportionally
+// across the traffic traversing it. Because different prefixes share links,
+// the drop factors are computed by a fixed-point iteration (converges
+// geometrically for DAG routing). The emulator reports sent/delivered
+// traffic per time step, from which packet-drop-rate curves like Fig. 12b
+// are produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote::sim {
+
+using PrefixId = std::int32_t;
+
+/// A constant-rate flow from `src` toward `prefix` during [start, end).
+struct Flow {
+  NodeId src = kInvalidNode;
+  PrefixId prefix = -1;
+  double rate = 0.0;  ///< traffic units per second
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Per-step accounting.
+struct StepStats {
+  double time = 0.0;       ///< start of the step
+  double sent = 0.0;       ///< traffic offered during the step
+  double delivered = 0.0;  ///< traffic that reached its prefix owner
+
+  [[nodiscard]] double dropRate() const {
+    return sent > 0.0 ? 1.0 - delivered / sent : 0.0;
+  }
+};
+
+class FluidNetwork {
+ public:
+  explicit FluidNetwork(const Graph& g);
+
+  /// Declares the router that terminates traffic for `prefix`.
+  void setPrefixOwner(PrefixId prefix, NodeId owner);
+
+  /// Installs the forwarding entry of `node` for `prefix`: traffic is split
+  /// over `splits` (fractions must sum to ~1; edges must leave `node`).
+  void setForwarding(PrefixId prefix, NodeId node,
+                     std::vector<std::pair<EdgeId, double>> splits);
+
+  void addFlow(const Flow& flow);
+
+  /// Runs the emulation for `duration` seconds in steps of `dt`.
+  /// Forwarding must be loop-free per prefix (checked; throws otherwise).
+  [[nodiscard]] std::vector<StepStats> run(double duration, double dt) const;
+
+  [[nodiscard]] const Graph& graph() const { return g_; }
+
+ private:
+  struct PrefixState {
+    NodeId owner = kInvalidNode;
+    // splits[node] = list of (edge, fraction).
+    std::vector<std::vector<std::pair<EdgeId, double>>> splits;
+  };
+
+  const Graph& g_;
+  std::vector<PrefixId> prefix_ids_;
+  std::vector<PrefixState> prefixes_;
+  std::vector<Flow> flows_;
+
+  [[nodiscard]] int prefixSlot(PrefixId p) const;
+  int ensurePrefix(PrefixId p);
+};
+
+}  // namespace coyote::sim

@@ -1,0 +1,67 @@
+#include "tm/traffic_matrix.hpp"
+
+#include <random>
+
+namespace coyote::tm {
+
+std::vector<std::pair<NodeId, NodeId>> TrafficMatrix::nonZeroPairs() const {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId s = 0; s < n_; ++s) {
+    for (NodeId t = 0; t < n_; ++t) {
+      if (s != t && at(s, t) > 0.0) pairs.emplace_back(s, t);
+    }
+  }
+  return pairs;
+}
+
+TrafficMatrix gravityMatrix(const Graph& g, double total) {
+  require(total >= 0.0, "negative total");
+  const int n = g.numNodes();
+  TrafficMatrix tm(n);
+  std::vector<double> mass(n);
+  for (NodeId v = 0; v < n; ++v) mass[v] = g.outCapacity(v);
+  double sum = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      sum += mass[s] * mass[t];
+    }
+  }
+  if (sum <= 0.0) return tm;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      tm.set(s, t, total * mass[s] * mass[t] / sum);
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix bimodalMatrix(const Graph& g, const BimodalParams& params,
+                            std::uint64_t seed, double total) {
+  require(params.large_fraction >= 0.0 && params.large_fraction <= 1.0,
+          "large_fraction out of [0,1]");
+  require(total >= 0.0, "negative total");
+  const int n = g.numNodes();
+  TrafficMatrix tm(n);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::normal_distribution<double> small(params.small_mean,
+                                         params.small_stddev);
+  std::normal_distribution<double> large(params.large_mean,
+                                         params.large_stddev);
+  double sum = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const bool is_large = u01(rng) < params.large_fraction;
+      const double v = std::max(0.0, is_large ? large(rng) : small(rng));
+      tm.set(s, t, v);
+      sum += v;
+    }
+  }
+  if (sum > 0.0) tm.scale(total / sum);
+  return tm;
+}
+
+}  // namespace coyote::tm

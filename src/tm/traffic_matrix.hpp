@@ -1,0 +1,83 @@
+// Traffic (demand) matrices and the base-demand models of Sec. VI-B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote::tm {
+
+/// Dense |V| x |V| demand matrix; diagonal is always zero.
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(int num_nodes)
+      : n_(num_nodes), d_(static_cast<std::size_t>(num_nodes) * num_nodes, 0.0) {
+    require(num_nodes >= 0, "negative node count");
+  }
+
+  [[nodiscard]] int numNodes() const { return n_; }
+
+  [[nodiscard]] double at(NodeId s, NodeId t) const { return d_[idx(s, t)]; }
+
+  void set(NodeId s, NodeId t, double v) {
+    require(v >= 0.0, "negative demand");
+    require(s != t, "diagonal demand must stay zero");
+    d_[idx(s, t)] = v;
+  }
+
+  void scale(double f) {
+    require(f >= 0.0, "negative scale");
+    for (double& v : d_) v *= f;
+  }
+
+  [[nodiscard]] double total() const {
+    double s = 0.0;
+    for (const double v : d_) s += v;
+    return s;
+  }
+
+  [[nodiscard]] double maxEntry() const {
+    double m = 0.0;
+    for (const double v : d_) m = std::max(m, v);
+    return m;
+  }
+
+  /// (s,t) pairs with positive demand.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> nonZeroPairs() const;
+
+  friend bool operator==(const TrafficMatrix& a, const TrafficMatrix& b) {
+    return a.n_ == b.n_ && a.d_ == b.d_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId s, NodeId t) const {
+    require(s >= 0 && s < n_ && t >= 0 && t < n_, "demand index out of range");
+    return static_cast<std::size_t>(s) * n_ + t;
+  }
+  int n_;
+  std::vector<double> d_;
+};
+
+/// Gravity model [22]: d(s,t) proportional to outCapacity(s)*outCapacity(t),
+/// normalized so the matrix total equals `total`.
+[[nodiscard]] TrafficMatrix gravityMatrix(const Graph& g, double total = 1.0);
+
+struct BimodalParams {
+  double large_fraction = 0.2;  ///< fraction of pairs in the "elephant" mode
+  double small_mean = 1.0;
+  double small_stddev = 0.25;
+  double large_mean = 10.0;
+  double large_stddev = 2.5;
+};
+
+/// Bimodal model [23]: a small fraction of router pairs exchange large
+/// (Gaussian) flows, the rest exchange small flows. Values truncated at 0.
+/// Deterministic in (g, params, seed); normalized so the total equals
+/// `total`.
+[[nodiscard]] TrafficMatrix bimodalMatrix(const Graph& g,
+                                          const BimodalParams& params,
+                                          std::uint64_t seed,
+                                          double total = 1.0);
+
+}  // namespace coyote::tm

@@ -1,0 +1,181 @@
+#include "tm/uncertainty.hpp"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+namespace coyote::tm {
+
+DemandBounds::DemandBounds(TrafficMatrix lo_in, TrafficMatrix hi_in)
+    : lo(std::move(lo_in)), hi(std::move(hi_in)) {
+  require(lo.numNodes() == hi.numNodes(), "bounds size mismatch");
+  const int n = lo.numNodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      require(lo.at(s, t) <= hi.at(s, t) + 1e-12,
+              "lower bound above upper bound");
+    }
+  }
+}
+
+bool DemandBounds::contains(const TrafficMatrix& d, double tol) const {
+  if (d.numNodes() != numNodes()) return false;
+  const int n = numNodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      if (d.at(s, t) < lo.at(s, t) - tol || d.at(s, t) > hi.at(s, t) + tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+DemandBounds marginBounds(const TrafficMatrix& base, double margin) {
+  require(margin >= 1.0, "margin must be >= 1");
+  TrafficMatrix lo = base;
+  TrafficMatrix hi = base;
+  lo.scale(1.0 / margin);
+  hi.scale(margin);
+  return DemandBounds(std::move(lo), std::move(hi));
+}
+
+std::vector<TrafficMatrix> cornerPool(const DemandBounds& box,
+                                      const PoolOptions& opt) {
+  const int n = box.numNodes();
+  std::vector<TrafficMatrix> pool;
+
+  pool.push_back(box.hi);  // the all-hi corner
+
+  // Hotspot nodes, optionally capped to the heaviest ones.
+  const auto hotspotNodes = [&](bool by_destination) {
+    std::vector<std::pair<double, NodeId>> weight(n);
+    for (NodeId v = 0; v < n; ++v) {
+      double w = 0.0;
+      for (NodeId o = 0; o < n; ++o) {
+        if (o == v) continue;
+        w += by_destination ? box.hi.at(o, v) : box.hi.at(v, o);
+      }
+      weight[v] = {w, v};
+    }
+    std::sort(weight.begin(), weight.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<NodeId> nodes;
+    const int limit = (opt.max_hotspots > 0 && opt.max_hotspots < n)
+                          ? opt.max_hotspots
+                          : n;
+    for (int i = 0; i < limit; ++i) {
+      if (weight[i].first > 0.0) nodes.push_back(weight[i].second);
+    }
+    std::sort(nodes.begin(), nodes.end());  // deterministic order
+    return nodes;
+  };
+
+  if (opt.destination_hotspots) {
+    for (const NodeId t : hotspotNodes(/*by_destination=*/true)) {
+      TrafficMatrix d = box.lo;
+      for (NodeId s = 0; s < n; ++s) {
+        if (s != t) d.set(s, t, box.hi.at(s, t));
+      }
+      pool.push_back(std::move(d));
+    }
+  }
+  if (opt.source_hotspots) {
+    for (const NodeId s : hotspotNodes(/*by_destination=*/false)) {
+      TrafficMatrix d = box.lo;
+      for (NodeId t = 0; t < n; ++t) {
+        if (s != t) d.set(s, t, box.hi.at(s, t));
+      }
+      pool.push_back(std::move(d));
+    }
+  }
+  if (opt.pair_hotspots > 0) {
+    std::vector<std::pair<double, std::pair<NodeId, NodeId>>> pairs;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s != t && box.hi.at(s, t) > 0.0) {
+          pairs.push_back({box.hi.at(s, t), {s, t}});
+        }
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const int limit = std::min<int>(opt.pair_hotspots,
+                                    static_cast<int>(pairs.size()));
+    for (int k = 0; k < limit; ++k) {
+      TrafficMatrix d = box.lo;
+      d.set(pairs[k].second.first, pairs[k].second.second, pairs[k].first);
+      pool.push_back(std::move(d));
+    }
+  }
+
+  std::mt19937_64 rng(opt.seed);
+  std::bernoulli_distribution coin(0.5);
+  for (int k = 0; k < opt.random_corners; ++k) {
+    TrafficMatrix d(n);
+    bool any = false;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const double v = coin(rng) ? box.hi.at(s, t) : box.lo.at(s, t);
+        if (v > 0.0) any = true;
+        d.set(s, t, v);
+      }
+    }
+    if (any) pool.push_back(std::move(d));
+  }
+  return pool;
+}
+
+std::vector<TrafficMatrix> obliviousPool(int num_nodes,
+                                         const ObliviousPoolOptions& opt) {
+  require(num_nodes >= 2, "need >= 2 nodes");
+  std::vector<TrafficMatrix> pool;
+  if (opt.destination_concentrated) {
+    for (NodeId t = 0; t < num_nodes; ++t) {
+      TrafficMatrix d(num_nodes);
+      for (NodeId s = 0; s < num_nodes; ++s) {
+        if (s != t) d.set(s, t, 1.0);
+      }
+      pool.push_back(std::move(d));
+    }
+  }
+  if (opt.source_concentrated) {
+    for (NodeId s = 0; s < num_nodes; ++s) {
+      TrafficMatrix d(num_nodes);
+      for (NodeId t = 0; t < num_nodes; ++t) {
+        if (s != t) d.set(s, t, 1.0);
+      }
+      pool.push_back(std::move(d));
+    }
+  }
+  if (opt.uniform) {
+    TrafficMatrix d(num_nodes);
+    for (NodeId s = 0; s < num_nodes; ++s) {
+      for (NodeId t = 0; t < num_nodes; ++t) {
+        if (s != t) d.set(s, t, 1.0);
+      }
+    }
+    pool.push_back(std::move(d));
+  }
+  std::mt19937_64 rng(opt.seed);
+  std::uniform_int_distribution<int> pick(0, num_nodes - 1);
+  for (int k = 0; k < opt.random_sparse; ++k) {
+    TrafficMatrix d(num_nodes);
+    int placed = 0;
+    int guard = 100 * opt.sparse_active_pairs;
+    while (placed < opt.sparse_active_pairs && guard-- > 0) {
+      const NodeId s = pick(rng);
+      const NodeId t = pick(rng);
+      if (s == t || d.at(s, t) > 0.0) continue;
+      d.set(s, t, 1.0);
+      ++placed;
+    }
+    if (placed > 0) pool.push_back(std::move(d));
+  }
+  return pool;
+}
+
+}  // namespace coyote::tm

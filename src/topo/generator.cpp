@@ -1,0 +1,87 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace coyote::topo {
+
+Graph ring(int n) {
+  require(n >= 3, "ring needs >= 3 nodes");
+  Graph g;
+  for (int i = 0; i < n; ++i) g.addNode("r" + std::to_string(i));
+  for (int i = 0; i < n; ++i) g.addLink(i, (i + 1) % n, 1.0);
+  return g;
+}
+
+Graph grid(int rows, int cols) {
+  require(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
+  Graph g;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.addNode("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.addLink(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) g.addLink(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph fullMesh(int n) {
+  require(n >= 2, "mesh needs >= 2 nodes");
+  Graph g;
+  for (int i = 0; i < n; ++i) g.addNode("m" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.addLink(i, j, 1.0);
+  }
+  return g;
+}
+
+Graph randomBackbone(int n, double avg_degree, std::uint64_t seed) {
+  require(n >= 4, "backbone needs >= 4 nodes");
+  require(avg_degree >= 2.0 && avg_degree <= n - 1.0,
+          "avg_degree out of range");
+  std::mt19937_64 rng(seed);
+  Graph g;
+  for (int i = 0; i < n; ++i) g.addNode("b" + std::to_string(i));
+
+  std::set<std::pair<int, int>> used;
+  const auto addLinkOnce = [&](int a, int b, double cap) {
+    const std::pair<int, int> key = std::minmax(a, b);
+    if (a == b || used.count(key)) return false;
+    used.insert(key);
+    g.addLink(a, b, cap);
+    return true;
+  };
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const auto randomCap = [&] {
+    const double u = u01(rng);
+    return u < 0.3 ? 1.0 : (u < 0.7 ? 2.5 : 10.0);
+  };
+
+  // Hamiltonian ring over a random permutation -> 2-edge-connected.
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (int i = 0; i < n; ++i) {
+    addLinkOnce(perm[i], perm[(i + 1) % n], randomCap());
+  }
+
+  const int target_links = static_cast<int>(avg_degree * n / 2.0 + 0.5);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  int guard = 50 * n * n;
+  while (static_cast<int>(used.size()) < target_links && guard-- > 0) {
+    addLinkOnce(pick(rng), pick(rng), randomCap());
+  }
+  g.setInverseCapacityWeights();
+  return g;
+}
+
+}  // namespace coyote::topo

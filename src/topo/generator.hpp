@@ -1,0 +1,26 @@
+// Seeded synthetic topology generators for tests, property sweeps and
+// micro-benchmarks. All generators are deterministic in their arguments.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace coyote::topo {
+
+/// Bidirectional ring of n >= 3 nodes, unit capacities.
+[[nodiscard]] Graph ring(int n);
+
+/// rows x cols grid (bidirectional links), unit capacities.
+[[nodiscard]] Graph grid(int rows, int cols);
+
+/// Complete graph on n nodes, unit capacities.
+[[nodiscard]] Graph fullMesh(int n);
+
+/// Random 2-edge-connected backbone: a Hamiltonian ring plus random chords
+/// until the average node degree reaches `avg_degree`. Capacities drawn from
+/// {1, 2.5, 10}. Deterministic in (n, avg_degree, seed).
+[[nodiscard]] Graph randomBackbone(int n, double avg_degree,
+                                   std::uint64_t seed);
+
+}  // namespace coyote::topo

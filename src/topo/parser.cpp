@@ -1,0 +1,79 @@
+#include "topo/parser.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace coyote::topo {
+
+Graph parseTopology(std::istream& in) {
+  Graph g;
+  std::map<std::string, NodeId> by_name;
+  const auto getNode = [&](const std::string& name) {
+    const auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    const NodeId id = g.addNode(name);
+    by_name.emplace(name, id);
+    return id;
+  };
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (kind == "node") {
+      std::string name;
+      require(static_cast<bool>(ls >> name), "node without a name" + where);
+      getNode(name);
+    } else if (kind == "link") {
+      std::string a, b;
+      double cap = 1.0;
+      require(static_cast<bool>(ls >> a >> b),
+              "link needs two endpoints" + where);
+      require(a != b, "self-link" + where);
+      if (!(ls >> cap)) cap = 1.0;
+      double weight;
+      if (ls >> weight) {
+        require(weight > 0, "non-positive weight" + where);
+        g.addLink(getNode(a), getNode(b), cap, weight);
+      } else {
+        g.addLink(getNode(a), getNode(b), cap);
+      }
+    } else {
+      throw std::invalid_argument("unknown directive '" + kind + "'" + where);
+    }
+  }
+  return g;
+}
+
+Graph parseTopologyString(const std::string& text) {
+  std::istringstream in(text);
+  return parseTopology(in);
+}
+
+void serializeTopology(const Graph& g, std::ostream& out) {
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    out << "node " << g.nodeName(v) << "\n";
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    // Emit each bidirectional link once (from its lower-id direction) and
+    // unidirectional edges always.
+    if (ed.reverse != kInvalidEdge && ed.reverse < e) continue;
+    out << "link " << g.nodeName(ed.src) << " " << g.nodeName(ed.dst) << " "
+        << ed.capacity << " " << ed.weight << "\n";
+  }
+}
+
+std::string serializeTopologyString(const Graph& g) {
+  std::ostringstream out;
+  serializeTopology(g, out);
+  return out.str();
+}
+
+}  // namespace coyote::topo

@@ -1,0 +1,28 @@
+// Plain-text topology format, so users can load their own networks:
+//
+//   # comment
+//   node <name>
+//   link <name-a> <name-b> <capacity> [weight]
+//
+// `link` adds a bidirectional link (two directed edges). Nodes referenced by
+// a link before being declared are created implicitly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace coyote::topo {
+
+/// Parses the textual format above. Throws std::invalid_argument on
+/// malformed input (with a line number in the message).
+[[nodiscard]] Graph parseTopology(std::istream& in);
+[[nodiscard]] Graph parseTopologyString(const std::string& text);
+
+/// Writes `g` in the same format (only the a->b direction of each
+/// bidirectional link is emitted). Round-trips with parseTopology.
+void serializeTopology(const Graph& g, std::ostream& out);
+[[nodiscard]] std::string serializeTopologyString(const Graph& g);
+
+}  // namespace coyote::topo

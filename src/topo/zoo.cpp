@@ -1,0 +1,393 @@
+#include "topo/zoo.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace coyote::topo {
+namespace {
+
+using Pair = std::pair<int, int>;
+
+/// Builds a bidirectional backbone from node names and undirected links,
+/// assigns tiered capacities by endpoint coreness (sum of degrees), and sets
+/// inverse-capacity OSPF weights -- the paper's default when the dataset
+/// carries neither capacities nor weights.
+Graph buildNamed(const std::vector<std::string>& names,
+                 const std::vector<Pair>& links, bool uniform_capacity = false) {
+  Graph g;
+  for (const auto& n : names) g.addNode(n);
+  std::vector<int> degree(names.size(), 0);
+  std::vector<Pair> seen;
+  for (const auto& [a, b] : links) {
+    require(a >= 0 && a < static_cast<int>(names.size()) && b >= 0 &&
+                b < static_cast<int>(names.size()) && a != b,
+            "bad zoo link");
+    const Pair norm{std::min(a, b), std::max(a, b)};
+    require(std::find(seen.begin(), seen.end(), norm) == seen.end(),
+            "duplicate zoo link");
+    seen.push_back(norm);
+    ++degree[a];
+    ++degree[b];
+  }
+  for (const auto& [a, b] : links) {
+    double cap = 10.0;
+    if (!uniform_capacity) {
+      const int s = degree[a] + degree[b];
+      cap = (s >= 9) ? 10.0 : (s >= 6) ? 2.5 : 1.0;
+    }
+    g.addLink(a, b, cap);
+  }
+  g.setInverseCapacityWeights();
+  return g;
+}
+
+/// Geographic ring over all nodes plus extra chord links.
+std::vector<Pair> ringPlusChords(int n, std::vector<Pair> chords) {
+  std::vector<Pair> links;
+  links.reserve(n + chords.size());
+  for (int i = 0; i < n; ++i) links.emplace_back(i, (i + 1) % n);
+  for (const auto& c : chords) {
+    // Skip chords that duplicate a ring edge.
+    const auto [a, b] = c;
+    const bool ring_edge = (b == (a + 1) % n) || (a == (b + 1) % n);
+    if (!ring_edge) links.push_back(c);
+  }
+  return links;
+}
+
+/// Tree given parent[], plus cross links closing a few loops.
+std::vector<Pair> treePlusCross(const std::vector<int>& parent,
+                                const std::vector<Pair>& cross) {
+  std::vector<Pair> links;
+  for (int i = 1; i < static_cast<int>(parent.size()); ++i) {
+    links.emplace_back(parent[i], i);
+  }
+  links.insert(links.end(), cross.begin(), cross.end());
+  return links;
+}
+
+// ---------------------------------------------------------------------------
+// The corpus. See DESIGN.md §3 for the fidelity notes per network.
+// ---------------------------------------------------------------------------
+
+Graph abilene() {
+  const std::vector<std::string> n = {
+      "Seattle",   "Sunnyvale", "LosAngeles",   "Denver",  "KansasCity",
+      "Houston",   "Chicago",   "Indianapolis", "Atlanta", "Washington",
+      "NewYork"};
+  // The published Internet2/Abilene map: 11 PoPs, 14 OC-192 links.
+  const std::vector<Pair> links = {
+      {0, 1}, {0, 3}, {1, 2}, {1, 3}, {2, 5},  {3, 4},  {4, 5},
+      {4, 7}, {5, 8}, {7, 8}, {7, 6}, {6, 10}, {8, 9}, {10, 9}};
+  return buildNamed(n, links, /*uniform_capacity=*/true);
+}
+
+Graph nsfnet() {
+  const std::vector<std::string> n = {
+      "Seattle",   "PaloAlto",   "SanDiego", "SaltLake", "Boulder",
+      "Houston",   "Lincoln",    "Champaign", "AnnArbor", "Pittsburgh",
+      "Atlanta",   "Ithaca",     "CollegePark", "Princeton"};
+  // Classic NSFNET T1 backbone: 14 nodes, 21 links.
+  const std::vector<Pair> links = {
+      {0, 1},  {0, 3},  {1, 2},  {1, 3},   {2, 5},  {3, 4},   {3, 8},
+      {4, 5},  {4, 6},  {5, 10}, {6, 7},   {7, 9},  {7, 8},   {8, 11},
+      {9, 13}, {9, 11}, {10, 9}, {10, 12}, {11, 12}, {13, 12}, {5, 12}};
+  return buildNamed(n, links);
+}
+
+Graph geant() {
+  const std::vector<std::string> n = {
+      "Vienna",  "Brussels",  "Geneva", "Prague",    "Frankfurt", "Copenhagen",
+      "Madrid",  "Paris",     "Athens", "Zagreb",    "Budapest",  "Dublin",
+      "Milan",   "Luxembourg", "Amsterdam", "Poznan", "Lisbon",    "Stockholm",
+      "Ljubljana", "Bratislava", "London", "Oslo"};
+  enum {
+    AT, BE, CH, CZ, DE, DK, ES, FR, GR, HR, HU, IE, IT, LU, NL, PL, PT, SE,
+    SI, SK, UK, NO
+  };
+  // GEANT pan-European research backbone (2004-era map, 22 PoPs, 36 links).
+  const std::vector<Pair> links = {
+      {UK, IE}, {UK, FR}, {UK, NL}, {UK, PT}, {FR, ES}, {FR, CH}, {FR, BE},
+      {FR, LU}, {ES, PT}, {ES, IT}, {IT, CH}, {IT, GR}, {IT, AT}, {CH, DE},
+      {BE, NL}, {LU, DE}, {NL, DE}, {DE, AT}, {DE, CZ}, {DE, DK}, {DK, SE},
+      {DK, NO}, {SE, NO}, {SE, PL}, {PL, DE}, {PL, CZ}, {CZ, SK}, {SK, AT},
+      {AT, HU}, {AT, SI}, {SI, HR}, {HR, HU}, {HU, SK}, {GR, DE}, {IE, FR},
+      {NL, DK}};
+  return buildNamed(n, links);
+}
+
+Graph nobelGermany() {
+  const std::vector<std::string> n = {
+      "Berlin",    "Bremen", "Dortmund", "Duesseldorf", "Essen",  "Frankfurt",
+      "Hamburg",   "Hannover", "Karlsruhe", "Koeln",    "Leipzig", "Mannheim",
+      "Muenchen",  "Norden", "Nuernberg", "Stuttgart",  "Ulm"};
+  enum {
+    BER, HB, DO, DUS, E, F, HH, H, KA, K, L, MA, M, NOR, N, S, UL
+  };
+  // Nobel-Germany reference network: 17 nodes, 26 links.
+  const std::vector<Pair> links = {
+      {BER, HH}, {BER, H},  {BER, L},   {HB, HH},  {HB, H},   {DO, E},
+      {DO, H},   {DO, K},   {DUS, E},   {DUS, K},  {F, H},    {F, K},
+      {F, L},    {F, MA},   {HH, H},    {H, L},    {KA, MA},  {KA, S},
+      {L, N},    {MA, S},   {M, N},     {M, UL},   {N, S},    {S, UL},
+      {NOR, HB}, {NOR, DO}};
+  return buildNamed(n, links);
+}
+
+Graph internetMci() {
+  const std::vector<std::string> n = {
+      "Seattle",   "SanFrancisco", "LosAngeles", "Denver",     "Houston",
+      "Dallas",    "NewOrleans",   "Atlanta",    "Orlando",    "Miami",
+      "Washington", "NewYork",     "Boston",     "Philadelphia", "Chicago",
+      "StLouis",   "KansasCity",   "Cleveland",  "WestOrange"};
+  enum {
+    SEA, SF, LA, DEN, HOU, DAL, NO_, ATL, ORL, MIA, DC, NY, BOS, PHL, CHI,
+    STL, KC, CLE, WOR
+  };
+  // InternetMCI 1995-era US backbone: 19 PoPs, 33 links.
+  const std::vector<Pair> links = {
+      {SEA, SF},  {SEA, CHI}, {SF, LA},   {SF, DEN},  {SF, CHI}, {LA, HOU},
+      {LA, DEN},  {DEN, KC},  {DEN, CHI}, {KC, STL},  {KC, DAL}, {DAL, HOU},
+      {HOU, NO_}, {NO_, ATL}, {DAL, ATL}, {ATL, ORL}, {ORL, MIA}, {MIA, DC},
+      {ATL, DC},  {STL, CHI}, {STL, ATL}, {CHI, CLE}, {CLE, NY}, {CHI, NY},
+      {NY, BOS},  {BOS, DC},  {NY, WOR},  {WOR, PHL}, {PHL, DC}, {NY, DC},
+      {DC, CHI},  {SF, NY},   {ORL, DC}};
+  return buildNamed(n, links);
+}
+
+Graph italy() {
+  const std::vector<std::string> n = {
+      "Torino", "Milano", "Verona",  "Venezia", "Trieste", "Bologna",
+      "Genova", "Pisa",   "Firenze", "Ancona",  "Perugia", "Roma",
+      "Pescara", "Napoli", "Salerno", "Bari",   "Potenza", "ReggioCalabria",
+      "Catania", "Palermo", "Cagliari"};
+  // GARR-like Italian research backbone (21 PoPs): a geographic ring down
+  // both coasts plus core chords. 34 links.
+  const std::vector<Pair> chords = {
+      {0, 1},  {1, 5},  {1, 6},  {2, 5},  {5, 8},  {5, 11}, {7, 8},
+      {8, 11}, {11, 13}, {11, 15}, {13, 14}, {15, 16}, {1, 11}, {19, 20},
+      {11, 20}, {3, 5}};
+  return buildNamed(n, ringPlusChords(static_cast<int>(n.size()), chords));
+}
+
+Graph as1755() {
+  const std::vector<std::string> n = {
+      "London",    "Paris",     "Amsterdam", "Brussels", "Frankfurt",
+      "Munich",    "Geneva",    "Zurich",    "Milan",    "Vienna",
+      "Stockholm", "Oslo",      "Copenhagen", "Hamburg", "Duesseldorf",
+      "Madrid",    "NewYork",   "Washington"};
+  // Rocketfuel AS1755 (Ebone) PoP-level approximation: 18 PoPs, 33 links.
+  const std::vector<Pair> links = {
+      {0, 1},   {0, 2},   {0, 16},  {0, 15}, {1, 3},   {1, 6},   {1, 15},
+      {2, 3},   {2, 13},  {2, 14},  {3, 14}, {4, 5},   {4, 13},  {4, 14},
+      {4, 7},   {4, 9},   {5, 9},   {5, 7},  {6, 7},   {6, 8},   {7, 8},
+      {8, 9},   {10, 11}, {10, 12}, {11, 12}, {12, 13}, {10, 13}, {16, 17},
+      {0, 12},  {1, 4},   {2, 4},   {16, 2},  {15, 8},  {17, 1}};
+  return buildNamed(n, links);
+}
+
+Graph as3257() {
+  const std::vector<std::string> n = {
+      "London",   "Paris",    "Amsterdam", "Brussels",  "Frankfurt",
+      "Munich",   "Zurich",   "Milan",     "Rome",      "Vienna",
+      "Prague",   "Warsaw",   "Stockholm", "Copenhagen", "Hamburg",
+      "Berlin",   "Duesseldorf", "Strasbourg", "Lyon",   "Marseille",
+      "Barcelona", "Madrid",  "Lisbon",    "Dublin"};
+  // Rocketfuel AS3257 (Tiscali) approximation: 24 PoPs, 38 links.
+  const std::vector<Pair> chords = {
+      {0, 2},  {0, 4},  {0, 23}, {1, 4},   {1, 18},  {2, 4},   {2, 14},
+      {4, 14}, {4, 15}, {4, 6},  {4, 9},   {5, 9},   {5, 6},   {6, 7},
+      {9, 10}, {10, 15}, {11, 15}, {12, 13}, {13, 14}, {14, 15}, {16, 2},
+      {16, 4}, {18, 19}, {20, 21}, {1, 17}, {4, 17}};
+  return buildNamed(n, ringPlusChords(static_cast<int>(n.size()), chords));
+}
+
+Graph as1221() {
+  const std::vector<std::string> n = {
+      "Sydney1",   "Sydney2",  "Sydney3",  "Melbourne1", "Melbourne2",
+      "Brisbane1", "Brisbane2", "Adelaide1", "Adelaide2", "Perth1",
+      "Perth2",    "Canberra1", "Canberra2", "Hobart",   "Darwin",
+      "Cairns",    "Townsville", "GoldCoast", "Newcastle", "Wollongong",
+      "Geelong",   "Ballarat",  "Launceston", "AliceSprings", "Auckland"};
+  // Rocketfuel AS1221 (Telstra) approximation: 25 PoPs. Telstra is hub-and-
+  // spoke around the capital-city PoP pairs with an inter-capital core ring.
+  const std::vector<int> parent = {
+      0 /*unused*/, 0, 0, 0, 3, 0, 5, 3, 7, 7, 9, 0, 11, 3, 7, 5, 5, 5, 0,
+      0, 3, 3, 13, 14, 0};
+  const std::vector<Pair> cross = {
+      {1, 3},  {2, 5},  {4, 7},  {8, 9},  {12, 3}, {6, 16}, {17, 18},
+      {19, 11}, {20, 21}, {22, 3}, {24, 3}, {10, 23}};
+  return buildNamed(n, treePlusCross(parent, cross));
+}
+
+Graph att() {
+  const std::vector<std::string> n = {
+      "Seattle", "Portland", "SanFrancisco", "SanJose",  "LosAngeles",
+      "SanDiego", "Phoenix", "SaltLake",     "Denver",   "Albuquerque",
+      "Dallas",  "Austin",   "Houston",      "NewOrleans", "Atlanta",
+      "Orlando", "Miami",    "Charlotte",    "Washington", "Philadelphia",
+      "NewYork", "Boston",   "Cleveland",    "Chicago",  "StLouis"};
+  // AT&T North America IP backbone approximation: 25 PoPs, 45 links (the
+  // real network is dense between the national hubs).
+  const std::vector<Pair> chords = {
+      {0, 2},   {0, 23},  {2, 3},   {2, 4},   {2, 8},   {2, 23},  {3, 4},
+      {4, 6},   {4, 10},  {6, 9},   {7, 8},   {8, 23},  {8, 10},  {9, 10},
+      {10, 12}, {10, 14}, {10, 23}, {12, 14}, {14, 17}, {14, 18}, {14, 23},
+      {15, 16}, {14, 16}, {17, 18}, {18, 20}, {18, 23}, {19, 20}, {20, 21},
+      {20, 23}, {22, 23}, {23, 24}, {24, 10}, {24, 14}, {2, 20},  {12, 16}};
+  return buildNamed(n, ringPlusChords(static_cast<int>(n.size()), chords));
+}
+
+Graph bics() {
+  const std::vector<std::string> n = {
+      "Brussels", "Antwerp",  "Amsterdam", "London", "Paris",   "Frankfurt",
+      "Geneva",   "Zurich",   "Milan",     "Rome",   "Vienna",  "Bratislava",
+      "Budapest", "Prague",   "Warsaw",    "Berlin", "Hamburg", "Copenhagen",
+      "Stockholm", "Dublin",  "Madrid",    "Barcelona", "Luxembourg",
+      "Strasbourg"};
+  // BICS pan-European carrier approximation: 24 PoPs, 36 links.
+  const std::vector<Pair> chords = {
+      {0, 2},  {0, 3},  {0, 4},  {0, 5},   {0, 22},  {3, 4},  {3, 19},
+      {4, 6},  {4, 20},  {5, 13}, {5, 15},  {5, 16},  {5, 22}, {5, 23},
+      {7, 8},  {8, 9},  {10, 12}, {10, 13}, {14, 15}, {16, 17}, {2, 16},
+      {3, 2}};
+  return buildNamed(n, ringPlusChords(static_cast<int>(n.size()), chords));
+}
+
+Graph btEurope() {
+  const std::vector<std::string> n = {
+      "London1", "London2", "Manchester", "Dublin",  "Paris",    "Brussels",
+      "Amsterdam", "Frankfurt", "Munich", "Zurich",  "Milan",    "Madrid",
+      "Barcelona", "Lisbon", "Rome",      "Vienna",  "Prague",   "Warsaw",
+      "Stockholm", "Copenhagen", "Hamburg", "Dusseldorf", "Geneva", "Lyon"};
+  // BT Europe approximation: 24 PoPs, 37 links, strongly hubbed on the two
+  // London PoPs (which gives ECMP its characteristic bottlenecks there).
+  const std::vector<Pair> chords = {
+      {0, 1},  {0, 4},  {0, 6},  {0, 7},  {0, 3},   {1, 5},  {1, 7},
+      {1, 11}, {4, 5},  {4, 23}, {6, 7},  {7, 20},  {7, 16}, {7, 15},
+      {9, 22}, {9, 10}, {11, 12}, {14, 10}, {18, 19}, {19, 20}, {21, 7},
+      {21, 6}, {2, 0},  {17, 16}};
+  return buildNamed(n, ringPlusChords(static_cast<int>(n.size()), chords));
+}
+
+Graph digex() {
+  const std::vector<std::string> n = {
+      "Laurel",   "Washington", "Philadelphia", "NewYork", "Boston",
+      "Atlanta",  "Orlando",    "Miami",        "Chicago", "Detroit",
+      "Cleveland", "StLouis",   "Dallas",       "Houston", "Denver",
+      "LosAngeles", "SanFrancisco", "SanJose",  "Seattle", "KansasCity",
+      "Phoenix",  "Minneapolis"};
+  // Digex approximation: 22 PoPs, 27 links -- sparse, hub-heavy (Laurel MD
+  // was Digex's main hub). The 1997 Digex map carries neither capacities
+  // nor weights, so this network uses the paper's unit fallback; with the
+  // tiered heuristic the hubs end up so over-provisioned that ECMP is
+  // near-optimal and the Fig. 7 gap disappears (see DESIGN.md §3).
+  const std::vector<int> parent = {
+      0 /*unused*/, 0, 1, 2, 3, 1, 5, 6, 1, 8, 8, 8, 11, 12, 11, 14, 15,
+      16, 16, 11, 15, 8};
+  const std::vector<Pair> cross = {{0, 3}, {0, 5}, {0, 8}, {13, 5}, {17, 15},
+                                   {14, 20}};
+  return buildNamed(n, treePlusCross(parent, cross),
+                    /*uniform_capacity=*/true);
+}
+
+Graph bbnPlanet() {
+  const std::vector<std::string> n = {
+      "Cambridge", "Boston",  "NewYork", "Washington", "Vienna",  "Atlanta",
+      "Orlando",   "Houston", "Dallas",  "Chicago",    "StLouis", "Denver",
+      "SaltLake",  "Seattle", "Portland", "SanFrancisco", "SanJose",
+      "LosAngeles", "SanDiego", "Phoenix", "Albuquerque", "KansasCity",
+      "Minneapolis", "Detroit", "Cleveland", "Pittsburgh", "Philadelphia"};
+  // BBNPlanet approximation: 27 nodes, 28 links -- almost a tree (two long
+  // chains coast-to-coast with two closing loops). Excluded from Table I,
+  // used by the Fig. 11 stretch experiment (stretch can be < 1 here).
+  const std::vector<int> parent = {
+      0 /*unused*/, 0, 1, 2, 3, 4, 5, 5, 7, 2, 9, 10, 11, 12, 13, 12, 15,
+      16, 17, 18, 19, 10, 9, 9, 23, 24, 3};
+  const std::vector<Pair> cross = {{8, 20}, {17, 8}};
+  return buildNamed(n, treePlusCross(parent, cross));
+}
+
+Graph grnet() {
+  const std::vector<std::string> n = {
+      "Athens1",  "Athens2",   "Thessaloniki", "Patras", "Heraklion",
+      "Larissa",  "Ioannina",  "Xanthi",       "Syros",  "Chania",
+      "Volos",    "Kozani",    "Kavala",       "Corfu",  "Mytilene",
+      "Rhodes",   "Kalamata",  "Lamia",        "Tripoli", "Alexandroupoli",
+      "Chalkida", "Agrinio"};
+  // GRNet approximation: 22 nodes, 25 links -- a star on the two Athens
+  // PoPs plus a northern ring (Athens-Larissa-Thessaloniki) and island legs.
+  const std::vector<int> parent = {
+      0 /*unused*/, 0, 0, 0, 0, 0, 2, 2, 0, 4, 5, 2, 7, 6, 1, 1, 3, 5, 3,
+      12, 1, 3};
+  const std::vector<Pair> cross = {{1, 2}, {10, 0}, {10, 17}};
+  return buildNamed(n, treePlusCross(parent, cross));
+}
+
+Graph gambia() {
+  const std::vector<std::string> n = {"Banjul",  "Serekunda", "Brikama",
+                                      "Bakau",   "Farafenni", "Basse",
+                                      "Janjanbureh"};
+  // Gambia: a 7-node tree; the paper drops it from Table I ("almost a tree",
+  // no routing diversity to optimize). Kept for the parser/corpus tests.
+  const std::vector<int> parent = {0 /*unused*/, 0, 1, 1, 0, 4, 5};
+  return buildNamed(n, treePlusCross(parent, {}));
+}
+
+}  // namespace
+
+std::vector<std::string> zooNames() {
+  return {"AS1221",  "AS1755", "AS3257",     "Abilene", "AT",
+          "BBNPlanet", "BICS", "BtEurope",   "Digex",   "Geant",
+          "Germany", "GRNet",  "InternetMCI", "Italy",  "NSF",
+          "Gambia"};
+}
+
+std::vector<std::string> tableOneNames() {
+  return {"AS1221",  "AS1755", "AS3257",     "Abilene", "AT",
+          "BICS",    "BtEurope", "Digex",    "Geant",   "Germany",
+          "GRNet",   "InternetMCI", "Italy", "NSF"};
+}
+
+Graph makeZoo(const std::string& name) {
+  static const std::map<std::string, Graph (*)()> factories = {
+      {"AS1221", &as1221},       {"AS1755", &as1755},
+      {"AS3257", &as3257},       {"Abilene", &abilene},
+      {"AT", &att},              {"BBNPlanet", &bbnPlanet},
+      {"BICS", &bics},           {"BtEurope", &btEurope},
+      {"Digex", &digex},         {"Geant", &geant},
+      {"Germany", &nobelGermany}, {"GRNet", &grnet},
+      {"InternetMCI", &internetMci}, {"Italy", &italy},
+      {"NSF", &nsfnet},          {"Gambia", &gambia}};
+  const auto it = factories.find(name);
+  require(it != factories.end(), "unknown zoo topology: " + name);
+  return it->second();
+}
+
+Graph runningExample() {
+  Graph g;
+  const NodeId s1 = g.addNode("s1");
+  const NodeId s2 = g.addNode("s2");
+  const NodeId v = g.addNode("v");
+  const NodeId t = g.addNode("t");
+  g.addLink(s1, s2, 1.0);
+  g.addLink(s1, v, 1.0);
+  g.addLink(s2, v, 1.0);
+  g.addLink(s2, t, 1.0);
+  g.addLink(v, t, 1.0);
+  return g;
+}
+
+Graph prototypeTriangle() {
+  Graph g;
+  const NodeId s1 = g.addNode("s1");
+  const NodeId s2 = g.addNode("s2");
+  const NodeId t = g.addNode("t");
+  g.addLink(s1, s2, 1.0);
+  g.addLink(s1, t, 1.0);
+  g.addLink(s2, t, 1.0);
+  return g;
+}
+
+}  // namespace coyote::topo

@@ -1,0 +1,44 @@
+// Topology corpus.
+//
+// The paper evaluates COYOTE on 16 backbone topologies from the Internet
+// Topology Zoo. The Zoo's GraphML files are not available offline, so this
+// module embeds edge lists for the same networks: the well-documented ones
+// (Abilene, NSFNET, GEANT, Nobel-Germany, InternetMCI, ...) follow their
+// published PoP-level maps; the Rocketfuel ASes and a few commercial
+// networks are deterministic approximations matched to the published
+// node/edge counts and degree profile (see DESIGN.md §3).
+//
+// Capacities follow the paper's rule: where the dataset carries no
+// capacities, links get a deterministic tier (1 / 2.5 / 10 units, by the
+// coreness of their endpoints) and OSPF weights are set inverse to capacity
+// (Cisco default).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote::topo {
+
+/// Names of all networks in the corpus, in Table I / Fig. 11 order.
+[[nodiscard]] std::vector<std::string> zooNames();
+
+/// Names used in the paper's Table I (Gambia and BBNPlanet excluded there
+/// because they are almost trees; we keep BBNPlanet for Fig. 11).
+[[nodiscard]] std::vector<std::string> tableOneNames();
+
+/// Builds a corpus topology by name. Throws std::invalid_argument for
+/// unknown names. The returned graph has bidirectional links, tiered
+/// capacities and inverse-capacity OSPF weights already set.
+[[nodiscard]] Graph makeZoo(const std::string& name);
+
+/// The running example of Fig. 1a: s1, s2, v, t with unit capacities.
+/// Node ids: 0=s1, 1=s2, 2=v, 3=t.
+[[nodiscard]] Graph runningExample();
+
+/// The two-prefix prototype topology of Fig. 12a (s1, s2, t; 1 Mbps links).
+/// Node ids: 0=s1, 1=s2, 2=t.
+[[nodiscard]] Graph prototypeTriangle();
+
+}  // namespace coyote::topo

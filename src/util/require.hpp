@@ -1,0 +1,25 @@
+// Small contract-checking helpers shared across the COYOTE libraries.
+//
+// Follows the C++ Core Guidelines (I.6/E.x): preconditions are checked and
+// violations reported as exceptions so that library misuse is diagnosed
+// eagerly instead of corrupting downstream computations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace coyote {
+
+/// Throws std::invalid_argument with `what` unless `cond` holds.
+/// Used for checking caller-supplied arguments (preconditions).
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// Throws std::logic_error with `what` unless `cond` holds.
+/// Used for internal invariants that should be unreachable.
+inline void ensure(bool cond, const std::string& what) {
+  if (!cond) throw std::logic_error(what);
+}
+
+}  // namespace coyote

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dag_builder.hpp"
+#include "routing/dual_certificate.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
+#include "topo/generator.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::routing {
+namespace {
+
+TEST(DualCertificate, StrongDualityOnRunningExample) {
+  // The Theorem 5 certificate LP is the dual of the worst-case slave LP:
+  // their optima must coincide edge by edge.
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig ecmp = ecmpConfig(g, dags);
+  const ObliviousCertificate cert = certifyObliviousRatio(g, ecmp);
+  const WorstCaseResult wc = findWorstCaseDemand(g, ecmp);
+  EXPECT_NEAR(cert.ratio, wc.ratio, 1e-5);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const double primal = findWorstCaseDemandForEdge(g, ecmp, e).ratio;
+    EXPECT_NEAR(cert.edges[e].ratio, primal, 1e-5) << "edge " << e;
+  }
+}
+
+TEST(DualCertificate, CertificateValidates) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  const ObliviousCertificate cert = certifyObliviousRatio(g, uni);
+  EXPECT_GT(cert.ratio, 1.0);
+  EXPECT_TRUE(checkCertificate(g, uni, cert));
+}
+
+TEST(DualCertificate, TamperedCertificateIsRejected) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  ObliviousCertificate cert = certifyObliviousRatio(g, uni);
+  ASSERT_TRUE(checkCertificate(g, uni, cert));
+  // Claiming a smaller ratio must fail R1.
+  cert.ratio *= 0.5;
+  for (auto& ec : cert.edges) ec.ratio *= 0.5;
+  EXPECT_FALSE(checkCertificate(g, uni, cert));
+}
+
+TEST(DualCertificate, ZeroedWeightsAreRejected) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  ObliviousCertificate cert = certifyObliviousRatio(g, uni);
+  // Zero out the weights of the worst edge: R2 must now fail.
+  int worst = 0;
+  for (std::size_t i = 0; i < cert.edges.size(); ++i) {
+    if (cert.edges[i].ratio > cert.edges[worst].ratio) {
+      worst = static_cast<int>(i);
+    }
+  }
+  std::fill(cert.edges[worst].pi.begin(), cert.edges[worst].pi.end(), 0.0);
+  EXPECT_FALSE(checkCertificate(g, uni, cert));
+}
+
+class DualityOnBackbones : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualityOnBackbones, CertificateMatchesSlaveLp) {
+  const Graph g = topo::randomBackbone(7, 3.0, GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig cfg = RoutingConfig::uniform(g, dags);
+  const ObliviousCertificate cert = certifyObliviousRatio(g, cfg);
+  const WorstCaseResult wc = findWorstCaseDemand(g, cfg);
+  EXPECT_NEAR(cert.ratio, wc.ratio, 1e-4) << "seed " << GetParam();
+  EXPECT_TRUE(checkCertificate(g, cfg, cert)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualityOnBackbones,
+                         ::testing::Values(2u, 9u, 17u));
+
+// ---------------------------------------------------------------------------
+// Bounded demand sets (Appendix C, closing paragraph).
+// ---------------------------------------------------------------------------
+
+TEST(BoxCertificate, StrongDualityOnRunningExample) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  tm::TrafficMatrix base(g.numNodes());
+  base.set(*g.findNode("s1"), *g.findNode("t"), 1.0);
+  base.set(*g.findNode("s2"), *g.findNode("t"), 0.5);
+  const tm::DemandBounds box = tm::marginBounds(base, 2.0);
+  const BoxCertificate cert = certifyBoxRatio(g, uni, box);
+  const WorstCaseResult wc = findWorstCaseDemand(g, uni, &box);
+  EXPECT_NEAR(cert.ratio, wc.ratio, 1e-5);
+  EXPECT_TRUE(checkBoxCertificate(g, uni, box, cert));
+}
+
+TEST(BoxCertificate, MarginOneCertifiesBaseOptimalAtOne) {
+  // At margin 1 the box is {base}; the base-optimal routing must be
+  // certified at exactly 1.0 (the regression scenario that exposed the
+  // phase-2 artificial-drift solver bug).
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  tm::TrafficMatrix base(g.numNodes());
+  base.set(*g.findNode("s1"), *g.findNode("t"), 1.0);
+  base.set(*g.findNode("s2"), *g.findNode("t"), 1.0);
+  const auto opt = optimalRoutingForDemand(g, dags, base);
+  const tm::DemandBounds box = tm::marginBounds(base, 1.0);
+  const BoxCertificate cert = certifyBoxRatio(g, opt.routing, box);
+  EXPECT_NEAR(cert.ratio, 1.0, 1e-5);
+  EXPECT_TRUE(checkBoxCertificate(g, opt.routing, box, cert));
+}
+
+TEST(BoxCertificate, TamperingIsRejected) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  const tm::DemandBounds box =
+      tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0);
+  BoxCertificate cert = certifyBoxRatio(g, uni, box);
+  ASSERT_TRUE(checkBoxCertificate(g, uni, box, cert));
+  cert.ratio *= 0.8;
+  for (auto& ec : cert.edges) ec.ratio *= 0.8;
+  EXPECT_FALSE(checkBoxCertificate(g, uni, box, cert));
+}
+
+TEST(BoxCertificate, TighterBoxCertifiesSmallerRatio) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig uni = RoutingConfig::uniform(g, dags);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const double r15 =
+      certifyBoxRatio(g, uni, tm::marginBounds(base, 1.5)).ratio;
+  const double r30 =
+      certifyBoxRatio(g, uni, tm::marginBounds(base, 3.0)).ratio;
+  EXPECT_LE(r15, r30 + 1e-9);
+}
+
+class BoxDualityOnBackbones : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BoxDualityOnBackbones, CertificateMatchesSlaveLp) {
+  const Graph g = topo::randomBackbone(6, 3.0, GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig cfg = RoutingConfig::uniform(g, dags);
+  const tm::DemandBounds box =
+      tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0);
+  const BoxCertificate cert = certifyBoxRatio(g, cfg, box);
+  const WorstCaseResult wc = findWorstCaseDemand(g, cfg, &box);
+  EXPECT_NEAR(cert.ratio, wc.ratio, 1e-4) << "seed " << GetParam();
+  EXPECT_TRUE(checkBoxCertificate(g, cfg, box, cert))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxDualityOnBackbones,
+                         ::testing::Values(4u, 12u, 23u));
+
+TEST(DualCertificate, GoldenRoutingOnAbilene) {
+  // A full-size sanity check: certificate == slave LP on ECMP/Abilene.
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  const RoutingConfig ecmp = ecmpConfig(g, dags);
+  const ObliviousCertificate cert = certifyObliviousRatio(g, ecmp);
+  const WorstCaseResult wc = findWorstCaseDemand(g, ecmp);
+  EXPECT_NEAR(cert.ratio, wc.ratio, 1e-4);
+  EXPECT_TRUE(checkCertificate(g, ecmp, cert));
+}
+
+}  // namespace
+}  // namespace coyote::routing

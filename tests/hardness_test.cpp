@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/splitting_optimizer.hpp"
+#include "hardness/gadgets.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/optu.hpp"
+#include "routing/propagation.hpp"
+
+namespace coyote::hardness {
+namespace {
+
+TEST(Bipartition, InstanceShape) {
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 2.0, 3.0});
+  EXPECT_EQ(inst.graph.numNodes(), 3 + 3 * 3);
+  EXPECT_DOUBLE_EQ(inst.sum, 6.0);
+  // Per gadget: 3 bidirectional internal links (6 edges) + 3 directed.
+  EXPECT_EQ(inst.graph.numEdges(), 3 * 9);
+  EXPECT_THROW((void)makeBipartitionInstance({}), std::invalid_argument);
+  EXPECT_THROW((void)makeBipartitionInstance({-1.0}), std::invalid_argument);
+}
+
+TEST(Bipartition, ExtremeDemandsAreRoutableAtUnitUtilization) {
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 1.0});
+  const auto [d1, d2] = extremeDemands(inst);
+  // OPTU over all routings is exactly 1 (min-cut = 2*SUM, Sec. IV-A).
+  EXPECT_NEAR(routing::optimalUtilizationUnrestricted(inst.graph, d1), 1.0,
+              1e-6);
+  EXPECT_NEAR(routing::optimalUtilizationUnrestricted(inst.graph, d2), 1.0,
+              1e-6);
+}
+
+TEST(Bipartition, Lemma2RoutingAchievesFourThirdsOnPositiveInstance) {
+  // {1,1,2} admits the even bipartition P1 = {2}, P2 = {1,1}.
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 1.0, 2.0});
+  const routing::RoutingConfig cfg =
+      lemma2Routing(inst, {false, false, true});
+  const auto [d1, d2] = extremeDemands(inst);
+  EXPECT_NEAR(routing::maxLinkUtilization(inst.graph, cfg, d1), 4.0 / 3.0,
+              1e-9);
+  EXPECT_NEAR(routing::maxLinkUtilization(inst.graph, cfg, d2), 4.0 / 3.0,
+              1e-9);
+}
+
+TEST(Bipartition, UnevenPartitionOfPositiveInstanceIsWorse) {
+  // Same instance, but the unbalanced partition P1 = {1} (sum 1 vs 3).
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 1.0, 2.0});
+  const routing::RoutingConfig cfg = lemma2Routing(inst, {true, false, false});
+  const auto [d1, d2] = extremeDemands(inst);
+  const double worst =
+      std::max(routing::maxLinkUtilization(inst.graph, cfg, d1),
+               routing::maxLinkUtilization(inst.graph, cfg, d2));
+  EXPECT_GT(worst, 4.0 / 3.0 + 1e-9);
+}
+
+TEST(Bipartition, NegativeInstanceCannotReachFourThirds) {
+  // {1,3} has no even bipartition (Lemma 3): whichever way the gadget edges
+  // are oriented, optimizing the splitting ratios stays above 4/3.
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 3.0});
+  const auto [d1, d2] = extremeDemands(inst);
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < 4; ++mask) {
+    const std::vector<bool> orient{(mask & 1) != 0, (mask & 2) != 0};
+    const auto dags = bipartitionDags(inst, orient);
+    // Normalize by the unrestricted optimum (= 1 for D1/D2): the quantity
+    // Lemma 3 reasons about.
+    routing::PerformanceEvaluator eval(inst.graph, dags, {},
+                                       routing::Normalization::kUnrestricted);
+    eval.addMatrix(d1);
+    eval.addMatrix(d2);
+    core::SplittingOptions opt;
+    opt.iterations = 800;
+    const auto cfg = core::optimizeSplitting(
+        inst.graph, eval,
+        routing::RoutingConfig::uniform(inst.graph, dags), opt);
+    best = std::min(best, eval.ratioFor(cfg));
+  }
+  EXPECT_GT(best, 4.0 / 3.0 + 0.01);
+}
+
+TEST(Bipartition, PositiveInstanceOptimizerMatchesLemma2) {
+  // {1,1}: P1 = {1}, P2 = {1}. The optimizer over the Lemma 2 DAG should
+  // reach (close to) the 4/3 guarantee.
+  const BipartitionInstance inst = makeBipartitionInstance({1.0, 1.0});
+  const auto [d1, d2] = extremeDemands(inst);
+  const auto dags = bipartitionDags(inst, {true, false});
+  routing::PerformanceEvaluator eval(inst.graph, dags, {},
+                                     routing::Normalization::kUnrestricted);
+  eval.addMatrix(d1);
+  eval.addMatrix(d2);
+  core::SplittingOptions opt;
+  opt.iterations = 1200;
+  const auto cfg = core::optimizeSplitting(
+      inst.graph, eval, routing::RoutingConfig::uniform(inst.graph, dags),
+      opt);
+  EXPECT_LE(eval.ratioFor(cfg), 4.0 / 3.0 + 0.02);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PathInstance, Shape) {
+  const PathInstance inst = makePathInstance(5);
+  EXPECT_EQ(inst.graph.numNodes(), 6);
+  // 4 bidirectional internal links + 5 exits.
+  EXPECT_EQ(inst.graph.numEdges(), 2 * 4 + 5);
+  EXPECT_THROW((void)makePathInstance(1), std::invalid_argument);
+}
+
+TEST(PathInstance, SingleSourceDemandsHaveUnitOptimum) {
+  const PathInstance inst = makePathInstance(4);
+  for (const auto& d : pathDemands(inst)) {
+    // The optimal demands-aware routing spreads the n units over all n
+    // unit-capacity exits: OPTU = 1 (Theorem 4).
+    EXPECT_NEAR(routing::optimalUtilizationUnrestricted(inst.graph, d), 1.0,
+                1e-6);
+  }
+}
+
+class PathLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathLowerBound, AllDirectRoutingAttainsExactlyN) {
+  const int n = GetParam();
+  const PathInstance inst = makePathInstance(n);
+  const routing::RoutingConfig direct = allDirectRouting(inst);
+  for (const auto& d : pathDemands(inst)) {
+    const double mxlu = routing::maxLinkUtilization(inst.graph, direct, d);
+    const double optu = routing::optimalUtilizationUnrestricted(inst.graph, d);
+    EXPECT_NEAR(mxlu / optu, static_cast<double>(n), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathLowerBound,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+TEST(PathLowerBound, EveryObliviousRoutingIsStuckAtN) {
+  // Theorem 4: whatever the splitting ratios, some x_i routes only via its
+  // own exit, so max_i MxLU(phi, D_i) >= n. Check for a few configurations.
+  const int n = 5;
+  const PathInstance inst = makePathInstance(n);
+  const auto demands = pathDemands(inst);
+  const auto evalWorst = [&](const routing::RoutingConfig& cfg) {
+    double worst = 0.0;
+    for (const auto& d : demands) {
+      worst = std::max(worst,
+                       routing::maxLinkUtilization(inst.graph, cfg, d));
+    }
+    return worst;
+  };
+  EXPECT_NEAR(evalWorst(allDirectRouting(inst)), n, 1e-9);
+
+  // An "optimized" oblivious routing cannot do better either.
+  const auto dags = std::make_shared<const DagSet>([&] {
+    DagSet ds;
+    for (NodeId t = 0; t < inst.graph.numNodes(); ++t) {
+      std::vector<EdgeId> edges;
+      if (t == inst.t) {
+        for (EdgeId e = 0; e < inst.graph.numEdges(); ++e) {
+          const Edge& ed = inst.graph.edge(e);
+          // Orient the path toward x_1 plus all exits: a valid DAG.
+          if (ed.dst == inst.t || ed.dst < ed.src) edges.push_back(e);
+        }
+      }
+      ds.emplace_back(inst.graph, t, std::move(edges));
+    }
+    return ds;
+  }());
+  routing::PerformanceEvaluator eval(inst.graph, dags);
+  for (const auto& d : demands) eval.addMatrix(d);
+  core::SplittingOptions opt;
+  opt.iterations = 400;
+  const auto cfg = core::optimizeSplitting(
+      inst.graph, eval, routing::RoutingConfig::uniform(inst.graph, dags),
+      opt);
+  EXPECT_GE(evalWorst(cfg), n - 1e-6);
+}
+
+}  // namespace
+}  // namespace coyote::hardness

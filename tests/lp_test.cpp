@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/maxflow.hpp"
+#include "lp/lp.hpp"
+#include "topo/generator.hpp"
+
+namespace coyote::lp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+TEST(Simplex, TrivialMinimum) {
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0);
+  p.addConstraint({{x, 1.0}}, Rel::kGe, 3.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);
+  EXPECT_NEAR(r.x[x], 3.0, kTol);
+}
+
+TEST(Simplex, TwoVarMaximize) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(3.0);
+  const int y = p.addVar(2.0);
+  p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kLe, 4.0);
+  p.addConstraint({{x, 1.0}, {y, 3.0}}, Rel::kLe, 6.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 12.0, kTol);
+  EXPECT_NEAR(r.x[x], 4.0, kTol);
+  EXPECT_NEAR(r.x[y], 0.0, kTol);
+}
+
+TEST(Simplex, ClassicProductionPlan) {
+  // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> (3, 1.5), obj 21.
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(5.0);
+  const int y = p.addVar(4.0);
+  p.addConstraint({{x, 6.0}, {y, 4.0}}, Rel::kLe, 24.0);
+  p.addConstraint({{x, 1.0}, {y, 2.0}}, Rel::kLe, 6.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 21.0, kTol);
+  EXPECT_NEAR(r.x[x], 3.0, kTol);
+  EXPECT_NEAR(r.x[y], 1.5, kTol);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y = 5, x - y <= 1 -> any point on the segment; obj 5.
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0);
+  const int y = p.addVar(1.0);
+  p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 5.0);
+  p.addConstraint({{x, 1.0}, {y, -1.0}}, Rel::kLe, 1.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, kTol);
+  EXPECT_NEAR(r.x[x] + r.x[y], 5.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0);
+  p.addConstraint({{x, 1.0}}, Rel::kGe, 5.0);
+  p.addConstraint({{x, 1.0}}, Rel::kLe, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(1.0);
+  p.addConstraint({{x, -1.0}}, Rel::kLe, 1.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, VariableUpperBound) {
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(1.0, 0.0, 2.5);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x], 2.5, kTol);
+}
+
+TEST(Simplex, ShiftedLowerBound) {
+  // min x with x >= -3 (negative lower bound is shifted internally).
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0, -3.0, 10.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x], -3.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -2 with min x+y -> x=0, y=2.
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0);
+  const int y = p.addVar(1.0);
+  p.addConstraint({{x, 1.0}, {y, -1.0}}, Rel::kLe, -2.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, kTol);
+  EXPECT_NEAR(r.x[y], 2.0, kTol);
+}
+
+TEST(Simplex, DuplicateTermsMerge) {
+  // 0.5x + 0.5x == x.
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(1.0);
+  p.addConstraint({{x, 0.5}, {x, 0.5}}, Rel::kLe, 7.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x], 7.0, kTol);
+}
+
+TEST(Simplex, DegenerateConstraintsNoCycle) {
+  // Highly degenerate LP (many redundant constraints through the origin).
+  LpProblem p(Sense::kMaximize);
+  const int x = p.addVar(1.0);
+  const int y = p.addVar(1.0);
+  for (int k = 1; k <= 6; ++k) {
+    p.addConstraint({{x, static_cast<double>(k)}, {y, 1.0}}, Rel::kLe, 0.0);
+  }
+  p.addConstraint({{x, 1.0}}, Rel::kLe, 5.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, kTol);
+}
+
+TEST(Simplex, ArtificialsCannotDriftPositiveInPhaseTwo) {
+  // Regression: max d1 with d1 = lambda, d2 = lambda (via <= and >= pairs),
+  // d1 + d2 <= 2. A solver that leaves zero-valued artificials basic after
+  // phase 1 and lets them grow returns the infeasible point (2, 0).
+  LpProblem p(Sense::kMaximize);
+  const int lambda = p.addVar(0.0);
+  const int d1 = p.addVar(1.0);
+  const int d2 = p.addVar(0.0);
+  p.addConstraint({{d1, 1.0}, {lambda, -1.0}}, Rel::kLe, 0.0);
+  p.addConstraint({{d2, 1.0}, {lambda, -1.0}}, Rel::kLe, 0.0);
+  p.addConstraint({{d1, 1.0}, {lambda, -1.0}}, Rel::kGe, 0.0);
+  p.addConstraint({{d2, 1.0}, {lambda, -1.0}}, Rel::kGe, 0.0);
+  p.addConstraint({{d1, 1.0}, {d2, 1.0}}, Rel::kLe, 2.0);
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+  EXPECT_NEAR(r.x[d1], r.x[lambda], kTol);
+  EXPECT_NEAR(r.x[d2], r.x[lambda], kTol);
+}
+
+TEST(Simplex, RedundantEqualityRowsAreHarmless) {
+  // Duplicated equality rows leave one artificial basic forever; the
+  // solution must still satisfy the constraints.
+  LpProblem p(Sense::kMinimize);
+  const int x = p.addVar(1.0);
+  const int y = p.addVar(2.0);
+  p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 3.0);
+  p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kEq, 3.0);  // redundant copy
+  p.addConstraint({{x, 2.0}, {y, 2.0}}, Rel::kEq, 6.0);  // scaled copy
+  const LpResult r = solve(p);
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.x[x] + r.x[y], 3.0, kTol);
+  EXPECT_NEAR(r.objective, 3.0, kTol);  // all weight on the cheap variable
+}
+
+TEST(Simplex, RejectsMalformedInput) {
+  LpProblem p;
+  EXPECT_THROW((void)solve(p), std::invalid_argument);  // no variables
+  const int x = p.addVar(1.0);
+  EXPECT_THROW(p.addConstraint({{x + 5, 1.0}}, Rel::kLe, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)p.addVar(0.0, 1.0, 0.0), std::invalid_argument);  // ub<lb
+  EXPECT_THROW((void)p.addVar(0.0, -kInfinity), std::invalid_argument);
+}
+
+// --- Cross-check: simplex optimum equals brute-force vertex enumeration. ---
+
+/// For 2-variable LPs the optimum lies on a vertex: intersect every pair of
+/// constraint lines (including the axes), keep feasible points, take the
+/// best. Exhaustive and solver-independent.
+class TwoVarBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoVarBruteForce, SimplexMatchesVertexEnumeration) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coef(-2.0, 2.0);
+  std::uniform_real_distribution<double> pos(0.5, 4.0);
+
+  // max c0*x + c1*y s.t. rows a*x + b*y <= r, x,y in [0, box].
+  const double c0 = coef(rng), c1 = coef(rng);
+  const double box = pos(rng) + 2.0;
+  struct Row {
+    double a, b, r;
+  };
+  std::vector<Row> rows;
+  const int m = 3 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < m; ++i) rows.push_back({coef(rng), coef(rng), pos(rng)});
+  rows.push_back({1.0, 0.0, box});
+  rows.push_back({0.0, 1.0, box});
+
+  lp::LpProblem p(lp::Sense::kMaximize);
+  const int x = p.addVar(c0);
+  const int y = p.addVar(c1);
+  for (const Row& row : rows) {
+    p.addConstraint({{x, row.a}, {y, row.b}}, lp::Rel::kLe, row.r);
+  }
+  const lp::LpResult res = lp::solve(p);
+  ASSERT_EQ(res.status, lp::Status::kOptimal);
+
+  // Enumerate candidate vertices: intersections of every pair of lines,
+  // including the nonnegativity axes x=0 / y=0.
+  std::vector<Row> lines = rows;
+  lines.push_back({1.0, 0.0, 0.0});  // x = 0
+  lines.push_back({0.0, 1.0, 0.0});  // y = 0
+  const auto feasible = [&](double px, double py) {
+    if (px < -1e-9 || py < -1e-9) return false;
+    for (const Row& row : rows) {
+      if (row.a * px + row.b * py > row.r + 1e-9) return false;
+    }
+    return true;
+  };
+  double best = -1e300;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-9) continue;
+      const double px = (lines[i].r * lines[j].b - lines[j].r * lines[i].b) / det;
+      const double py = (lines[i].a * lines[j].r - lines[j].a * lines[i].r) / det;
+      if (feasible(px, py)) best = std::max(best, c0 * px + c1 * py);
+    }
+  }
+  if (feasible(0.0, 0.0)) best = std::max(best, 0.0);
+  ASSERT_GT(best, -1e299);  // origin is always feasible here
+  EXPECT_NEAR(res.objective, best, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoVarBruteForce,
+                         ::testing::Range<std::uint64_t>(100, 130));
+
+// --- Cross-check: LP max-flow equals Dinic on random graphs. ---------------
+
+double lpMaxFlow(const Graph& g, NodeId s, NodeId t) {
+  LpProblem p(Sense::kMaximize);
+  std::vector<int> f(g.numEdges());
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    f[e] = p.addVar(0.0, 0.0, g.edge(e).capacity);
+  }
+  // Objective: net flow out of s.
+  for (const EdgeId e : g.outEdges(s)) p.setObjective(f[e], 1.0);
+  for (const EdgeId e : g.inEdges(s)) p.setObjective(f[e], -1.0);
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    if (v == s || v == t) continue;
+    std::vector<Term> terms;
+    for (const EdgeId e : g.outEdges(v)) terms.push_back({f[e], 1.0});
+    for (const EdgeId e : g.inEdges(v)) terms.push_back({f[e], -1.0});
+    if (!terms.empty()) p.addConstraint(std::move(terms), Rel::kEq, 0.0);
+  }
+  const LpResult r = solve(p);
+  EXPECT_EQ(r.status, Status::kOptimal);
+  return r.objective;
+}
+
+class LpVsDinic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpVsDinic, AgreeOnRandomBackbones) {
+  const Graph g = topo::randomBackbone(10, 3.0, GetParam());
+  std::mt19937_64 rng(GetParam() * 7919 + 13);
+  std::uniform_int_distribution<int> pick(0, g.numNodes() - 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    NodeId s = pick(rng);
+    NodeId t = pick(rng);
+    if (s == t) t = (t + 1) % g.numNodes();
+    EXPECT_NEAR(lpMaxFlow(g, s, t), maxFlow(g, s, t), 1e-6)
+        << "seed=" << GetParam() << " s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpVsDinic,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace coyote::lp

@@ -1,0 +1,254 @@
+// Randomized and cross-cutting property tests.
+//
+// These check invariants rather than specific values: LP solutions satisfy
+// every constraint they were given (the class of bug that silently corrupts
+// every downstream number), evaluation is deterministic, emulated delivery
+// is conservative, and the corpus is reproducible.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "core/local_search.hpp"
+#include "core/splitting_optimizer.hpp"
+#include "lp/lp.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/propagation.hpp"
+#include "routing/worst_case.hpp"
+#include "sim/fluid.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/generator.hpp"
+#include "topo/parser.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LP: every returned optimum must satisfy every constraint.
+// ---------------------------------------------------------------------------
+
+struct RandomLp {
+  lp::LpProblem problem{lp::Sense::kMaximize};
+  std::vector<std::vector<lp::Term>> rows;
+  std::vector<lp::Rel> rels;
+  std::vector<double> rhs;
+};
+
+RandomLp makeRandomLp(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> nvars(2, 5);
+  std::uniform_int_distribution<int> nrows(2, 8);
+  std::uniform_real_distribution<double> coef(-3.0, 3.0);
+  std::uniform_real_distribution<double> pos(0.5, 5.0);
+  std::uniform_int_distribution<int> rel3(0, 2);
+
+  RandomLp out;
+  const int n = nvars(rng);
+  for (int j = 0; j < n; ++j) out.problem.addVar(coef(rng));
+  // A bounding box keeps every instance bounded.
+  for (int j = 0; j < n; ++j) {
+    out.rows.push_back({lp::Term{j, 1.0}});
+    out.rels.push_back(lp::Rel::kLe);
+    out.rhs.push_back(pos(rng));
+  }
+  const int m = nrows(rng);
+  for (int i = 0; i < m; ++i) {
+    std::vector<lp::Term> row;
+    for (int j = 0; j < n; ++j) {
+      const double c = coef(rng);
+      if (std::abs(c) > 0.3) row.push_back({j, c});
+    }
+    if (row.empty()) continue;
+    const lp::Rel rel = static_cast<lp::Rel>(rel3(rng));
+    // Make >=/= rows satisfiable at the origin-ish region.
+    const double b = (rel == lp::Rel::kLe) ? pos(rng)
+                     : (rel == lp::Rel::kGe) ? -pos(rng)
+                                             : 0.0;
+    out.rows.push_back(row);
+    out.rels.push_back(rel);
+    out.rhs.push_back(b);
+  }
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    out.problem.addConstraint(out.rows[i], out.rels[i], out.rhs[i]);
+  }
+  return out;
+}
+
+class LpFeasibility : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpFeasibility, OptimaSatisfyEveryConstraint) {
+  const RandomLp inst = makeRandomLp(GetParam());
+  const lp::LpResult res = lp::solve(inst.problem);
+  if (res.status != lp::Status::kOptimal) {
+    // Infeasible is a legal outcome for random >=-rows; unbounded is not
+    // (all variables boxed above and >= 0).
+    EXPECT_EQ(res.status, lp::Status::kInfeasible);
+    return;
+  }
+  constexpr double kTol = 1e-6;
+  for (std::size_t i = 0; i < inst.rows.size(); ++i) {
+    double lhs = 0.0;
+    for (const auto& t : inst.rows[i]) lhs += t.coef * res.x[t.var];
+    switch (inst.rels[i]) {
+      case lp::Rel::kLe:
+        EXPECT_LE(lhs, inst.rhs[i] + kTol) << "row " << i;
+        break;
+      case lp::Rel::kGe:
+        EXPECT_GE(lhs, inst.rhs[i] - kTol) << "row " << i;
+        break;
+      case lp::Rel::kEq:
+        EXPECT_NEAR(lhs, inst.rhs[i], kTol) << "row " << i;
+        break;
+    }
+  }
+  for (const double v : res.x) EXPECT_GE(v, -1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpFeasibility,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Worst-case oracle invariants.
+// ---------------------------------------------------------------------------
+
+class OracleInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleInvariants, WorstDemandIsInTheScaledBox) {
+  const Graph g = topo::randomBackbone(8, 3.0, GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const tm::DemandBounds box = tm::marginBounds(base, 2.0);
+  const routing::WorstCaseResult wc = routing::findWorstCaseDemand(g, cfg, &box);
+  ASSERT_GT(wc.ratio, 0.0);
+  // There must exist lambda > 0 with lambda*lo <= d <= lambda*hi:
+  // max over pairs of d/hi must not exceed min over pairs of d/lo.
+  double lam_min = 0.0, lam_max = std::numeric_limits<double>::infinity();
+  for (NodeId s = 0; s < g.numNodes(); ++s) {
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      if (s == t || box.hi.at(s, t) <= 0.0) continue;
+      lam_min = std::max(lam_min, wc.demand.at(s, t) / box.hi.at(s, t));
+      lam_max = std::min(lam_max, wc.demand.at(s, t) / box.lo.at(s, t));
+    }
+  }
+  EXPECT_LE(lam_min, lam_max * (1.0 + 1e-6));
+  // And the demand is routable within the DAG capacities.
+  EXPECT_LE(routing::optimalUtilization(g, *dags, wc.demand), 1.0 + 1e-6);
+  // The reported ratio is reproducible by plain propagation.
+  EXPECT_NEAR(routing::maxLinkUtilization(g, cfg, wc.demand), wc.ratio, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleInvariants,
+                         ::testing::Values(3u, 7u, 21u, 42u));
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, ZooIsReproducible) {
+  for (const auto& name : topo::zooNames()) {
+    EXPECT_EQ(topo::serializeTopologyString(topo::makeZoo(name)),
+              topo::serializeTopologyString(topo::makeZoo(name)))
+        << name;
+  }
+}
+
+TEST(Determinism, OptimizerIsReproducible) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  routing::PerformanceEvaluator eval(g, dags);
+  tm::PoolOptions popt;
+  popt.random_corners = 3;
+  eval.addPool(tm::cornerPool(
+      tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt));
+  core::SplittingOptions sopt;
+  sopt.iterations = 120;
+  const auto run = [&] {
+    return core::optimizeSplitting(
+        g, eval, routing::RoutingConfig::uniform(g, dags), sopt);
+  };
+  const auto a = run();
+  const auto b = run();
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    for (const EdgeId e : (*dags)[t].edges()) {
+      EXPECT_DOUBLE_EQ(a.ratio(t, e), b.ratio(t, e));
+    }
+  }
+}
+
+TEST(Determinism, LocalSearchIsReproducible) {
+  const Graph g = topo::makeZoo("Abilene");
+  const tm::DemandBounds box =
+      tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0);
+  core::LocalSearchOptions opt;
+  opt.max_rounds = 2;
+  opt.max_moves_per_round = 6;
+  const auto a = core::localSearchWeights(g, box, opt);
+  const auto b = core::localSearchWeights(g, box, opt);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+// ---------------------------------------------------------------------------
+// Fluid-simulator conservativeness.
+// ---------------------------------------------------------------------------
+
+class FluidConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidConservation, DeliveredNeverExceedsSent) {
+  std::mt19937_64 rng(GetParam());
+  const Graph g = topo::randomBackbone(7, 3.0, GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  sim::FluidNetwork net(g);
+  std::uniform_real_distribution<double> rate(0.1, 4.0);
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    net.setPrefixOwner(t, t);
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      if (u == t) continue;
+      std::vector<std::pair<EdgeId, double>> splits;
+      for (const EdgeId e : (*dags)[t].outEdges(u)) {
+        splits.emplace_back(e, cfg.ratio(t, e));
+      }
+      if (!splits.empty()) net.setForwarding(t, u, std::move(splits));
+    }
+  }
+  for (int k = 0; k < 6; ++k) {
+    const NodeId s = static_cast<NodeId>(rng() % g.numNodes());
+    const NodeId t = static_cast<NodeId>(rng() % g.numNodes());
+    if (s == t) continue;
+    net.addFlow({s, t, rate(rng), 0.0, 3.0});
+  }
+  for (const auto& st : net.run(3.0, 0.5)) {
+    EXPECT_LE(st.delivered, st.sent + 1e-9);
+    EXPECT_GE(st.delivered, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidConservation,
+                         ::testing::Values(5u, 6u, 8u, 13u));
+
+// ---------------------------------------------------------------------------
+// Scheme-dominance sweeps across the corpus (cheap networks only).
+// ---------------------------------------------------------------------------
+
+class SchemeDominance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchemeDominance, CoyoteAtMarginOneIsOptimal) {
+  const Graph g = topo::makeZoo(GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const core::CoyoteResult pk =
+      core::coyoteWithBounds(g, dags, tm::marginBounds(base, 1.0), {});
+  EXPECT_NEAR(pk.pool_ratio, 1.0, 1e-5) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SchemeDominance,
+                         ::testing::Values("Abilene", "NSF", "Germany",
+                                           "Gambia", "GRNet"));
+
+}  // namespace
+}  // namespace coyote

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "sim/fluid.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::sim {
+namespace {
+
+/// The Fig. 12a triangle with prefixes t1 (id 0) and t2 (id 1) owned by t.
+struct Proto {
+  Graph g = topo::prototypeTriangle();
+  NodeId s1, s2, t;
+  EdgeId s1t, s2t, s1s2, s2s1;
+
+  Proto()
+      : s1(*g.findNode("s1")),
+        s2(*g.findNode("s2")),
+        t(*g.findNode("t")),
+        s1t(*g.findEdge(s1, t)),
+        s2t(*g.findEdge(s2, t)),
+        s1s2(*g.findEdge(s1, s2)),
+        s2s1(*g.findEdge(s2, s1)) {}
+
+  FluidNetwork directNetwork() const {
+    FluidNetwork net(g);
+    for (const PrefixId p : {0, 1}) {
+      net.setPrefixOwner(p, t);
+      net.setForwarding(p, s1, {{s1t, 1.0}});
+      net.setForwarding(p, s2, {{s2t, 1.0}});
+    }
+    return net;
+  }
+};
+
+TEST(Fluid, NoDropsUnderCapacity) {
+  Proto p;
+  FluidNetwork net = p.directNetwork();
+  net.addFlow({p.s1, 0, 0.8, 0.0, 10.0});
+  const auto stats = net.run(10.0, 1.0);
+  ASSERT_EQ(stats.size(), 10u);
+  for (const auto& s : stats) {
+    EXPECT_NEAR(s.sent, 0.8, 1e-9);
+    EXPECT_NEAR(s.dropRate(), 0.0, 1e-9);
+  }
+}
+
+TEST(Fluid, BottleneckDropsExcessProportionally) {
+  Proto p;
+  FluidNetwork net = p.directNetwork();
+  net.addFlow({p.s1, 0, 2.0, 0.0, 5.0});  // 2 units over a 1-unit link
+  const auto stats = net.run(5.0, 1.0);
+  for (const auto& s : stats) {
+    EXPECT_NEAR(s.dropRate(), 0.5, 1e-9);
+  }
+}
+
+TEST(Fluid, FlowStartStopTiming) {
+  Proto p;
+  FluidNetwork net = p.directNetwork();
+  net.addFlow({p.s1, 0, 1.0, 2.0, 4.0});
+  const auto stats = net.run(6.0, 1.0);
+  EXPECT_NEAR(stats[0].sent, 0.0, 1e-12);
+  EXPECT_NEAR(stats[2].sent, 1.0, 1e-12);
+  EXPECT_NEAR(stats[3].sent, 1.0, 1e-12);
+  EXPECT_NEAR(stats[5].sent, 0.0, 1e-12);
+}
+
+TEST(Fluid, PartialStepOverlapScalesRate) {
+  Proto p;
+  FluidNetwork net = p.directNetwork();
+  net.addFlow({p.s1, 0, 1.0, 0.5, 1.0});  // active half of step 0
+  const auto stats = net.run(1.0, 1.0);
+  EXPECT_NEAR(stats[0].sent, 0.5, 1e-12);
+}
+
+TEST(Fluid, SharedBottleneckCouplesPrefixes) {
+  Proto p;
+  // Both prefixes routed via (s2,t): s1's traffic via s2.
+  FluidNetwork net(p.g);
+  for (const PrefixId pf : {0, 1}) {
+    net.setPrefixOwner(pf, p.t);
+    net.setForwarding(pf, p.s1, {{p.s1s2, 1.0}});
+    net.setForwarding(pf, p.s2, {{p.s2t, 1.0}});
+  }
+  net.addFlow({p.s1, 0, 1.0, 0.0, 1.0});
+  net.addFlow({p.s2, 1, 1.0, 0.0, 1.0});
+  const auto stats = net.run(1.0, 1.0);
+  // 2 units offered into a 1-unit link: half of everything is lost.
+  EXPECT_NEAR(stats[0].dropRate(), 0.5, 1e-6);
+}
+
+TEST(Fluid, DownstreamSeesOnlySurvivingTraffic) {
+  // Chain s1 -> s2 -> t with the first hop droppy: the (s2,t) link must not
+  // drop again (arrivals there are post-drop).
+  Proto p;
+  FluidNetwork net(p.g);
+  net.setPrefixOwner(0, p.t);
+  net.setForwarding(0, p.s1, {{p.s1s2, 1.0}});
+  net.setForwarding(0, p.s2, {{p.s2t, 1.0}});
+  net.addFlow({p.s1, 0, 3.0, 0.0, 1.0});
+  const auto stats = net.run(1.0, 1.0);
+  // (s1,s2) passes 1 of 3 units; (s2,t) carries 1 -> no further loss.
+  EXPECT_NEAR(stats[0].delivered, 1.0, 1e-6);
+  EXPECT_NEAR(stats[0].dropRate(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Fluid, SplitForwardingDividesLoad) {
+  Proto p;
+  FluidNetwork net(p.g);
+  net.setPrefixOwner(0, p.t);
+  net.setForwarding(0, p.s1, {{p.s1t, 0.5}, {p.s1s2, 0.5}});
+  net.setForwarding(0, p.s2, {{p.s2t, 1.0}});
+  net.addFlow({p.s1, 0, 2.0, 0.0, 1.0});
+  const auto stats = net.run(1.0, 1.0);
+  EXPECT_NEAR(stats[0].dropRate(), 0.0, 1e-9);  // 1 + 1 over two unit paths
+}
+
+TEST(Fluid, RejectsForwardingLoop) {
+  Proto p;
+  FluidNetwork net(p.g);
+  net.setPrefixOwner(0, p.t);
+  net.setForwarding(0, p.s1, {{p.s1s2, 1.0}});
+  net.setForwarding(0, p.s2, {{p.s2s1, 1.0}});
+  net.addFlow({p.s1, 0, 1.0, 0.0, 1.0});
+  EXPECT_THROW((void)net.run(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Fluid, RejectsBadForwardingEntries) {
+  Proto p;
+  FluidNetwork net(p.g);
+  net.setPrefixOwner(0, p.t);
+  // Fractions must sum to 1.
+  EXPECT_THROW(net.setForwarding(0, p.s1, {{p.s1t, 0.4}}),
+               std::invalid_argument);
+  // Edge must leave the node.
+  EXPECT_THROW(net.setForwarding(0, p.s1, {{p.s2t, 1.0}}),
+               std::invalid_argument);
+  // Flow toward unknown prefix.
+  EXPECT_THROW(net.addFlow({p.s1, 9, 1.0, 0.0, 1.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The Fig. 12 experiment in miniature: the three TE schemes under the three
+// traffic scenarios. COYOTE's per-prefix DAGs avoid all drops.
+// ---------------------------------------------------------------------------
+
+struct SchemeStats {
+  double drop_scenario1 = 0.0;  // (s1->t1, s2->t2) = (0, 2)
+  double drop_scenario2 = 0.0;  // (1, 1)
+  double drop_scenario3 = 0.0;  // (2, 0)
+};
+
+SchemeStats runSchemes(const Proto& p, FluidNetwork& net) {
+  net.addFlow({p.s2, 1, 2.0, 0.0, 5.0});
+  net.addFlow({p.s1, 0, 1.0, 5.0, 10.0});
+  net.addFlow({p.s2, 1, 1.0, 5.0, 10.0});
+  net.addFlow({p.s1, 0, 2.0, 10.0, 15.0});
+  const auto stats = net.run(15.0, 1.0);
+  SchemeStats out;
+  double sent = 0.0, del = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    sent += stats[i].sent;
+    del += stats[i].delivered;
+  }
+  out.drop_scenario1 = 1.0 - del / sent;
+  sent = del = 0.0;
+  for (int i = 5; i < 10; ++i) {
+    sent += stats[i].sent;
+    del += stats[i].delivered;
+  }
+  out.drop_scenario2 = 1.0 - del / sent;
+  sent = del = 0.0;
+  for (int i = 10; i < 15; ++i) {
+    sent += stats[i].sent;
+    del += stats[i].delivered;
+  }
+  out.drop_scenario3 = 1.0 - del / sent;
+  return out;
+}
+
+TEST(Fig12, Te1DropsInExtremeScenarios) {
+  Proto p;
+  FluidNetwork net = p.directNetwork();  // TE1: both direct
+  const SchemeStats s = runSchemes(p, net);
+  EXPECT_NEAR(s.drop_scenario1, 0.5, 1e-6);
+  EXPECT_NEAR(s.drop_scenario2, 0.0, 1e-6);
+  EXPECT_NEAR(s.drop_scenario3, 0.5, 1e-6);
+}
+
+TEST(Fig12, Te2HelpsOneSideOnly) {
+  Proto p;
+  // TE2: s1 splits 1/2 direct + 1/2 via s2 (same DAG for both prefixes).
+  FluidNetwork net(p.g);
+  for (const PrefixId pf : {0, 1}) {
+    net.setPrefixOwner(pf, p.t);
+    net.setForwarding(pf, p.s1, {{p.s1t, 0.5}, {p.s1s2, 0.5}});
+    net.setForwarding(pf, p.s2, {{p.s2t, 1.0}});
+  }
+  const SchemeStats s = runSchemes(p, net);
+  EXPECT_NEAR(s.drop_scenario1, 0.5, 1e-6);   // s2's 2 units still direct
+  EXPECT_NEAR(s.drop_scenario2, 0.25, 1e-6);  // (s2,t) carries 1.5
+  EXPECT_NEAR(s.drop_scenario3, 0.0, 1e-6);   // s1's 2 units split evenly
+}
+
+TEST(Fig12, CoyotePerPrefixDagsDropNothing) {
+  Proto p;
+  // COYOTE: prefix t1 split at s1; prefix t2 split at s2 (Sec. VII).
+  FluidNetwork net(p.g);
+  net.setPrefixOwner(0, p.t);
+  net.setPrefixOwner(1, p.t);
+  net.setForwarding(0, p.s1, {{p.s1t, 0.5}, {p.s1s2, 0.5}});
+  net.setForwarding(0, p.s2, {{p.s2t, 1.0}});
+  net.setForwarding(1, p.s2, {{p.s2t, 0.5}, {p.s2s1, 0.5}});
+  net.setForwarding(1, p.s1, {{p.s1t, 1.0}});
+  const SchemeStats s = runSchemes(p, net);
+  EXPECT_NEAR(s.drop_scenario1, 0.0, 1e-6);
+  EXPECT_NEAR(s.drop_scenario2, 0.0, 1e-6);
+  EXPECT_NEAR(s.drop_scenario3, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace coyote::sim

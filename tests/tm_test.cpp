@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "tm/traffic_matrix.hpp"
+#include "tm/uncertainty.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::tm {
+namespace {
+
+TEST(TrafficMatrix, SetGetAndDiagonal) {
+  TrafficMatrix d(3);
+  d.set(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(d.at(1, 0), 0.0);
+  EXPECT_THROW(d.set(1, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(d.set(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)d.at(0, 5), std::invalid_argument);
+}
+
+TEST(TrafficMatrix, ScaleAndTotal) {
+  TrafficMatrix d(3);
+  d.set(0, 1, 1.0);
+  d.set(2, 1, 3.0);
+  EXPECT_DOUBLE_EQ(d.total(), 4.0);
+  EXPECT_DOUBLE_EQ(d.maxEntry(), 3.0);
+  d.scale(0.5);
+  EXPECT_DOUBLE_EQ(d.total(), 2.0);
+  EXPECT_EQ(d.nonZeroPairs().size(), 2u);
+}
+
+TEST(TrafficMatrix, Equality) {
+  TrafficMatrix a(2), b(2);
+  a.set(0, 1, 1.0);
+  EXPECT_FALSE(a == b);
+  b.set(0, 1, 1.0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Gravity, ProportionalToCapacityProducts) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  const NodeId c = g.addNode();
+  g.addEdge(a, b, 4.0);
+  g.addEdge(b, c, 2.0);
+  g.addEdge(c, a, 1.0);
+  const TrafficMatrix d = gravityMatrix(g, 1.0);
+  EXPECT_NEAR(d.total(), 1.0, 1e-12);
+  // outCap: a=4, b=2, c=1 -> d(a,b)/d(a,c) = (4*2)/(4*1) = 2.
+  EXPECT_NEAR(d.at(a, b) / d.at(a, c), 2.0, 1e-9);
+  EXPECT_NEAR(d.at(b, a) / d.at(c, a), 2.0, 1e-9);
+}
+
+TEST(Gravity, AllPairsPositiveOnBackbones) {
+  const Graph g = topo::makeZoo("Abilene");
+  const TrafficMatrix d = gravityMatrix(g, 100.0);
+  EXPECT_NEAR(d.total(), 100.0, 1e-9);
+  EXPECT_EQ(d.nonZeroPairs().size(),
+            static_cast<std::size_t>(g.numNodes() * (g.numNodes() - 1)));
+}
+
+TEST(Bimodal, DeterministicInSeed) {
+  const Graph g = topo::makeZoo("NSF");
+  const TrafficMatrix a = bimodalMatrix(g, {}, 7, 10.0);
+  const TrafficMatrix b = bimodalMatrix(g, {}, 7, 10.0);
+  const TrafficMatrix c = bimodalMatrix(g, {}, 8, 10.0);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_NEAR(a.total(), 10.0, 1e-9);
+}
+
+TEST(Bimodal, ElephantsDominate) {
+  const Graph g = topo::makeZoo("Geant");
+  BimodalParams params;
+  params.large_fraction = 0.1;
+  const TrafficMatrix d = bimodalMatrix(g, params, 3, 1.0);
+  // With a 10x mean gap, the top decile of entries should carry a
+  // disproportionate share of the traffic.
+  std::vector<double> v;
+  for (const auto& [s, t] : d.nonZeroPairs()) v.push_back(d.at(s, t));
+  std::sort(v.begin(), v.end(), std::greater<>());
+  double top = 0.0;
+  const std::size_t k = v.size() / 10;
+  for (std::size_t i = 0; i < k; ++i) top += v[i];
+  EXPECT_GT(top, 0.35 * d.total());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Uncertainty, MarginBounds) {
+  TrafficMatrix base(2);
+  base.set(0, 1, 4.0);
+  const DemandBounds box = marginBounds(base, 2.0);
+  EXPECT_DOUBLE_EQ(box.lo.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(box.hi.at(0, 1), 8.0);
+  EXPECT_TRUE(box.contains(base));
+  TrafficMatrix out(2);
+  out.set(0, 1, 9.0);
+  EXPECT_FALSE(box.contains(out));
+  EXPECT_THROW((void)marginBounds(base, 0.5), std::invalid_argument);
+}
+
+TEST(Uncertainty, BoundsValidation) {
+  TrafficMatrix lo(2), hi(2);
+  lo.set(0, 1, 3.0);
+  hi.set(0, 1, 1.0);
+  EXPECT_THROW(DemandBounds(lo, hi), std::invalid_argument);
+}
+
+TEST(CornerPool, ContainsAllHiAndHotspots) {
+  const Graph g = topo::makeZoo("Abilene");
+  const TrafficMatrix base = gravityMatrix(g, 1.0);
+  const DemandBounds box = marginBounds(base, 2.0);
+  PoolOptions opt;
+  opt.random_corners = 4;
+  opt.pair_hotspots = 6;
+  const auto pool = cornerPool(box, opt);
+  // all-hi + n destination hotspots + n source hotspots + pairs + randoms.
+  EXPECT_EQ(pool.size(),
+            static_cast<std::size_t>(1 + 2 * g.numNodes() + 6 + 4));
+  EXPECT_TRUE(pool.front() == box.hi);
+  for (const auto& d : pool) EXPECT_TRUE(box.contains(d));
+}
+
+TEST(CornerPool, MarginOneCollapsesToBase) {
+  const Graph g = topo::makeZoo("Abilene");
+  const TrafficMatrix base = gravityMatrix(g, 1.0);
+  const DemandBounds box = marginBounds(base, 1.0);
+  for (const auto& d : cornerPool(box)) EXPECT_TRUE(d == base);
+}
+
+TEST(CornerPool, EntriesAreCornerValues) {
+  const Graph g = topo::makeZoo("NSF");
+  const TrafficMatrix base = gravityMatrix(g, 1.0);
+  const DemandBounds box = marginBounds(base, 3.0);
+  for (const auto& d : cornerPool(box)) {
+    for (const auto& [s, t] : d.nonZeroPairs()) {
+      const double v = d.at(s, t);
+      const bool is_lo = std::abs(v - box.lo.at(s, t)) < 1e-12;
+      const bool is_hi = std::abs(v - box.hi.at(s, t)) < 1e-12;
+      EXPECT_TRUE(is_lo || is_hi);
+    }
+  }
+}
+
+TEST(CornerPool, PairHotspotsSpikeTheLargestPairs) {
+  const Graph g = topo::makeZoo("Abilene");
+  TrafficMatrix base = gravityMatrix(g, 1.0);
+  const DemandBounds box = marginBounds(base, 3.0);
+  PoolOptions opt;
+  opt.destination_hotspots = false;
+  opt.source_hotspots = false;
+  opt.random_corners = 0;
+  opt.pair_hotspots = 3;
+  const auto pool = cornerPool(box, opt);
+  ASSERT_EQ(pool.size(), 4u);  // all-hi + 3 pair spikes
+  // Each pair matrix has exactly one entry at hi, the rest at lo.
+  for (std::size_t k = 1; k < pool.size(); ++k) {
+    int at_hi = 0;
+    for (const auto& [s, t] : pool[k].nonZeroPairs()) {
+      if (std::abs(pool[k].at(s, t) - box.hi.at(s, t)) < 1e-12) ++at_hi;
+    }
+    EXPECT_EQ(at_hi, 1);
+  }
+}
+
+TEST(CornerPool, MaxHotspotsCapsPoolSize) {
+  const Graph g = topo::makeZoo("Geant");
+  const DemandBounds box = marginBounds(gravityMatrix(g, 1.0), 2.0);
+  PoolOptions opt;
+  opt.random_corners = 0;
+  opt.pair_hotspots = 0;
+  opt.max_hotspots = 5;
+  const auto pool = cornerPool(box, opt);
+  EXPECT_EQ(pool.size(), static_cast<std::size_t>(1 + 5 + 5));
+}
+
+TEST(ObliviousPool, DestinationConcentratedShape) {
+  ObliviousPoolOptions opt;
+  opt.destination_concentrated = true;
+  opt.source_concentrated = false;
+  opt.uniform = false;
+  opt.random_sparse = 0;
+  const auto pool = obliviousPool(5, opt);
+  ASSERT_EQ(pool.size(), 5u);
+  // Matrix k concentrates all demand on destination k.
+  for (int k = 0; k < 5; ++k) {
+    for (const auto& [s, t] : pool[k].nonZeroPairs()) EXPECT_EQ(t, k);
+    EXPECT_EQ(pool[k].nonZeroPairs().size(), 4u);
+  }
+}
+
+TEST(ObliviousPool, SparseRandomRespectsPairBudget) {
+  ObliviousPoolOptions opt;
+  opt.destination_concentrated = false;
+  opt.source_concentrated = false;
+  opt.uniform = false;
+  opt.random_sparse = 6;
+  opt.sparse_active_pairs = 2;
+  const auto pool = obliviousPool(6, opt);
+  EXPECT_EQ(pool.size(), 6u);
+  for (const auto& d : pool) {
+    EXPECT_LE(d.nonZeroPairs().size(), 2u);
+    EXPECT_GE(d.nonZeroPairs().size(), 1u);
+  }
+}
+
+TEST(ObliviousPool, SourceConcentratedAndUniform) {
+  ObliviousPoolOptions opt;
+  opt.destination_concentrated = false;
+  opt.source_concentrated = true;
+  opt.uniform = true;
+  opt.random_sparse = 0;
+  const auto pool = obliviousPool(4, opt);
+  ASSERT_EQ(pool.size(), 5u);  // 4 source matrices + uniform
+  for (int k = 0; k < 4; ++k) {
+    for (const auto& [s, t] : pool[k].nonZeroPairs()) EXPECT_EQ(s, k);
+  }
+  EXPECT_EQ(pool.back().nonZeroPairs().size(), 12u);
+}
+
+}  // namespace
+}  // namespace coyote::tm

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "topo/generator.hpp"
+#include "topo/parser.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::topo {
+namespace {
+
+TEST(Zoo, AllNamesBuild) {
+  for (const auto& name : zooNames()) {
+    const Graph g = makeZoo(name);
+    EXPECT_GE(g.numNodes(), 7) << name;
+    EXPECT_GT(g.numEdges(), 0) << name;
+    EXPECT_TRUE(g.stronglyConnected()) << name;
+  }
+}
+
+TEST(Zoo, UnknownNameThrows) {
+  EXPECT_THROW((void)makeZoo("Atlantis"), std::invalid_argument);
+}
+
+TEST(Zoo, TableOneIsSubsetOfZoo) {
+  const auto all = zooNames();
+  const std::set<std::string> set(all.begin(), all.end());
+  for (const auto& name : tableOneNames()) {
+    EXPECT_TRUE(set.count(name)) << name;
+  }
+  // The paper's Table I drops the almost-tree networks.
+  const auto t1 = tableOneNames();
+  const std::set<std::string> t1set(t1.begin(), t1.end());
+  EXPECT_FALSE(t1set.count("Gambia"));
+  EXPECT_FALSE(t1set.count("BBNPlanet"));
+}
+
+TEST(Zoo, AbileneMatchesPublishedSize) {
+  const Graph g = makeZoo("Abilene");
+  EXPECT_EQ(g.numNodes(), 11);
+  EXPECT_EQ(g.numEdges(), 2 * 14);  // 14 bidirectional links
+}
+
+TEST(Zoo, NsfMatchesPublishedSize) {
+  const Graph g = makeZoo("NSF");
+  EXPECT_EQ(g.numNodes(), 14);
+  EXPECT_EQ(g.numEdges(), 2 * 21);
+}
+
+TEST(Zoo, GermanyMatchesNobelSize) {
+  const Graph g = makeZoo("Germany");
+  EXPECT_EQ(g.numNodes(), 17);
+  EXPECT_EQ(g.numEdges(), 2 * 26);
+}
+
+TEST(Zoo, WeightsAreInverseCapacity) {
+  for (const auto& name : zooNames()) {
+    const Graph g = makeZoo(name);
+    double max_cap = 0.0;
+    for (const Edge& e : g.edges()) max_cap = std::max(max_cap, e.capacity);
+    for (const Edge& e : g.edges()) {
+      EXPECT_NEAR(e.weight, max_cap / e.capacity, 1e-9) << name;
+    }
+  }
+}
+
+TEST(Zoo, LinksAreBidirectional) {
+  for (const auto& name : zooNames()) {
+    const Graph g = makeZoo(name);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      const Edge& ed = g.edge(e);
+      ASSERT_NE(ed.reverse, kInvalidEdge) << name;
+      EXPECT_EQ(g.edge(ed.reverse).reverse, e) << name;
+    }
+  }
+}
+
+TEST(Zoo, RunningExampleShape) {
+  const Graph g = runningExample();
+  EXPECT_EQ(g.numNodes(), 4);
+  EXPECT_EQ(g.numEdges(), 2 * 5);
+  ASSERT_TRUE(g.findNode("s1").has_value());
+  ASSERT_TRUE(g.findNode("t").has_value());
+  EXPECT_TRUE(g.findEdge(*g.findNode("s1"), *g.findNode("s2")).has_value());
+  EXPECT_FALSE(g.findEdge(*g.findNode("s1"), *g.findNode("t")).has_value());
+}
+
+TEST(Zoo, PrototypeTriangleShape) {
+  const Graph g = prototypeTriangle();
+  EXPECT_EQ(g.numNodes(), 3);
+  EXPECT_EQ(g.numEdges(), 2 * 3);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ParsesNodesAndLinks) {
+  const Graph g = parseTopologyString(
+      "# test\n"
+      "node a\n"
+      "node b\n"
+      "link a b 2.5 4\n"
+      "link b c 10\n");
+  EXPECT_EQ(g.numNodes(), 3);
+  EXPECT_EQ(g.numEdges(), 4);
+  const auto ab = g.findEdge(*g.findNode("a"), *g.findNode("b"));
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_DOUBLE_EQ(g.edge(*ab).capacity, 2.5);
+  EXPECT_DOUBLE_EQ(g.edge(*ab).weight, 4.0);
+}
+
+TEST(Parser, DefaultCapacityIsOne) {
+  const Graph g = parseTopologyString("link a b\n");
+  EXPECT_DOUBLE_EQ(g.edge(0).capacity, 1.0);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const Graph g = parseTopologyString(
+      "\n   \n# full comment line\nlink a b 1 # trailing comment\n");
+  EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(Parser, RejectsUnknownDirective) {
+  EXPECT_THROW((void)parseTopologyString("frobnicate a b\n"),
+               std::invalid_argument);
+}
+
+TEST(Parser, RejectsSelfLink) {
+  EXPECT_THROW((void)parseTopologyString("link a a 1\n"),
+               std::invalid_argument);
+}
+
+TEST(Parser, ErrorsIncludeLineNumbers) {
+  try {
+    (void)parseTopologyString("node a\nbogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RoundTripsAllZooTopologies) {
+  for (const auto& name : zooNames()) {
+    const Graph g = makeZoo(name);
+    const Graph h = parseTopologyString(serializeTopologyString(g));
+    ASSERT_EQ(h.numNodes(), g.numNodes()) << name;
+    ASSERT_EQ(h.numEdges(), g.numEdges()) << name;
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      EXPECT_EQ(h.nodeName(v), g.nodeName(v)) << name;
+    }
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      const auto found = h.findEdge(g.edge(e).src, g.edge(e).dst);
+      ASSERT_TRUE(found.has_value()) << name;
+      EXPECT_DOUBLE_EQ(h.edge(*found).capacity, g.edge(e).capacity) << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Generator, RingShape) {
+  const Graph g = ring(6);
+  EXPECT_EQ(g.numNodes(), 6);
+  EXPECT_EQ(g.numEdges(), 12);
+  EXPECT_TRUE(g.stronglyConnected());
+  EXPECT_THROW((void)ring(2), std::invalid_argument);
+}
+
+TEST(Generator, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.numNodes(), 12);
+  EXPECT_EQ(g.numEdges(), 2 * (3 * 3 + 2 * 4));
+  EXPECT_TRUE(g.stronglyConnected());
+}
+
+TEST(Generator, FullMeshShape) {
+  const Graph g = fullMesh(5);
+  EXPECT_EQ(g.numEdges(), 5 * 4);
+}
+
+TEST(Generator, RandomBackboneDeterministic) {
+  const Graph a = randomBackbone(15, 3.2, 42);
+  const Graph b = randomBackbone(15, 3.2, 42);
+  ASSERT_EQ(a.numEdges(), b.numEdges());
+  for (EdgeId e = 0; e < a.numEdges(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+    EXPECT_DOUBLE_EQ(a.edge(e).capacity, b.edge(e).capacity);
+  }
+  const Graph c = randomBackbone(15, 3.2, 43);
+  bool differs = c.numEdges() != a.numEdges();
+  for (EdgeId e = 0; !differs && e < std::min(a.numEdges(), c.numEdges()); ++e) {
+    differs = a.edge(e).src != c.edge(e).src || a.edge(e).dst != c.edge(e).dst;
+  }
+  EXPECT_TRUE(differs);
+}
+
+class BackboneProperties
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(BackboneProperties, ConnectedWithRequestedDensity) {
+  const auto [n, deg, seed] = GetParam();
+  const Graph g = randomBackbone(n, deg, seed);
+  EXPECT_EQ(g.numNodes(), n);
+  EXPECT_TRUE(g.stronglyConnected());
+  const double avg_degree = static_cast<double>(g.numEdges()) / n;
+  EXPECT_GE(avg_degree, 2.0 - 1e-9);
+  EXPECT_LE(avg_degree, deg + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BackboneProperties,
+    ::testing::Combine(::testing::Values(8, 16, 24),
+                       ::testing::Values(2.5, 3.0, 4.0),
+                       ::testing::Values(1u, 9u)));
+
+}  // namespace
+}  // namespace coyote::topo

@@ -1,0 +1,93 @@
+// Structural guarantees of the topology corpus: the experiments rely on the
+// backbones being 2-edge-connected (except the documented almost-trees) and
+// on every network yielding valid augmented DAGs, ECMP configs and demand
+// models. Parameterized across the whole corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/propagation.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::topo {
+namespace {
+
+bool connectedWithoutLink(const Graph& g, EdgeId skip) {
+  const EdgeId rev = g.edge(skip).reverse;
+  std::vector<char> seen(g.numNodes(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  int count = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.outEdges(u)) {
+      if (e == skip || e == rev) continue;
+      const NodeId w = g.edge(e).dst;
+      if (!seen[w]) {
+        seen[w] = 1;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == g.numNodes();
+}
+
+/// Networks the paper treats as "almost a tree" (excluded from Table I).
+bool isTreeLike(const std::string& name) {
+  return name == "Gambia" || name == "BBNPlanet" || name == "Digex" ||
+         name == "GRNet" || name == "AS1221";
+}
+
+class ZooStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooStructure, MeshyBackbonesSurviveAnySingleLinkFailure) {
+  if (isTreeLike(GetParam())) GTEST_SKIP() << "tree-like by design";
+  const Graph g = makeZoo(GetParam());
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    if (g.edge(e).reverse < e) continue;
+    EXPECT_TRUE(connectedWithoutLink(g, e))
+        << GetParam() << " loses connectivity without "
+        << g.nodeName(g.edge(e).src) << "-" << g.nodeName(g.edge(e).dst);
+  }
+}
+
+TEST_P(ZooStructure, NodeNamesAreUnique) {
+  const Graph g = makeZoo(GetParam());
+  std::set<std::string> names;
+  for (NodeId v = 0; v < g.numNodes(); ++v) names.insert(g.nodeName(v));
+  EXPECT_EQ(static_cast<int>(names.size()), g.numNodes());
+}
+
+TEST_P(ZooStructure, GravityDemandIsRoutableInAugmentedDags) {
+  const Graph g = makeZoo(GetParam());
+  const auto dags = core::augmentedDagsShared(g);
+  const auto ecmp = routing::ecmpConfig(g, dags);
+  const tm::TrafficMatrix d = tm::gravityMatrix(g, 1.0);
+  // Propagating the gravity demand must conserve flow (nothing stranded):
+  // per destination, the flow entering t equals t's demand column.
+  double delivered = 0.0;
+  for (NodeId t = 0; t < g.numNodes(); ++t) {
+    routing::LinkLoads loads(g.numEdges(), 0.0);
+    routing::accumulateDestinationLoads(g, ecmp, d, t, loads);
+    for (const EdgeId e : g.inEdges(t)) delivered += loads[e];
+  }
+  EXPECT_NEAR(delivered, d.total(), 1e-9);
+}
+
+TEST_P(ZooStructure, AverageDegreeIsBackboneLike) {
+  const Graph g = makeZoo(GetParam());
+  const double avg_deg = static_cast<double>(g.numEdges()) / g.numNodes();
+  EXPECT_GE(avg_deg, 1.5) << GetParam();  // >= tree density
+  EXPECT_LE(avg_deg, 6.0) << GetParam();  // PoP backbones are sparse
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, ZooStructure,
+                         ::testing::ValuesIn(zooNames()));
+
+}  // namespace
+}  // namespace coyote::topo
