@@ -11,8 +11,12 @@
 // EXPERIMENTS.md.
 //
 // Environment knobs (all benches):
-//   COYOTE_FULL=1   full parameter sweeps (all margins / all networks)
-//   COYOTE_EXACT=1  add exact slave-LP cutting planes (small networks)
+//   COYOTE_FULL=1     full parameter sweeps (all margins / all networks)
+//   COYOTE_EXACT=1    add exact slave-LP cutting planes (small networks)
+//   COYOTE_THREADS=N  size of the shared util::ThreadPool driving pool
+//                     normalization, PERF evaluation and the optimizer's
+//                     forward pass (default: hardware threads; results
+//                     are bit-identical for every N)
 #pragma once
 
 #include <chrono>

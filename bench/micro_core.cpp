@@ -34,6 +34,76 @@ void BM_SplittingOptimizerIterations(benchmark::State& state) {
 }
 BENCHMARK(BM_SplittingOptimizerIterations)->Arg(50)->Arg(200);
 
+// PERF evaluation hot path: ratioFor scans the whole pool, one propagation
+// per matrix, distributed over the thread pool. The series sweeps the
+// thread count over a >= 64-matrix pool; acceptance is >= 2x at 4 threads
+// with bit-identical results (cross-checked against the 1-thread run).
+void BM_RatioForThreadScaling(benchmark::State& state) {
+  // Shared across thread-count args: building the pool solves one
+  // normalization LP per matrix and dominates setup time.
+  static const Graph g = topo::makeZoo("Geant");
+  static const auto dags = core::augmentedDagsShared(g);
+  static routing::PerformanceEvaluator* eval = [] {
+    auto* e = new routing::PerformanceEvaluator(g, dags);
+    tm::PoolOptions popt;
+    popt.random_corners = 48;
+    popt.pair_hotspots = 24;
+    popt.seed = 11;
+    e->addPool(
+        tm::cornerPool(tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt));
+    return e;
+  }();
+  static const auto cfg = routing::RoutingConfig::uniform(g, dags);
+  static const double serial_ratio = [] {
+    eval->setThreads(1);
+    return eval->ratioFor(cfg);
+  }();
+
+  eval->setThreads(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    const double r = eval->ratioFor(cfg);
+    if (r != serial_ratio) {
+      state.SkipWithError("parallel ratio differs from serial ratio");
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * eval->size());
+  state.SetLabel("pool=" + std::to_string(eval->size()) + " matrices");
+}
+BENCHMARK(BM_RatioForThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AddPoolThreadScaling(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  tm::PoolOptions popt;
+  popt.random_corners = 24;
+  popt.seed = 5;
+  const auto pool =
+      tm::cornerPool(tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt);
+  for (auto _ : state) {
+    routing::PerformanceEvaluator eval(g, dags);
+    eval.setThreads(static_cast<unsigned>(state.range(0)));
+    eval.addPool(pool);
+    benchmark::DoNotOptimize(eval.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pool.size()));
+}
+BENCHMARK(BM_AddPoolThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LieSynthesisAllDests(benchmark::State& state) {
   const Graph g = topo::makeZoo("Geant");
   const auto dags = core::augmentedDagsShared(g);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/thread_pool.hpp"
+
 namespace coyote::core {
 namespace {
 
@@ -101,7 +103,6 @@ routing::RoutingConfig optimizeSplitting(
   for (int i = 0; i < pool.size(); ++i) {
     inflow[i].assign(active[i].size(), std::vector<double>(n, 0.0));
   }
-  std::vector<double> loads(m, 0.0);
   std::vector<double> grad(static_cast<std::size_t>(n) * m, 0.0);
   std::vector<double> mu(n, 0.0);
 
@@ -109,30 +110,35 @@ routing::RoutingConfig optimizeSplitting(
   double best_util = std::numeric_limits<double>::infinity();
 
   for (int iter = 0; iter < opt.iterations; ++iter) {
-    // ---- Forward: per-matrix link loads.
-    double umax = 0.0;
+    // ---- Forward: per-matrix link loads. Matrices are independent, so
+    // they propagate on the shared thread pool; umax reduces serially
+    // afterwards (max is order-insensitive, so this is bit-deterministic).
     std::vector<std::vector<double>> util(pool.size(),
                                           std::vector<double>(m, 0.0));
-    for (int i = 0; i < pool.size(); ++i) {
-      std::fill(loads.begin(), loads.end(), 0.0);
-      for (std::size_t k = 0; k < active[i].size(); ++k) {
-        const ActiveDemand& a = active[i][k];
-        const Dag& dag = dags[a.dest];
-        auto& F = inflow[i][k];
-        std::copy(a.column.begin(), a.column.end(), F.begin());
-        for (const NodeId u : dag.topoOrder()) {
-          if (u == a.dest || F[u] <= 0.0) continue;
-          for (const EdgeId e : dag.outEdges(u)) {
-            const double flow = F[u] * phi.at(a.dest, e);
-            loads[e] += flow;
-            F[g.edge(e).dst] += flow;
+    util::ThreadPool::global().parallelFor(
+        static_cast<std::size_t>(pool.size()), [&](std::size_t i) {
+          std::vector<double> loads(m, 0.0);
+          for (std::size_t k = 0; k < active[i].size(); ++k) {
+            const ActiveDemand& a = active[i][k];
+            const Dag& dag = dags[a.dest];
+            auto& F = inflow[i][k];
+            std::copy(a.column.begin(), a.column.end(), F.begin());
+            for (const NodeId u : dag.topoOrder()) {
+              if (u == a.dest || F[u] <= 0.0) continue;
+              for (const EdgeId e : dag.outEdges(u)) {
+                const double flow = F[u] * phi.at(a.dest, e);
+                loads[e] += flow;
+                F[g.edge(e).dst] += flow;
+              }
+            }
           }
-        }
-      }
-      for (EdgeId e = 0; e < m; ++e) {
-        util[i][e] = loads[e] / g.edge(e).capacity;
-        umax = std::max(umax, util[i][e]);
-      }
+          for (EdgeId e = 0; e < m; ++e) {
+            util[i][e] = loads[e] / g.edge(e).capacity;
+          }
+        });
+    double umax = 0.0;
+    for (int i = 0; i < pool.size(); ++i) {
+      for (EdgeId e = 0; e < m; ++e) umax = std::max(umax, util[i][e]);
     }
     if (umax < best_util) {
       best_util = umax;

@@ -1,74 +1,86 @@
 #include "routing/evaluator.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <cmath>
+#include <utility>
 
 #include "routing/propagation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace coyote::routing {
+namespace {
+
+// Entrywise comparison with a small relative tolerance: normalization is
+// scale-invariant in exact arithmetic, so rescaled copies of a pooled
+// matrix (or an oracle re-deriving one) differ only by LP round-off and
+// must still count as duplicates.
+bool nearlyEqual(const tm::TrafficMatrix& a, const tm::TrafficMatrix& b) {
+  if (a.numNodes() != b.numNodes()) return false;
+  for (NodeId s = 0; s < a.numNodes(); ++s) {
+    for (NodeId t = 0; t < a.numNodes(); ++t) {
+      if (s == t) continue;
+      const double x = a.at(s, t);
+      const double y = b.at(s, t);
+      if (std::abs(x - y) > 1e-9 * (1.0 + std::abs(x) + std::abs(y))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+util::ThreadPool& PerformanceEvaluator::pool() const {
+  return own_pool_ ? *own_pool_ : util::ThreadPool::global();
+}
+
+void PerformanceEvaluator::setThreads(unsigned threads) {
+  threads_ = threads;
+  // Built here, in the only mutating entry point, so the const evaluation
+  // paths (ratioFor/worst) stay safe for concurrent callers.
+  own_pool_ =
+      threads == 0 ? nullptr : std::make_unique<util::ThreadPool>(threads);
+}
+
+double PerformanceEvaluator::normalizationOf(const tm::TrafficMatrix& d) const {
+  if (d.total() <= 0.0) return 0.0;
+  return (norm_ == Normalization::kWithinDags)
+             ? optimalUtilization(g_, *dags_, d, lp_options_)
+             : optimalUtilizationUnrestricted(g_, d, lp_options_);
+}
 
 int PerformanceEvaluator::addMatrix(const tm::TrafficMatrix& d) {
   require(d.numNodes() == g_.numNodes(), "matrix/graph size mismatch");
-  if (d.total() <= 0.0) return -1;
-  const double optu = (norm_ == Normalization::kWithinDags)
-                          ? optimalUtilization(g_, *dags_, d, lp_options_)
-                          : optimalUtilizationUnrestricted(g_, d, lp_options_);
+  const double optu = normalizationOf(d);
   if (optu <= 1e-12) return -1;
   tm::TrafficMatrix scaled = d;
   scaled.scale(1.0 / optu);
   // Deduplicate: corner pools at margin 1 collapse to the base matrix, and
   // the cutting-plane loop must detect an oracle returning a known matrix.
   for (int i = 0; i < size(); ++i) {
-    if (pool_[i] == scaled) return -1;
+    if (nearlyEqual(pool_[i], scaled)) return -1;
   }
   pool_.push_back(std::move(scaled));
   return size() - 1;
 }
 
 void PerformanceEvaluator::addPool(const std::vector<tm::TrafficMatrix>& pool) {
+  for (const auto& d : pool) {
+    require(d.numNodes() == g_.numNodes(), "matrix/graph size mismatch");
+  }
   // Solve the normalization LPs concurrently (they are independent), then
   // insert sequentially so ordering and deduplication stay deterministic.
-  const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t workers =
-      std::min<std::size_t>(std::max(1u, hw), pool.size());
-  if (workers <= 1) {
-    for (const auto& d : pool) addMatrix(d);
-    return;
-  }
   std::vector<double> optu(pool.size(), 0.0);
-  std::vector<std::thread> threads;
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
-      try {
-        for (std::size_t i = next.fetch_add(1); i < pool.size();
-             i = next.fetch_add(1)) {
-          optu[i] = (pool[i].total() <= 0.0) ? 0.0
-                    : (norm_ == Normalization::kWithinDags)
-                        ? optimalUtilization(g_, *dags_, pool[i], lp_options_)
-                        : optimalUtilizationUnrestricted(g_, pool[i],
-                                                         lp_options_);
-        }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  this->pool().parallelFor(pool.size(), [&](std::size_t i) {
+    optu[i] = normalizationOf(pool[i]);
+  });
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (optu[i] <= 1e-12) continue;
     tm::TrafficMatrix scaled = pool[i];
     scaled.scale(1.0 / optu[i]);
     bool dup = false;
     for (const auto& existing : pool_) {
-      if (existing == scaled) {
+      if (nearlyEqual(existing, scaled)) {
         dup = true;
         break;
       }
@@ -83,12 +95,18 @@ double PerformanceEvaluator::ratioFor(const RoutingConfig& cfg) const {
 
 std::pair<int, double> PerformanceEvaluator::worst(
     const RoutingConfig& cfg) const {
+  // Each matrix's propagation is independent: compute utilizations into
+  // index-addressed slots in parallel, then reduce serially in pool order
+  // so the argmax (ties included) is identical for any thread count.
+  std::vector<double> util(pool_.size(), 0.0);
+  pool().parallelFor(pool_.size(), [&](std::size_t i) {
+    util[i] = maxLinkUtilization(g_, cfg, pool_[i]);
+  });
   int arg = -1;
   double best = 0.0;
   for (int i = 0; i < size(); ++i) {
-    const double u = maxLinkUtilization(g_, cfg, pool_[i]);
-    if (u > best) {
-      best = u;
+    if (util[i] > best) {
+      best = util[i];
       arg = i;
     }
   }

@@ -16,6 +16,7 @@
 #include "routing/config.hpp"
 #include "routing/optu.hpp"
 #include "tm/uncertainty.hpp"
+#include "util/thread_pool.hpp"
 
 namespace coyote::routing {
 
@@ -36,8 +37,9 @@ class PerformanceEvaluator {
 
   /// Adds a matrix to the pool: computes OPTU within the DAGs once and
   /// stores the matrix rescaled so its OPTU equals 1. Matrices with zero
-  /// demand, or equal (after normalization) to one already pooled, are
-  /// ignored. Returns the pool index, or -1 if ignored.
+  /// demand, or equal (after normalization, up to a small relative
+  /// tolerance absorbing LP round-off) to one already pooled, are ignored.
+  /// Returns the pool index, or -1 if ignored.
   int addMatrix(const tm::TrafficMatrix& d);
 
   /// Adds every matrix of a pool (see tm::cornerPool / tm::obliviousPool).
@@ -60,12 +62,25 @@ class PerformanceEvaluator {
   [[nodiscard]] const Graph& graph() const { return g_; }
   [[nodiscard]] std::shared_ptr<const DagSet> dagsPtr() const { return dags_; }
 
+  /// Caps the threads used by addPool/ratioFor/worst. 0 (the default)
+  /// uses the process-wide util::ThreadPool::global(); any other value
+  /// runs on a private pool of exactly that many threads. Results are
+  /// bit-identical for every setting (reduction order is serial).
+  void setThreads(unsigned threads);
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
  private:
+  util::ThreadPool& pool() const;
+  /// OPTU of d under the configured normalization; 0 for zero demand.
+  double normalizationOf(const tm::TrafficMatrix& d) const;
+
   const Graph& g_;
   std::shared_ptr<const DagSet> dags_;
   lp::SimplexOptions lp_options_;
   Normalization norm_;
   std::vector<tm::TrafficMatrix> pool_;
+  unsigned threads_ = 0;
+  std::unique_ptr<util::ThreadPool> own_pool_;
 };
 
 }  // namespace coyote::routing

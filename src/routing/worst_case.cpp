@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "routing/propagation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace coyote::routing {
 namespace {
@@ -39,7 +40,10 @@ class SlaveLp {
           const tm::DemandBounds* box)
       : g_(g), cfg_(cfg), box_(box), coef_(g, cfg) {}
 
-  WorstCaseResult solveForEdge(EdgeId target, const lp::SimplexOptions& opt) {
+  // Reads only the shared coefficients; safe to call concurrently for
+  // different edges (findWorstCaseDemand fans the per-edge LPs out).
+  WorstCaseResult solveForEdge(EdgeId target,
+                               const lp::SimplexOptions& opt) const {
     const int n = g_.numNodes();
     lp::LpProblem p(lp::Sense::kMaximize);
 
@@ -168,12 +172,27 @@ WorstCaseResult findWorstCaseDemand(const Graph& g, const RoutingConfig& cfg,
                                     const tm::DemandBounds* box,
                                     const lp::SimplexOptions& opt) {
   SlaveLp lp(g, cfg, box);
-  WorstCaseResult best{tm::TrafficMatrix(g.numNodes()), -1.0, kInvalidEdge};
+  // One independent LP per edge: solve them on the pool, keeping only the
+  // per-edge ratio (a full WorstCaseResult per edge would be O(|E| |V|^2)
+  // memory), then reduce in edge order so ties keep resolving to the
+  // lowest edge id, and re-solve the winner once for its demand matrix.
+  std::vector<double> ratio(static_cast<std::size_t>(g.numEdges()), 0.0);
+  util::ThreadPool::global().parallelFor(
+      static_cast<std::size_t>(g.numEdges()), [&](std::size_t e) {
+        ratio[e] = lp.solveForEdge(static_cast<EdgeId>(e), opt).ratio;
+      });
+  EdgeId arg = kInvalidEdge;
+  double best = -1.0;
   for (EdgeId e = 0; e < g.numEdges(); ++e) {
-    WorstCaseResult r = lp.solveForEdge(e, opt);
-    if (r.ratio > best.ratio) best = std::move(r);
+    if (ratio[e] > best) {
+      best = ratio[e];
+      arg = e;
+    }
   }
-  return best;
+  if (arg == kInvalidEdge) {
+    return {tm::TrafficMatrix(g.numNodes()), -1.0, kInvalidEdge};
+  }
+  return lp.solveForEdge(arg, opt);
 }
 
 }  // namespace coyote::routing

@@ -312,5 +312,42 @@ TEST(LocalSearch, DegenerateZeroDemandBox) {
   EXPECT_DOUBLE_EQ(res.utilization, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// require() failure paths of the optimizer entry points.
+// ---------------------------------------------------------------------------
+
+TEST(CoyoteEdgeCases, EmptyOptimizationPoolThrows) {
+  const Graph g = topo::prototypeTriangle();
+  const auto dags = augmentedDagsShared(g);
+  routing::PerformanceEvaluator empty_pool(g, dags);
+  EXPECT_THROW(optimizeAgainstPool(g, empty_pool, nullptr, {}),
+               std::invalid_argument);
+  const auto init = routing::RoutingConfig::uniform(g, dags);
+  EXPECT_THROW(optimizeSplitting(g, empty_pool, init, {}),
+               std::invalid_argument);
+}
+
+TEST(CoyoteEdgeCases, ZeroIterationSplittingThrows) {
+  const Graph g = topo::prototypeTriangle();
+  const auto dags = augmentedDagsShared(g);
+  routing::PerformanceEvaluator eval(g, dags);
+  eval.addMatrix(tm::gravityMatrix(g, 1.0));
+  const auto init = routing::RoutingConfig::uniform(g, dags);
+  SplittingOptions opt;
+  opt.iterations = 0;
+  EXPECT_THROW(optimizeSplitting(g, eval, init, opt), std::invalid_argument);
+}
+
+TEST(CoyoteEdgeCases, LocalSearchOptionValidation) {
+  const Graph g = topo::prototypeTriangle();
+  const tm::DemandBounds box = tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0);
+  LocalSearchOptions opt;
+  opt.max_rounds = 0;
+  EXPECT_THROW(localSearchWeights(g, box, opt), std::invalid_argument);
+  opt.max_rounds = 1;
+  opt.max_weight = 1;
+  EXPECT_THROW(localSearchWeights(g, box, opt), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace coyote::core

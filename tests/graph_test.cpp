@@ -313,5 +313,46 @@ TEST_P(RandomBackboneFlow, FlowBoundedByDegreeCuts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomBackboneFlow,
                          ::testing::Values(1, 2, 3, 4, 5));
 
+// ---------------------------------------------------------------------------
+// require() failure paths: empty graphs and degenerate edge parameters.
+// ---------------------------------------------------------------------------
+
+TEST(GraphEdgeCases, EmptyGraphAccessorsThrow) {
+  const Graph g;
+  EXPECT_EQ(g.numNodes(), 0);
+  EXPECT_EQ(g.numEdges(), 0);
+  EXPECT_THROW((void)g.edge(0), std::invalid_argument);
+  EXPECT_THROW((void)g.nodeName(0), std::invalid_argument);
+  EXPECT_THROW((void)g.outEdges(0), std::invalid_argument);
+  EXPECT_THROW((void)g.inEdges(0), std::invalid_argument);
+  EXPECT_FALSE(g.findNode("anything").has_value());
+}
+
+TEST(GraphEdgeCases, EmptyGraphShortestPathsThrow) {
+  const Graph g;
+  // Any destination id is out of range on an empty graph.
+  EXPECT_THROW(shortestPathsTo(g, 0), std::invalid_argument);
+}
+
+TEST(GraphEdgeCases, ZeroCapacityAndWeightMutatorsThrow) {
+  Graph g;
+  const NodeId a = g.addNode();
+  const NodeId b = g.addNode();
+  const EdgeId e = g.addLink(a, b, 2.0);
+  EXPECT_THROW(g.setCapacity(e, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.setCapacity(e, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.setWeight(e, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.setWeight(e, -0.5), std::invalid_argument);
+  // A failed mutation leaves the edge untouched.
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 2.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 1.0);
+  EXPECT_THROW(g.addLink(a, b, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(GraphEdgeCases, DagRejectsOutOfRangeDestOnEmptyGraph) {
+  const Graph g;
+  EXPECT_THROW(Dag(g, 0, {}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace coyote

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "core/coyote.hpp"
 #include "core/dag_builder.hpp"
@@ -202,6 +204,40 @@ TEST_P(RandomBackbonePipeline, CoyoteNeverWorseThanEcmp) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomBackbonePipeline,
                          ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------------
+// COYOTE_FULL=1 sweep (the ctest `full' label; skipped in quick runs).
+// ---------------------------------------------------------------------------
+
+TEST(FullSweep, BoundsToVerifiedLiesAcrossCorpus) {
+  const char* v = std::getenv("COYOTE_FULL");
+  if (v == nullptr || v[0] == '\0' || v[0] == '0') {
+    GTEST_SKIP() << "set COYOTE_FULL=1 (ctest label `full') for the sweep";
+  }
+  // The Abilene pipeline check of Pipeline.BoundsToVerifiedLies, across
+  // every corpus backbone with a reduced iteration budget.
+  for (const std::string& name : topo::zooNames()) {
+    const Graph g = topo::makeZoo(name);
+    const auto dags = core::augmentedDagsShared(g);
+    const tm::DemandBounds box =
+        tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0);
+    core::CoyoteOptions copt;
+    copt.splitting.iterations = 60;
+    const core::CoyoteResult res = core::coyoteWithBounds(g, dags, box, copt);
+    constexpr int kBudget = 5;
+    const routing::RoutingConfig wire =
+        fib::quantizeConfig(g, res.routing, kBudget);
+    wire.validate(g);
+    fib::OspfModel model(g);
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      model.advertisePrefix(t, t);
+      fib::applyPlan(model, fib::synthesizeLies(g, wire, t, t, kBudget));
+      ASSERT_TRUE(fib::verifyRealization(model, wire, t, t, kBudget))
+          << name << " dest " << g.nodeName(t);
+      ASSERT_TRUE(model.forwardingIsLoopFree(t)) << name;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace coyote

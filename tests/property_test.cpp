@@ -6,7 +6,9 @@
 // is conservative, and the corpus is reproducible.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
+#include <string>
 
 #include "core/coyote.hpp"
 #include "core/dag_builder.hpp"
@@ -249,6 +251,49 @@ TEST_P(SchemeDominance, CoyoteAtMarginOneIsOptimal) {
 INSTANTIATE_TEST_SUITE_P(Zoo, SchemeDominance,
                          ::testing::Values("Abilene", "NSF", "Germany",
                                            "Gambia", "GRNet"));
+
+// ---------------------------------------------------------------------------
+// COYOTE_FULL=1 sweeps (the ctest `full' label; skipped in quick runs).
+// ---------------------------------------------------------------------------
+
+bool fullSweepsEnabled() {
+  const char* v = std::getenv("COYOTE_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+TEST(FullSweep, CoyoteAtMarginOneIsOptimalAcrossCorpus) {
+  if (!fullSweepsEnabled()) {
+    GTEST_SKIP() << "set COYOTE_FULL=1 (ctest label `full') for the sweep";
+  }
+  for (const std::string& name : topo::zooNames()) {
+    const Graph g = topo::makeZoo(name);
+    const auto dags = core::augmentedDagsShared(g);
+    const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+    const core::CoyoteResult pk =
+        core::coyoteWithBounds(g, dags, tm::marginBounds(base, 1.0), {});
+    EXPECT_NEAR(pk.pool_ratio, 1.0, 1e-5) << name;
+  }
+}
+
+TEST(FullSweep, LpOptimaSatisfyConstraintsManySeeds) {
+  if (!fullSweepsEnabled()) {
+    GTEST_SKIP() << "set COYOTE_FULL=1 (ctest label `full') for the sweep";
+  }
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const RandomLp rlp = makeRandomLp(seed);
+    const lp::LpResult res = lp::solve(rlp.problem);
+    if (res.status != lp::Status::kOptimal) continue;
+    for (std::size_t i = 0; i < rlp.rows.size(); ++i) {
+      double lhs = 0.0;
+      for (const auto& term : rlp.rows[i]) lhs += term.coef * res.x[term.var];
+      switch (rlp.rels[i]) {
+        case lp::Rel::kLe: EXPECT_LE(lhs, rlp.rhs[i] + 1e-6); break;
+        case lp::Rel::kGe: EXPECT_GE(lhs, rlp.rhs[i] - 1e-6); break;
+        case lp::Rel::kEq: EXPECT_NEAR(lhs, rlp.rhs[i], 1e-6); break;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace coyote

@@ -388,6 +388,27 @@ TEST(WorstCase, SingleEdgeQuery) {
   EXPECT_NEAR(wc.demand.at(ex.s2, ex.t), 2.0, 1e-5);
 }
 
+TEST(WorstCase, FullScanMatchesPerEdgeQueries) {
+  // findWorstCaseDemand fans the per-edge LPs out on the thread pool;
+  // its result must equal the serial per-edge scan, ties resolving to
+  // the lowest edge id.
+  const RunningExample ex;
+  const RoutingConfig cfg = ex.config(0.5, 1.0);
+  const tm::DemandBounds box = twoUserBox(ex);
+  const WorstCaseResult all = findWorstCaseDemand(ex.g, cfg, &box);
+  double best = -1.0;
+  EdgeId arg = kInvalidEdge;
+  for (EdgeId e = 0; e < ex.g.numEdges(); ++e) {
+    const double r = findWorstCaseDemandForEdge(ex.g, cfg, e, &box).ratio;
+    if (r > best) {
+      best = r;
+      arg = e;
+    }
+  }
+  EXPECT_EQ(all.edge, arg);
+  EXPECT_DOUBLE_EQ(all.ratio, best);
+}
+
 TEST(WorstCase, CrossDestinationTrafficRaisesTheObliviousRatio) {
   // Without the two-user restriction the adversary may also route demands
   // toward other destinations across (s2,t); the oblivious ratio can only

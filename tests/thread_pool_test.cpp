@@ -1,0 +1,113 @@
+// util::ThreadPool: coverage, reuse, exception propagation, determinism.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace coyote::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallelFor(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroAndOneIndexJobs) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallelFor(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, IsReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallelFor(round + 1,
+                     [&](std::size_t i) { sum += static_cast<int>(i) + 1; });
+    EXPECT_EQ(sum.load(), (round + 1) * (round + 2) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  // Enough indices with a small wait that a single thread cannot drain the
+  // job before the workers wake up.
+  pool.parallelFor(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(100,
+                                [&](std::size_t i) {
+                                  if (i == 17) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The pool survives a failed job and keeps scheduling.
+  std::atomic<int> ok{0};
+  pool.parallelFor(10, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionOnSingleThreadPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallelFor(3, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+  EXPECT_GE(ThreadPool::global().threadCount(), 1u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  // Same indexed-slot pattern the evaluator uses: writes are per-index, so
+  // any thread count produces the identical result vector.
+  constexpr std::size_t kN = 257;
+  std::vector<double> reference(kN, 0.0);
+  for (std::size_t i = 0; i < kN; ++i) {
+    reference[i] = static_cast<double>(i) * 1.25 + 0.5;
+  }
+  for (const unsigned threads : {1u, 2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> out(kN, 0.0);
+    pool.parallelFor(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.25 + 0.5;
+    });
+    EXPECT_EQ(out, reference) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace coyote::util
