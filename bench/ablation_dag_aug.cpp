@@ -1,70 +1,6 @@
-// Ablation: DAG augmentation on/off (Sec. V-B Step II).
-//
-// COYOTE optimized over plain shortest-path DAGs vs. augmented DAGs, on the
-// same margin-2.5 evaluation pool normalized within the *augmented* DAGs so
-// both variants are compared against the same optimum. Augmentation adds
-// path diversity, so it should never hurt and typically helps.
-#include "common.hpp"
-#include "tm/traffic_matrix.hpp"
+// Ablation: DAG augmentation on/off (Sec. V-B Step II) at margin 2.5, shared evaluation pool.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments ablation-dag-aug`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const bool full = bench::envFlag("COYOTE_FULL");
-  const std::vector<std::string> names =
-      full ? topo::tableOneNames()
-           : std::vector<std::string>{"Abilene", "NSF", "Geant", "Germany"};
-
-  std::printf("# COYOTE-pk ratio, margin 2.5: shortest-path DAGs vs "
-              "augmented DAGs\n");
-  std::printf("%-14s %-10s %-10s %-10s\n", "network", "SP-DAGs", "augmented",
-              "ECMP");
-  const double t0 = bench::nowSeconds();
-
-  for (const auto& name : names) {
-    const Graph g = topo::makeZoo(name);
-    const auto aug = core::augmentedDagsShared(g);
-    const auto sp =
-        std::make_shared<const DagSet>(routing::shortestPathDags(g));
-    const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-    const tm::DemandBounds box = tm::marginBounds(base, 2.5);
-
-    tm::PoolOptions popt;
-    popt.source_hotspots = false;
-    popt.max_hotspots = 10;
-    popt.random_corners = 4;
-
-    core::CoyoteOptions copt;
-    copt.splitting.iterations = 250;
-
-    // Shared evaluation pool (normalized within the augmented DAGs).
-    routing::PerformanceEvaluator eval(g, aug);
-    eval.addPool(tm::cornerPool(box, popt));
-
-    // COYOTE over shortest-path DAGs only.
-    routing::PerformanceEvaluator sp_pool(g, sp);
-    sp_pool.addPool(tm::cornerPool(box, popt));
-    const auto sp_cfg = core::optimizeAgainstPool(g, sp_pool, &box, copt);
-
-    // COYOTE over augmented DAGs.
-    routing::PerformanceEvaluator aug_pool(g, aug);
-    aug_pool.addPool(tm::cornerPool(box, popt));
-    const auto aug_cfg = core::optimizeAgainstPool(g, aug_pool, &box, copt);
-
-    // Evaluate all on the shared pool. The SP-DAG config is valid over the
-    // augmented DAGs too (SP edges are a subset).
-    routing::RoutingConfig sp_on_aug(g, aug);
-    for (NodeId t = 0; t < g.numNodes(); ++t) {
-      for (const EdgeId e : (*sp)[t].edges()) {
-        sp_on_aug.setRatio(t, e, sp_cfg.routing.ratio(t, e));
-      }
-    }
-    sp_on_aug.normalize(g);
-
-    std::printf("%-14s %-10.2f %-10.2f %-10.2f\n", name.c_str(),
-                eval.ratioFor(sp_on_aug), eval.ratioFor(aug_cfg.routing),
-                eval.ratioFor(routing::ecmpConfig(g, aug)));
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs\n", bench::nowSeconds() - t0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("ablation-dag-aug"); }

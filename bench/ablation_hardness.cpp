@@ -1,73 +1,6 @@
-// Sec. IV constructions, numerically:
-//  * BIPARTITION gadgets (Theorem 1): positive instances reach the 4/3
-//    guarantee of Lemma 2; negative instances stay strictly above it for
-//    every gadget orientation (Lemma 3).
-//  * The Omega(|V|) gap (Theorem 4): the optimal oblivious ratio of the
-//    path instance grows linearly with n.
-#include "common.hpp"
-#include "core/splitting_optimizer.hpp"
-#include "hardness/gadgets.hpp"
-#include "routing/propagation.hpp"
+// Sec. IV constructions, numerically: BIPARTITION gadgets and the Omega(|V|) path instance.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments ablation-hardness`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const double t0 = bench::nowSeconds();
-
-  std::printf("# BIPARTITION reduction (Theorem 1 / Lemmas 2-3)\n");
-  std::printf("%-16s %-12s %-22s\n", "integer set", "positive?",
-              "best oblivious ratio");
-  struct Case {
-    std::vector<double> w;
-    bool positive;
-  };
-  const std::vector<Case> cases = {
-      {{1, 1}, true},        {{1, 1, 2}, true}, {{2, 3, 5}, true},
-      {{1, 3}, false},       {{1, 1, 3}, false}, {{2, 3, 6}, false},
-  };
-  for (const auto& c : cases) {
-    const hardness::BipartitionInstance inst =
-        hardness::makeBipartitionInstance(c.w);
-    const auto [d1, d2] = hardness::extremeDemands(inst);
-    double best = std::numeric_limits<double>::infinity();
-    const int k = static_cast<int>(c.w.size());
-    for (int mask = 0; mask < (1 << k); ++mask) {
-      std::vector<bool> orient(k);
-      for (int i = 0; i < k; ++i) orient[i] = (mask >> i) & 1;
-      const auto dags = hardness::bipartitionDags(inst, orient);
-      routing::PerformanceEvaluator eval(
-          inst.graph, dags, {}, routing::Normalization::kUnrestricted);
-      eval.addMatrix(d1);
-      eval.addMatrix(d2);
-      core::SplittingOptions sopt;
-      sopt.iterations = 600;
-      const auto cfg = core::optimizeSplitting(
-          inst.graph, eval,
-          routing::RoutingConfig::uniform(inst.graph, dags), sopt);
-      best = std::min(best, eval.ratioFor(cfg));
-    }
-    std::string wstr;
-    for (const double wi : c.w) wstr += std::to_string(static_cast<int>(wi)) + " ";
-    std::printf("%-16s %-12s %.4f  (4/3 = 1.3333)\n", wstr.c_str(),
-                c.positive ? "yes" : "no", best);
-    std::fflush(stdout);
-  }
-
-  std::printf("\n# Omega(|V|) gap (Theorem 4): path instance\n");
-  std::printf("%-6s %-24s\n", "n", "oblivious ratio (= n)");
-  for (const int n : {2, 4, 8, 16, 32}) {
-    const hardness::PathInstance inst = hardness::makePathInstance(n);
-    const auto direct = hardness::allDirectRouting(inst);
-    double worst = 0.0;
-    for (const auto& d : hardness::pathDemands(inst)) {
-      const double mxlu =
-          routing::maxLinkUtilization(inst.graph, direct, d);
-      const double optu =
-          routing::optimalUtilizationUnrestricted(inst.graph, d);
-      worst = std::max(worst, mxlu / optu);
-    }
-    std::printf("%-6d %.2f\n", n, worst);
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs\n", bench::nowSeconds() - t0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("ablation-hardness"); }

@@ -1,67 +1,6 @@
-// Ablation: the two inner splitting optimizers (Sec. V-C / Appendix C) --
-// GP condensation (the paper's approach) vs. exponentiated-gradient mirror
-// descent -- as a function of the iteration budget, on the running example
-// (closed-form optimum sqrt(5)-1 ~ 1.236) and on Abilene.
-#include <cmath>
+// Ablation: the two inner splitting optimizers (Sec. V-C / Appendix C) vs. iteration budget.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments ablation-optimizer`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-#include "common.hpp"
-#include "core/splitting_optimizer.hpp"
-#include "tm/traffic_matrix.hpp"
-
-namespace {
-
-using namespace coyote;
-
-double runOnce(const Graph& g, const routing::PerformanceEvaluator& eval,
-               core::SplitMethod method, int iterations) {
-  core::SplittingOptions opt;
-  opt.method = method;
-  opt.iterations = iterations;
-  const auto cfg = core::optimizeSplitting(
-      g, eval, routing::RoutingConfig::uniform(g, eval.dagsPtr()), opt);
-  return eval.ratioFor(cfg);
-}
-
-}  // namespace
-
-int main() {
-  std::printf("# inner-optimizer ablation: pool ratio vs iterations\n");
-  std::printf("%-16s %-8s %-14s %-14s\n", "instance", "iters", "GP-condens.",
-              "mirror-desc.");
-  const double t0 = bench::nowSeconds();
-
-  {  // Running example: optimum is sqrt(5)-1 ~ 1.2361.
-    const Graph g = topo::runningExample();
-    const auto dags = core::augmentedDagsShared(g);
-    routing::PerformanceEvaluator eval(g, dags);
-    tm::TrafficMatrix d1(g.numNodes()), d2(g.numNodes());
-    d1.set(*g.findNode("s1"), *g.findNode("t"), 2.0);
-    d2.set(*g.findNode("s2"), *g.findNode("t"), 2.0);
-    eval.addMatrix(d1);
-    eval.addMatrix(d2);
-    for (const int iters : {50, 200, 800, 2000}) {
-      std::printf("%-16s %-8d %-14.4f %-14.4f\n", "running-example", iters,
-                  runOnce(g, eval, core::SplitMethod::kGpCondensation, iters),
-                  runOnce(g, eval, core::SplitMethod::kMirrorDescent, iters));
-    }
-    std::printf("%-16s %-8s %-14.4f (closed form)\n", "running-example",
-                "optimal", std::sqrt(5.0) - 1.0);
-  }
-  {  // Abilene, margin-2 corner pool.
-    const Graph g = topo::makeZoo("Abilene");
-    const auto dags = core::augmentedDagsShared(g);
-    routing::PerformanceEvaluator eval(g, dags);
-    tm::PoolOptions popt;
-    popt.source_hotspots = false;
-    popt.random_corners = 4;
-    eval.addPool(
-        tm::cornerPool(tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt));
-    for (const int iters : {50, 200, 800}) {
-      std::printf("%-16s %-8d %-14.4f %-14.4f\n", "abilene-m2", iters,
-                  runOnce(g, eval, core::SplitMethod::kGpCondensation, iters),
-                  runOnce(g, eval, core::SplitMethod::kMirrorDescent, iters));
-    }
-  }
-  std::printf("# elapsed: %.1fs\n", bench::nowSeconds() - t0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("ablation-optimizer"); }

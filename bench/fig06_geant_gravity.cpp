@@ -1,27 +1,6 @@
-// Fig. 6: Geant, gravity base model -- performance ratio vs. uncertainty
-// margin for ECMP, Base-TM-opt, COYOTE-oblivious and COYOTE-partial-
-// knowledge, over augmented shortest-path DAGs (reverse-capacity weights).
-#include "common.hpp"
-#include "tm/traffic_matrix.hpp"
+// Fig. 6: Geant, gravity base model -- performance ratio vs. uncertainty margin for the four schemes of Sec. VI.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig06`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const Graph g = topo::makeZoo("Geant");
-  const auto dags = core::augmentedDagsShared(g);
-  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-
-  bench::SweepOptions opt;
-  opt.exact_oracle = bench::envFlag("COYOTE_EXACT");
-  const bool full = bench::envFlag("COYOTE_FULL");
-
-  bench::printSchemeHeader("Geant", "gravity");
-  const double t0 = bench::nowSeconds();
-  const bench::NetworkSweep sweep(g, dags, base, opt);
-  for (const double margin : bench::marginGrid(3.0, full)) {
-    bench::printSchemeRow(sweep.run(margin));
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs (COYOTE_FULL=%d)\n",
-              bench::nowSeconds() - t0, full ? 1 : 0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig06"); }

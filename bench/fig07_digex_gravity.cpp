@@ -1,26 +1,6 @@
-// Fig. 7: Digex, gravity base model -- same four schemes as Fig. 6. Digex is
-// sparse and hub-heavy, which is where ECMP's equal splitting hurts most.
-#include "common.hpp"
-#include "tm/traffic_matrix.hpp"
+// Fig. 7: Digex, gravity base model -- same four schemes as Fig. 6 on a sparse, hub-heavy network.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig07`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const Graph g = topo::makeZoo("Digex");
-  const auto dags = core::augmentedDagsShared(g);
-  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-
-  bench::SweepOptions opt;
-  opt.exact_oracle = bench::envFlag("COYOTE_EXACT");
-  const bool full = bench::envFlag("COYOTE_FULL");
-
-  bench::printSchemeHeader("Digex", "gravity");
-  const double t0 = bench::nowSeconds();
-  const bench::NetworkSweep sweep(g, dags, base, opt);
-  for (const double margin : bench::marginGrid(3.0, full)) {
-    bench::printSchemeRow(sweep.run(margin));
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs (COYOTE_FULL=%d)\n",
-              bench::nowSeconds() - t0, full ? 1 : 0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig07"); }

@@ -1,26 +1,6 @@
-// Fig. 8: AS1755, bimodal base model -- the same trends as the gravity
-// experiments hold when the base demands are elephant/mice structured.
-#include "common.hpp"
-#include "tm/traffic_matrix.hpp"
+// Fig. 8: AS1755, bimodal base model -- the gravity-experiment trends persist under elephant/mice demands.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig08`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const Graph g = topo::makeZoo("AS1755");
-  const auto dags = core::augmentedDagsShared(g);
-  const tm::TrafficMatrix base = tm::bimodalMatrix(g, {}, /*seed=*/23, 1.0);
-
-  bench::SweepOptions opt;
-  opt.exact_oracle = bench::envFlag("COYOTE_EXACT");
-  const bool full = bench::envFlag("COYOTE_FULL");
-
-  bench::printSchemeHeader("AS1755", "bimodal");
-  const double t0 = bench::nowSeconds();
-  const bench::NetworkSweep sweep(g, dags, base, opt);
-  for (const double margin : bench::marginGrid(3.0, full)) {
-    bench::printSchemeRow(sweep.run(margin));
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs (COYOTE_FULL=%d)\n",
-              bench::nowSeconds() - t0, full ? 1 : 0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig08"); }

@@ -1,74 +1,6 @@
-// Fig. 9: Abilene with the local-search DAG-construction heuristic
-// (Appendix A), bimodal base model, margins 1..5. For each margin the
-// heuristic re-tunes the ECMP link weights for that uncertainty box; both
-// ECMP and COYOTE then run over the augmented DAGs those weights induce,
-// normalized by the demands-aware optimum within the same DAGs. The paper
-// reports ECMP on average ~80% further from the optimum than COYOTE.
-#include "common.hpp"
-#include "core/local_search.hpp"
-#include "tm/traffic_matrix.hpp"
+// Fig. 9: Abilene with per-margin local-search weight tuning (Appendix A), exact within-box worst case.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig09`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const Graph base_graph = topo::makeZoo("Abilene");
-  const tm::TrafficMatrix base = tm::bimodalMatrix(base_graph, {}, 31, 1.0);
-
-  const bool full = bench::envFlag("COYOTE_FULL");
-  std::printf("# Abilene, bimodal base matrix, local-search weights\n");
-  std::printf("%-8s %-8s %-12s %-8s %-10s\n", "margin", "ECMP", "COYOTE-pk",
-              "moves", "ECMP/pk");
-  const double t0 = bench::nowSeconds();
-
-  double gap_sum = 0.0;
-  int rows = 0;
-  for (const double margin :
-       bench::marginGrid(5.0, /*full=*/full)) {
-    const tm::DemandBounds box = tm::marginBounds(base, margin);
-
-    core::LocalSearchOptions ls;
-    ls.max_rounds = 3;
-    ls.max_moves_per_round = full ? 24 : 12;
-    const core::LocalSearchResult found =
-        core::localSearchWeights(base_graph, box, ls);
-
-    Graph g = base_graph;
-    for (EdgeId e = 0; e < g.numEdges(); ++e) g.setWeight(e, found.weights[e]);
-    const auto dags = core::augmentedDagsShared(g);
-
-    routing::PerformanceEvaluator pool(g, dags);
-    tm::PoolOptions popt;
-    popt.source_hotspots = false;
-    popt.random_corners = 6;
-    pool.addPool(tm::cornerPool(box, popt));
-
-    core::CoyoteOptions copt;
-    copt.splitting.iterations = 300;
-    copt.oracle_rounds = 2;  // Abilene-scale: exact cutting planes are cheap
-    const core::CoyoteResult pk_res =
-        core::optimizeAgainstPool(g, pool, &box, copt);
-    // Exact within-box worst case for both schemes (one slave LP per edge).
-    const double ecmp = routing::findWorstCaseDemand(
-                            g, routing::ecmpConfig(g, dags), &box)
-                            .ratio;
-    const double pk =
-        routing::findWorstCaseDemand(g, pk_res.routing, &box).ratio;
-
-    std::printf("%-8.1f %-8.2f %-12.2f %-8d %-10.2f\n", margin, ecmp, pk,
-                found.accepted_moves, ecmp / pk);
-    std::fflush(stdout);
-    // Distance-from-optimum comparison; margin 1 rows are excluded (both
-    // schemes sit at the optimum and the quotient degenerates).
-    if (pk > 1.02) {
-      gap_sum += (ecmp - 1.0) / (pk - 1.0);
-      ++rows;
-    }
-  }
-  if (rows > 0) {
-    std::printf(
-        "# ECMP's average distance-from-optimum is %.0f%% of COYOTE's "
-        "(paper: ~180%%)\n",
-        100.0 * gap_sum / rows);
-  }
-  std::printf("# elapsed: %.1fs\n", bench::nowSeconds() - t0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig09"); }

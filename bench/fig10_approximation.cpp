@@ -1,49 +1,6 @@
-// Fig. 10: approximating COYOTE's ideal splitting ratios with ECMP over
-// virtual next-hops (AS1755, gravity). With only 3 additional virtual links
-// per interface COYOTE already realizes most of its advantage over ECMP;
-// with ~10 it closely approximates the ideal (infinitely divisible) ratios.
-#include "common.hpp"
-#include "fibbing/lie_synthesis.hpp"
-#include "tm/traffic_matrix.hpp"
+// Fig. 10: approximating COYOTE's ideal splitting ratios with ECMP over virtual next-hops (AS1755, gravity).
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig10`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const Graph g = topo::makeZoo("AS1755");
-  const auto dags = core::augmentedDagsShared(g);
-  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-  const bool full = bench::envFlag("COYOTE_FULL");
-
-  std::printf("# AS1755, gravity base matrix: ECMP vs quantized COYOTE\n");
-  std::printf("%-8s %-8s %-12s %-12s %-12s %-12s\n", "margin", "ECMP",
-              "COYOTE-3NH", "COYOTE-5NH", "COYOTE-10NH", "COYOTE-ideal");
-  const double t0 = bench::nowSeconds();
-
-  for (const double margin : bench::marginGrid(3.0, full)) {
-    const tm::DemandBounds box = tm::marginBounds(base, margin);
-    routing::PerformanceEvaluator pool(g, dags);
-    tm::PoolOptions popt;
-    popt.source_hotspots = false;
-    popt.max_hotspots = 12;
-    popt.random_corners = 6;
-    pool.addPool(tm::cornerPool(box, popt));
-
-    const double ecmp = pool.ratioFor(routing::ecmpConfig(g, dags));
-    core::CoyoteOptions copt;
-    copt.splitting.iterations = 300;
-    const core::CoyoteResult ideal =
-        core::optimizeAgainstPool(g, pool, &box, copt);
-
-    // k virtual links per interface allow multiplicity k+1 per next-hop.
-    const double r3 =
-        pool.ratioFor(fib::quantizeConfig(g, ideal.routing, 3 + 1));
-    const double r5 =
-        pool.ratioFor(fib::quantizeConfig(g, ideal.routing, 5 + 1));
-    const double r10 =
-        pool.ratioFor(fib::quantizeConfig(g, ideal.routing, 10 + 1));
-    std::printf("%-8.1f %-8.2f %-12.2f %-12.2f %-12.2f %-12.2f\n", margin,
-                ecmp, r3, r5, r10, ideal.pool_ratio);
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs\n", bench::nowSeconds() - t0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig10"); }

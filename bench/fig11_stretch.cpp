@@ -1,57 +1,6 @@
-// Fig. 11: average path stretch of COYOTE (oblivious and partial-knowledge,
-// margin 2.5) relative to OSPF/ECMP paths, in hops. The paper reports
-// stretch typically within 10%; BBNPlanet can dip below 1 because ECMP
-// follows weighted shortest paths, which need not be hop-shortest.
-#include <algorithm>
+// Fig. 11: average path stretch of COYOTE relative to OSPF/ECMP paths, margin 2.5.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig11`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-#include "common.hpp"
-#include "routing/stretch.hpp"
-#include "tm/traffic_matrix.hpp"
-
-int main() {
-  using namespace coyote;
-  const bool full = bench::envFlag("COYOTE_FULL");
-  std::vector<std::string> names;
-  if (full) {
-    names = topo::zooNames();
-    names.erase(
-        std::remove(names.begin(), names.end(), std::string("Gambia")),
-        names.end());  // tree: no diversity, stretch trivially 1
-  } else {
-    names = {"Abilene", "NSF",  "Germany",    "Geant",
-             "AS1755",  "GRNet", "BBNPlanet", "Digex"};
-  }
-
-  std::printf("# average path stretch vs ECMP, margin 2.5\n");
-  std::printf("%-14s %-16s %-18s\n", "network", "COYOTE-obl", "COYOTE-pk");
-  const double t0 = bench::nowSeconds();
-
-  for (const auto& name : names) {
-    const Graph g = topo::makeZoo(name);
-    const auto dags = core::augmentedDagsShared(g);
-    const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-    const tm::DemandBounds box = tm::marginBounds(base, 2.5);
-
-    const routing::RoutingConfig ecmp = routing::ecmpConfig(g, dags);
-
-    core::CoyoteOptions copt;
-    copt.splitting.iterations = 250;
-    tm::ObliviousPoolOptions obl_pool;
-    obl_pool.random_sparse = 8;
-    copt.oblivious_pool = obl_pool;
-    copt.corner_pool.source_hotspots = false;
-    copt.corner_pool.max_hotspots = 12;
-    copt.corner_pool.random_corners = 4;
-
-    const core::CoyoteResult obl = core::coyoteOblivious(g, dags, copt);
-    const core::CoyoteResult pk = core::coyoteWithBounds(g, dags, box, copt);
-
-    std::printf("%-14s %-16.3f %-18.3f\n", name.c_str(),
-                routing::averageStretch(g, obl.routing, ecmp),
-                routing::averageStretch(g, pk.routing, ecmp));
-    std::fflush(stdout);
-  }
-  std::printf("# elapsed: %.1fs (COYOTE_FULL=%d)\n",
-              bench::nowSeconds() - t0, full ? 1 : 0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("fig11"); }

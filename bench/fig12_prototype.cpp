@@ -1,129 +1,6 @@
-// Fig. 12: the prototype experiment. The mininet testbed is replaced by the
-// fluid emulator (see DESIGN.md §3): triangle topology with 1 Mbps links,
-// two IP prefixes t1/t2 behind node t, three 15-second UDP scenarios
-//   (s1->t1, s2->t2) = (0,2), (1,1), (2,0)  Mbps,
-// under the three TE schemes of Sec. VII. COYOTE assigns a different
-// forwarding DAG to each prefix -- realizable only with lies -- and drops
-// (almost) nothing; any single-DAG scheme loses 25-50% somewhere.
-#include <cstdio>
+// Fig. 12: fluid-emulator replay of the mininet prototype plus the OSPF lie-synthesis realization check.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments fig12`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-#include "common.hpp"
-#include "fibbing/lie_synthesis.hpp"
-#include "fibbing/ospf_model.hpp"
-#include "sim/fluid.hpp"
-
-namespace {
-
-using namespace coyote;
-
-struct Schedule {
-  NodeId s1, s2;
-  void install(sim::FluidNetwork& net) const {
-    net.addFlow({s2, 1, 2.0, 0.0, 15.0});   // scenario 1: (0, 2)
-    net.addFlow({s1, 0, 1.0, 15.0, 30.0});  // scenario 2: (1, 1)
-    net.addFlow({s2, 1, 1.0, 15.0, 30.0});
-    net.addFlow({s1, 0, 2.0, 30.0, 45.0});  // scenario 3: (2, 0)
-  }
-};
-
-void report(const char* scheme, const std::vector<sim::StepStats>& stats) {
-  std::printf("%-8s drop%%/s:", scheme);
-  for (const auto& s : stats) std::printf(" %3.0f", 100.0 * s.dropRate());
-  double sent = 0.0, del = 0.0;
-  for (const auto& s : stats) {
-    sent += s.sent;
-    del += s.delivered;
-  }
-  std::printf("  | total sent %.0f Mb, dropped %.0f%%\n", sent,
-              100.0 * (1.0 - del / sent));
-}
-
-}  // namespace
-
-int main() {
-  const Graph g = topo::prototypeTriangle();
-  const NodeId s1 = *g.findNode("s1");
-  const NodeId s2 = *g.findNode("s2");
-  const NodeId t = *g.findNode("t");
-  const EdgeId s1t = *g.findEdge(s1, t);
-  const EdgeId s2t = *g.findEdge(s2, t);
-  const EdgeId s1s2 = *g.findEdge(s1, s2);
-  const EdgeId s2s1 = *g.findEdge(s2, s1);
-  const Schedule sched{s1, s2};
-
-  std::printf("# Fig. 12: 1 Mbps links; 3 x 15 s scenarios "
-              "(0,2) -> (1,1) -> (2,0) Mbps; 1 s bins\n");
-
-  {  // TE1: both sources route directly (single shared DAG).
-    sim::FluidNetwork net(g);
-    for (const sim::PrefixId p : {0, 1}) {
-      net.setPrefixOwner(p, t);
-      net.setForwarding(p, s1, {{s1t, 1.0}});
-      net.setForwarding(p, s2, {{s2t, 1.0}});
-    }
-    sched.install(net);
-    report("TE1", net.run(45.0, 1.0));
-  }
-  {  // TE2: s1 splits via s2; s2 direct (still one DAG for both prefixes).
-    sim::FluidNetwork net(g);
-    for (const sim::PrefixId p : {0, 1}) {
-      net.setPrefixOwner(p, t);
-      net.setForwarding(p, s1, {{s1t, 0.5}, {s1s2, 0.5}});
-      net.setForwarding(p, s2, {{s2t, 1.0}});
-    }
-    sched.install(net);
-    report("TE2", net.run(45.0, 1.0));
-  }
-  {  // COYOTE: per-prefix DAGs (t1 split at s1, t2 split at s2).
-    sim::FluidNetwork net(g);
-    net.setPrefixOwner(0, t);
-    net.setPrefixOwner(1, t);
-    net.setForwarding(0, s1, {{s1t, 0.5}, {s1s2, 0.5}});
-    net.setForwarding(0, s2, {{s2t, 1.0}});
-    net.setForwarding(1, s2, {{s2t, 0.5}, {s2s1, 0.5}});
-    net.setForwarding(1, s1, {{s1t, 1.0}});
-    sched.install(net);
-    report("COYOTE", net.run(45.0, 1.0));
-  }
-
-  // The COYOTE forwarding above is exactly what the lie-synthesis layer
-  // realizes on unmodified OSPF/ECMP routers: verify it.
-  {
-    fib::OspfModel model(g);
-    model.advertisePrefix(0, t);
-    model.advertisePrefix(1, t);
-    // Build the two per-prefix routing configs over their DAGs.
-    const auto mkDags = [&](bool split_at_s1) {
-      DagSet ds;
-      for (NodeId d = 0; d < g.numNodes(); ++d) {
-        std::vector<EdgeId> edges;
-        if (d == t) {
-          edges = split_at_s1 ? std::vector<EdgeId>{s1t, s2t, s1s2}
-                              : std::vector<EdgeId>{s1t, s2t, s2s1};
-        }
-        ds.emplace_back(g, d, std::move(edges));
-      }
-      return std::make_shared<const DagSet>(std::move(ds));
-    };
-    auto cfg1 = routing::RoutingConfig(g, mkDags(true));
-    cfg1.setRatio(t, s1t, 0.5);
-    cfg1.setRatio(t, s1s2, 0.5);
-    cfg1.setRatio(t, s2t, 1.0);
-    auto cfg2 = routing::RoutingConfig(g, mkDags(false));
-    cfg2.setRatio(t, s2t, 0.5);
-    cfg2.setRatio(t, s2s1, 0.5);
-    cfg2.setRatio(t, s1t, 1.0);
-    const fib::LiePlan plan1 = fib::synthesizeLies(g, cfg1, t, 0, 4);
-    const fib::LiePlan plan2 = fib::synthesizeLies(g, cfg2, t, 1, 4);
-    fib::applyPlan(model, plan1);
-    fib::applyPlan(model, plan2);
-    const bool ok = fib::verifyRealization(model, cfg1, t, 0, 4) &&
-                    fib::verifyRealization(model, cfg2, t, 1, 4) &&
-                    model.forwardingIsLoopFree(0) &&
-                    model.forwardingIsLoopFree(1);
-    std::printf("# OSPF lies realizing COYOTE's per-prefix DAGs: %d fake "
-                "nodes, verified: %s\n",
-                model.fakeNodeCount(), ok ? "yes" : "NO");
-    return ok ? 0 : 1;
-  }
-}
+int main() { return coyote::exp::runScenarioShim("fig12"); }

@@ -1,57 +1,6 @@
-// Table I: the full sweep -- every backbone of the corpus x uncertainty
-// margins x {ECMP, Base-TM-opt, COYOTE-oblivious, COYOTE-partial-knowledge},
-// gravity base model, reverse-capacity weights, normalized by the
-// demands-aware optimum within the same augmented DAGs.
-//
-// Quick mode sweeps margins {1,3,5}; COYOTE_FULL=1 sweeps 1..5 in 0.5 steps
-// like the paper.
-#include "common.hpp"
-#include "tm/traffic_matrix.hpp"
+// Table I: every backbone of the corpus x uncertainty margins x four schemes, gravity base model.
+// Thin shim over the scenario registry: identical rows to running
+// `coyote_experiments table1`; see src/exp/scenario.cpp for the spec.
+#include "exp/runner.hpp"
 
-int main() {
-  using namespace coyote;
-  const bool full = bench::envFlag("COYOTE_FULL");
-  const double t0 = bench::nowSeconds();
-
-  std::vector<double> margins;
-  if (full) {
-    margins = bench::marginGrid(5.0, true);
-  } else {
-    margins = {1.0, 3.0, 5.0};
-  }
-
-  std::printf("# Table I: gravity base model, margins");
-  for (const double m : margins) std::printf(" %.1f", m);
-  std::printf("\n# networks with <= 14 nodes use the exact slave-LP "
-              "adversary ('+'); larger ones the corner pool\n");
-  std::printf("%-14s %-8s %-8s %-8s %-12s %-12s\n", "network", "margin",
-              "ECMP", "Base", "COYOTE-obl", "COYOTE-pk");
-
-  for (const auto& name : topo::tableOneNames()) {
-    const Graph g = topo::makeZoo(name);
-    const auto dags = core::augmentedDagsShared(g);
-    const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
-
-    bench::SweepOptions opt;
-    opt.pool.max_hotspots = 10;
-    opt.coyote.oblivious_pool.random_sparse = 8;
-    opt.coyote.splitting.iterations = 250;
-    // Exact worst-case evaluation (and exact cutting planes for COYOTE-pk)
-    // where the per-edge slave LPs are affordable.
-    opt.exact_eval = g.numNodes() <= 14 || bench::envFlag("COYOTE_EXACT");
-    opt.exact_oracle = opt.exact_eval;
-
-    const bench::NetworkSweep sweep(g, dags, base, opt);
-    const std::string label = name + (opt.exact_eval ? "+" : "");
-    for (const double margin : margins) {
-      const bench::SchemeRow r = sweep.run(margin);
-      std::printf("%-14s %-8.1f %-8.2f %-8.2f %-12.2f %-12.2f\n",
-                  label.c_str(), r.margin, r.ecmp, r.base, r.oblivious,
-                  r.partial);
-      std::fflush(stdout);
-    }
-  }
-  std::printf("# elapsed: %.1fs (COYOTE_FULL=%d)\n",
-              bench::nowSeconds() - t0, full ? 1 : 0);
-  return 0;
-}
+int main() { return coyote::exp::runScenarioShim("table1"); }

@@ -22,6 +22,7 @@
 
 #include "core/coyote.hpp"
 #include "core/dag_builder.hpp"
+#include "exp/sweep.hpp"
 #include "fibbing/lie_synthesis.hpp"
 #include "fibbing/ospf_model.hpp"
 #include "routing/ecmp.hpp"
@@ -154,20 +155,15 @@ int cmdLies(const std::string& spec, double margin, int virtual_links) {
 
 int cmdEval(const std::string& spec, double margin) {
   Pipeline p(spec, margin);
-  const tm::DemandBounds box = tm::marginBounds(p.base, margin);
-  routing::PerformanceEvaluator eval(p.g, p.dags);
-  tm::PoolOptions popt;
-  popt.source_hotspots = false;
-  popt.max_hotspots = 12;
-  eval.addPool(tm::cornerPool(box, popt));
-
-  const double ecmp = eval.ratioFor(routing::ecmpConfig(p.g, p.dags));
-  const double base_opt = eval.ratioFor(
-      routing::optimalRoutingForDemand(p.g, p.dags, p.base).routing);
-  const core::CoyoteResult pk =
-      core::optimizeAgainstPool(p.g, eval, &box, p.options());
-  std::printf("margin %.2f  ECMP %.3f  Base-opt %.3f  COYOTE %.3f\n", margin,
-              ecmp, base_opt, pk.pool_ratio);
+  // The same four-scheme margin sweep the experiment harness runs
+  // (exp::NetworkSweep); coyote_experiments sweeps whole margin grids.
+  exp::SweepOptions opt;
+  opt.coyote = p.options();
+  const exp::NetworkSweep sweep(p.g, p.dags, p.base, opt);
+  const exp::SchemeRow row = sweep.run(margin);
+  std::printf(
+      "margin %.2f  ECMP %.3f  Base-opt %.3f  COYOTE-obl %.3f  COYOTE %.3f\n",
+      margin, row.ecmp, row.base, row.oblivious, row.partial);
   return 0;
 }
 

@@ -1,0 +1,258 @@
+#include "exp/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace coyote::exp {
+
+namespace json = util::json;
+
+namespace {
+
+void addFinding(CompareReport* report, CompareFinding::Kind kind,
+                std::string scenario, std::string what) {
+  report->findings.push_back(
+      {std::move(scenario), std::move(what), kind});
+}
+
+bool numbersDiffer(double a, double b, double rel_tol) {
+  if (a == b) return false;
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-12});
+  return std::fabs(a - b) / scale > rel_tol;
+}
+
+/// Recursively compares numeric leaves of the row trees; `path` names the
+/// offending field in findings.
+void compareValues(const json::Value& base, const json::Value& cand,
+                   const std::string& path, const std::string& scenario,
+                   const CompareOptions& opt, CompareReport* report) {
+  if (base.type() != cand.type()) {
+    addFinding(report, CompareFinding::Kind::kDrift, scenario,
+               path + ": type changed");
+    return;
+  }
+  switch (base.type()) {
+    case json::Value::Type::kNumber:
+      if (numbersDiffer(base.asNumber(), cand.asNumber(),
+                        opt.ratio_tolerance)) {
+        std::ostringstream msg;
+        msg << path << ": " << json::formatNumber(base.asNumber()) << " -> "
+            << json::formatNumber(cand.asNumber());
+        addFinding(report, CompareFinding::Kind::kDrift, scenario, msg.str());
+      }
+      return;
+    case json::Value::Type::kArray: {
+      const json::Array& ba = base.asArray();
+      const json::Array& ca = cand.asArray();
+      if (ba.size() != ca.size()) {
+        addFinding(report, CompareFinding::Kind::kDrift, scenario,
+                   path + ": length " + std::to_string(ba.size()) + " -> " +
+                       std::to_string(ca.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < ba.size(); ++i) {
+        compareValues(ba[i], ca[i], path + "[" + std::to_string(i) + "]",
+                      scenario, opt, report);
+      }
+      return;
+    }
+    case json::Value::Type::kObject: {
+      for (const auto& [key, value] : base.asObject()) {
+        const json::Value* other = cand.find(key);
+        if (other == nullptr) {
+          addFinding(report, CompareFinding::Kind::kDrift, scenario,
+                     path + "." + key + ": missing in candidate");
+          continue;
+        }
+        compareValues(value, *other, path + "." + key, scenario, opt, report);
+      }
+      return;
+    }
+    default:
+      if (!(base == cand)) {
+        addFinding(report, CompareFinding::Kind::kDrift, scenario,
+                   path + ": value changed");
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+// Top-level members that legitimately differ between two runs of the
+// same source tree: provenance, machine, options, and prose. Everything
+// else (rows, ok, and the kind-specific summary fields like 'verified',
+// 'fake_nodes', 'ecmp_gap_percent') is deterministic and gated.
+bool isRunMetadata(const std::string& key) {
+  static const char* const kKeys[] = {
+      "schema", "scenario", "kind",    "description", "tags",
+      "git",    "threads",  "timing",  "network",     "networks",
+      "demand_model",       "full",    "exact",
+  };
+  for (const char* k : kKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+void compareDocuments(const json::Value& baseline, const json::Value& cand,
+                      const CompareOptions& opt, CompareReport* report) {
+  const std::string scenario = baseline.stringOr("scenario", "<unnamed>");
+  ++report->compared;
+
+  // Result drift: every deterministic field the baseline recorded must be
+  // reproduced -- the rows plus any kind-specific summary members.
+  if (baseline.find("rows") == nullptr || cand.find("rows") == nullptr) {
+    addFinding(report, CompareFinding::Kind::kMalformed, scenario,
+               "missing 'rows' array");
+  }
+  if (baseline.isObject()) {
+    for (const auto& [key, value] : baseline.asObject()) {
+      if (isRunMetadata(key)) continue;
+      const json::Value* other = cand.find(key);
+      if (other == nullptr) {
+        addFinding(report, CompareFinding::Kind::kDrift, scenario,
+                   key + ": missing in candidate");
+        continue;
+      }
+      compareValues(value, *other, key, scenario, opt, report);
+    }
+  }
+
+  // Timing regression: gate on the median over repetitions.
+  const json::Value* base_timing = baseline.find("timing");
+  const json::Value* cand_timing = cand.find("timing");
+  if (base_timing == nullptr || cand_timing == nullptr) {
+    addFinding(report, CompareFinding::Kind::kMalformed, scenario,
+               "missing 'timing' object");
+    return;
+  }
+  const double base_median = base_timing->numberOr("median_seconds", -1.0);
+  const double cand_median = cand_timing->numberOr("median_seconds", -1.0);
+  if (base_median < 0.0 || cand_median < 0.0) {
+    addFinding(report, CompareFinding::Kind::kMalformed, scenario,
+               "missing 'timing.median_seconds'");
+    return;
+  }
+  const double gate_base = std::max(base_median, opt.min_gate_seconds);
+  if (gate_base > 0.0 &&
+      cand_median > gate_base * (1.0 + opt.max_regression)) {
+    std::ostringstream msg;
+    msg.precision(3);
+    msg << "median " << base_median << "s -> " << cand_median << "s (+"
+        << 100.0 * (cand_median / gate_base - 1.0) << "% over the gated "
+        << gate_base << "s, limit +" << 100.0 * opt.max_regression << "%)";
+    addFinding(report, CompareFinding::Kind::kRegression, scenario,
+               msg.str());
+  }
+}
+
+CompareReport compareBenchDirs(const std::string& baseline_dir,
+                               const std::string& candidate_dir,
+                               const CompareOptions& opt) {
+  namespace fs = std::filesystem;
+  CompareReport report;
+
+  const auto collect = [&report](const std::string& dir) {
+    std::map<std::string, fs::path> out;  // sorted for stable reports
+    if (!fs::is_directory(dir)) {
+      addFinding(&report, CompareFinding::Kind::kMalformed, dir,
+                 "not a directory");
+      return out;
+    }
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        out[name] = entry.path();
+      }
+    }
+    return out;
+  };
+
+  const auto baseline_files = collect(baseline_dir);
+  const auto candidate_files = collect(candidate_dir);
+  if (baseline_files.empty()) {
+    addFinding(&report, CompareFinding::Kind::kMalformed, baseline_dir,
+               "no BENCH_*.json files");
+  }
+
+  const auto load = [&report](const fs::path& path,
+                              json::Value* out) -> bool {
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    try {
+      *out = json::parse(buffer.str());
+      return true;
+    } catch (const json::Error& e) {
+      addFinding(&report, CompareFinding::Kind::kMalformed,
+                 path.filename().string(), e.what());
+      return false;
+    }
+  };
+
+  for (const auto& [name, base_path] : baseline_files) {
+    const auto it = candidate_files.find(name);
+    if (it == candidate_files.end()) {
+      if (opt.require_all) {
+        addFinding(&report, CompareFinding::Kind::kMissing, name,
+                   "present in baseline but not in candidate");
+      }
+      continue;
+    }
+    json::Value base, cand;
+    if (!load(base_path, &base) || !load(it->second, &cand)) continue;
+    compareDocuments(base, cand, opt, &report);
+  }
+  return report;
+}
+
+std::string CompareReport::text() const {
+  std::ostringstream out;
+  out << "compared " << compared << " scenario(s): ";
+  if (pass()) {
+    out << "OK\n";
+    return out.str();
+  }
+  int regressions = 0, drifts = 0, other = 0;
+  for (const CompareFinding& f : findings) {
+    switch (f.kind) {
+      case CompareFinding::Kind::kRegression:
+        ++regressions;
+        break;
+      case CompareFinding::Kind::kDrift:
+        ++drifts;
+        break;
+      default:
+        ++other;
+    }
+  }
+  out << regressions << " regression(s), " << drifts << " drift(s), "
+      << other << " other problem(s)\n";
+  for (const CompareFinding& f : findings) {
+    const char* kind = "";
+    switch (f.kind) {
+      case CompareFinding::Kind::kRegression:
+        kind = "REGRESSION";
+        break;
+      case CompareFinding::Kind::kDrift:
+        kind = "DRIFT";
+        break;
+      case CompareFinding::Kind::kMissing:
+        kind = "MISSING";
+        break;
+      case CompareFinding::Kind::kMalformed:
+        kind = "MALFORMED";
+        break;
+    }
+    out << "  [" << kind << "] " << f.scenario << ": " << f.what << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace coyote::exp

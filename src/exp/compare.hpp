@@ -1,0 +1,61 @@
+// Diffs two directories of BENCH_<scenario>.json files (see runner.hpp):
+// the committed baseline snapshot vs a fresh run. Two failure classes:
+//
+//  * timing regression -- a scenario's median wall time exceeds the
+//    baseline's by more than `max_regression` (relative; 0.25 = +25%).
+//  * result drift -- any numeric row field differs from the baseline by
+//    more than `ratio_tolerance` (relative). Rows are deterministic for a
+//    given source tree, so drift means behavior changed, not noise.
+//
+// This is the library behind the bench_compare CLI that the CI bench-smoke
+// job runs; it is pure (no exit()) so tests can exercise it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace coyote::exp {
+
+struct CompareOptions {
+  /// Fail when candidate median_seconds > baseline * (1 + max_regression).
+  double max_regression = 0.25;
+  /// Relative tolerance for numeric row fields; exceeding it is "drift".
+  double ratio_tolerance = 1e-9;
+  /// Fail when a baseline scenario has no candidate file.
+  bool require_all = true;
+  /// Timing floor: the gate compares against max(baseline median,
+  /// min_gate_seconds), so sub-millisecond scenarios (where a single
+  /// scheduler preemption exceeds any relative threshold) only fail on
+  /// absolute blowups, while genuine hangs are still caught.
+  double min_gate_seconds = 0.01;
+};
+
+struct CompareFinding {
+  std::string scenario;
+  std::string what;  ///< human-readable, one line
+  enum class Kind { kRegression, kDrift, kMissing, kMalformed } kind;
+};
+
+struct CompareReport {
+  int compared = 0;  ///< scenarios present on both sides
+  std::vector<CompareFinding> findings;
+
+  [[nodiscard]] bool pass() const { return findings.empty(); }
+  /// Multi-line summary suitable for CI logs.
+  [[nodiscard]] std::string text() const;
+};
+
+/// Compares two parsed BENCH documents for one scenario.
+void compareDocuments(const util::json::Value& baseline,
+                      const util::json::Value& candidate,
+                      const CompareOptions& opt, CompareReport* report);
+
+/// Compares every BENCH_*.json under `baseline_dir` against its
+/// counterpart in `candidate_dir`.
+[[nodiscard]] CompareReport compareBenchDirs(const std::string& baseline_dir,
+                                             const std::string& candidate_dir,
+                                             const CompareOptions& opt = {});
+
+}  // namespace coyote::exp

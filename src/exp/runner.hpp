@@ -1,0 +1,63 @@
+// Executes scenarios from the ScenarioRegistry: streams the same text rows
+// the per-figure bench binaries always printed, times repetitions, and
+// emits one self-describing BENCH_<scenario>.json per scenario (the format
+// bench_compare and the CI perf gate consume; schema documented in
+// EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "util/json.hpp"
+
+namespace coyote::exp {
+
+struct RunOptions {
+  bool full = false;     ///< full margin grids / network corpora
+  bool exact = false;    ///< exact slave-LP cutting planes / evaluation
+  int repeat = 1;        ///< timed repetitions per scenario (>= 1)
+  /// Untimed repetitions before the timed ones. Rows print during the
+  /// very first repetition only, so with warmup >= 1 the timed reps are
+  /// free of stdout I/O — use `--warmup 1` whenever timings will be
+  /// compared (CI and the baseline-refresh command both do).
+  int warmup = 0;
+  std::string json_dir;  ///< where BENCH_<id>.json files go; empty = none
+  bool print = true;     ///< stream the bench-identical text to stdout
+};
+
+struct ScenarioResult {
+  std::string id;
+  bool ok = true;                ///< false e.g. when fig12's lie check fails
+  util::json::Value document;    ///< the full BENCH JSON document
+  std::vector<double> seconds;   ///< wall time of each timed repetition
+
+  [[nodiscard]] double minSeconds() const;
+  [[nodiscard]] double medianSeconds() const;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunOptions opt) : opt_(std::move(opt)) {}
+
+  /// Runs one scenario (warmup + timed repetitions; rows are printed
+  /// during the first execution only -- results are deterministic).
+  [[nodiscard]] ScenarioResult run(const Scenario& s) const;
+
+  /// Runs every scenario in order, writing BENCH_<id>.json into json_dir
+  /// when set. Returns the number of failed scenarios.
+  int runAll(const std::vector<const Scenario*>& scenarios) const;
+
+ private:
+  RunOptions opt_;
+};
+
+/// Entry point for the thin per-figure bench shims: options come from the
+/// environment (COYOTE_FULL, COYOTE_EXACT, COYOTE_JSON_DIR) and the rows
+/// print exactly as the pre-registry binaries did. Returns an exit code.
+int runScenarioShim(const std::string& id);
+
+/// `git describe --always --dirty`, or "unknown" outside a work tree.
+[[nodiscard]] std::string gitDescribe();
+
+}  // namespace coyote::exp

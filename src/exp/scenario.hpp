@@ -1,0 +1,144 @@
+// Scenario registry: the paper's evaluation grid as data.
+//
+// A Scenario names one experiment -- topology x base-demand model x margin
+// grid x pool/optimizer options x measurement kind -- and the global
+// ScenarioRegistry holds every figure/table of the paper plus the
+// combinations the per-figure binaries never reached (all Zoo topologies
+// under gravity/bimodal/uniform base demands, synthetic topologies from
+// topo::generator). The ExperimentRunner (runner.hpp) executes scenarios;
+// the per-figure bench binaries are thin shims over it, so `bench_fig06...`
+// and `coyote_experiments --run fig06` produce identical rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/local_search.hpp"
+#include "exp/sweep.hpp"
+#include "graph/graph.hpp"
+#include "tm/traffic_matrix.hpp"
+
+namespace coyote::exp {
+
+/// What the runner measures for a scenario.
+enum class ScenarioKind {
+  kSchemes,       ///< four-scheme margin sweep on one network (Figs. 6-8)
+  kTable,         ///< four-scheme sweep over a network list (Table I)
+  kLocalSearch,   ///< per-margin weight re-tuning, exact eval (Fig. 9)
+  kQuantization,  ///< ECMP-over-virtual-next-hops approximation (Fig. 10)
+  kStretch,       ///< path stretch vs ECMP over a network list (Fig. 11)
+  kPrototype,     ///< fluid-emulator prototype replay + lie check (Fig. 12)
+  kDagAug,        ///< SP-DAGs vs augmented DAGs ablation
+  kOptimizer,     ///< inner-optimizer ablation (GP vs mirror descent)
+  kHardness,      ///< Sec. IV constructions, numerically
+};
+
+[[nodiscard]] const char* kindName(ScenarioKind kind);
+
+/// How to build the scenario's graph. Deterministic in its fields.
+struct TopologySpec {
+  enum class Kind {
+    kZoo,
+    kRunningExample,
+    kPrototypeTriangle,
+    kRing,
+    kGrid,
+    kFullMesh,
+    kRandomBackbone,
+  };
+  Kind kind = Kind::kZoo;
+  std::string zoo_name;      ///< kZoo
+  int a = 0;                 ///< ring n / grid rows / mesh n / backbone n
+  int b = 0;                 ///< grid cols
+  double avg_degree = 0.0;   ///< kRandomBackbone
+  std::uint64_t seed = 0;    ///< kRandomBackbone
+
+  [[nodiscard]] Graph build() const;
+  /// Human-readable label ("Geant", "ring12", "backbone20-d3.0-s7").
+  [[nodiscard]] std::string label() const;
+
+  static TopologySpec zoo(std::string name);
+  static TopologySpec ring(int n);
+  static TopologySpec grid(int rows, int cols);
+  static TopologySpec fullMesh(int n);
+  static TopologySpec randomBackbone(int n, double avg_degree,
+                                     std::uint64_t seed);
+};
+
+/// How to build the scenario's base traffic matrix.
+struct DemandSpec {
+  enum class Model { kGravity, kBimodal, kUniform };
+  Model model = Model::kGravity;
+  std::uint64_t seed = 23;  ///< kBimodal only
+  double total = 1.0;
+
+  [[nodiscard]] tm::TrafficMatrix build(const Graph& g) const;
+  [[nodiscard]] const char* name() const;
+};
+
+struct Scenario {
+  std::string id;           ///< unique, stable key ("fig06", "zoo-geant-uniform")
+  std::string description;
+  /// Free-form filter labels: "figure", "table1", "ablation", "zoo",
+  /// "synthetic", "small" (seconds in quick mode), ...
+  std::vector<std::string> tags;
+  ScenarioKind kind = ScenarioKind::kSchemes;
+
+  TopologySpec topology;   ///< single-network kinds
+  DemandSpec demand;
+  std::vector<double> margins;       ///< quick margin grid
+  std::vector<double> full_margins;  ///< --full / COYOTE_FULL grid
+  SweepOptions sweep;
+
+  /// COYOTE_EXACT / --exact also switches the exact whole-box evaluation
+  /// on (Table I behavior), not just the oracle cutting planes.
+  bool exact_env_upgrades_eval = false;
+  /// Networks with <= `exact_node_limit` nodes use the exact slave-LP
+  /// adversary for evaluation and the oracle (Table I's '+' rows); 0 = off.
+  int exact_node_limit = 0;
+
+  /// kTable / kStretch / kDagAug: networks swept in quick / full mode.
+  std::vector<std::string> networks;
+  std::vector<std::string> full_networks;
+  double fixed_margin = 2.5;  ///< kStretch / kDagAug
+
+  core::LocalSearchOptions local_search;  ///< kLocalSearch
+  int ls_full_moves = 24;  ///< max_moves_per_round under --full
+
+  std::vector<int> quantize_multiplicities = {3, 5, 10};  ///< kQuantization
+
+  [[nodiscard]] bool hasTag(const std::string& tag) const;
+  [[nodiscard]] const std::vector<double>& grid(bool full) const {
+    return full && !full_margins.empty() ? full_margins : margins;
+  }
+  [[nodiscard]] const std::vector<std::string>& networkList(bool full) const {
+    return full && !full_networks.empty() ? full_networks : networks;
+  }
+};
+
+/// Immutable registry of every known scenario; built once at first use.
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry with the full paper + extension grid.
+  static const ScenarioRegistry& global();
+
+  [[nodiscard]] const std::vector<Scenario>& all() const { return scenarios_; }
+  [[nodiscard]] const Scenario* find(const std::string& id) const;
+
+  /// Scenarios whose id or any tag contains `pattern` (case-sensitive
+  /// substring; empty matches everything), in registration order.
+  [[nodiscard]] std::vector<const Scenario*> match(
+      const std::string& pattern) const;
+
+  /// Builds a registry from explicit scenarios (tests); ids must be unique.
+  explicit ScenarioRegistry(std::vector<Scenario> scenarios);
+
+ private:
+  ScenarioRegistry();  // the global grid
+  void add(Scenario s);
+
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace coyote::exp

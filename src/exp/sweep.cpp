@@ -1,0 +1,73 @@
+#include "exp/sweep.hpp"
+
+#include <cstdio>
+
+namespace coyote::exp {
+
+NetworkSweep::NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
+                           const tm::TrafficMatrix& base_tm, SweepOptions opt)
+    : g_(g),
+      dags_(std::move(dags)),
+      base_tm_(base_tm),
+      opt_(std::move(opt)),
+      ecmp_(routing::ecmpConfig(g, dags_)),
+      base_routing_(
+          routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
+              .routing),
+      oblivious_([&] {
+        core::CoyoteOptions copt = opt_.coyote;
+        copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
+        return core::coyoteOblivious(g, dags_, copt).routing;
+      }()) {}
+
+SchemeRow NetworkSweep::run(double margin) const {
+  SchemeRow row;
+  row.margin = margin;
+  const tm::DemandBounds box = tm::marginBounds(base_tm_, margin);
+  routing::PerformanceEvaluator pool(g_, dags_, opt_.coyote.lp);
+  pool.addPool(tm::cornerPool(box, opt_.pool));
+
+  core::CoyoteOptions copt = opt_.coyote;
+  copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
+  const core::CoyoteResult pk = core::optimizeAgainstPool(g_, pool, &box, copt);
+
+  if (opt_.exact_eval) {
+    const auto exact = [&](const routing::RoutingConfig& cfg) {
+      return routing::findWorstCaseDemand(g_, cfg, &box, opt_.coyote.lp)
+          .ratio;
+    };
+    row.ecmp = exact(ecmp_);
+    row.base = exact(base_routing_);
+    row.oblivious = exact(oblivious_);
+    row.partial = exact(pk.routing);
+  } else {
+    row.ecmp = pool.ratioFor(ecmp_);
+    row.base = pool.ratioFor(base_routing_);
+    row.oblivious = pool.ratioFor(oblivious_);
+    row.partial = pool.ratioFor(pk.routing);
+  }
+  return row;
+}
+
+std::vector<double> marginGrid(double max_margin, bool full) {
+  std::vector<double> out;
+  for (double m = 1.0; m <= max_margin + 1e-9; m += full ? 0.5 : 1.0) {
+    out.push_back(m);
+  }
+  return out;
+}
+
+void printSchemeHeader(const char* network, const char* model) {
+  std::printf("# %s, %s base matrix\n", network, model);
+  std::printf("# ratios are worst-case link utilization relative to the\n");
+  std::printf("# demands-aware optimum within the same augmented DAGs\n");
+  std::printf("%-8s %-8s %-8s %-12s %-12s\n", "margin", "ECMP", "Base",
+              "COYOTE-obl", "COYOTE-pk");
+}
+
+void printSchemeRow(const SchemeRow& r) {
+  std::printf("%-8.1f %-8.2f %-8.2f %-12.2f %-12.2f\n", r.margin, r.ecmp,
+              r.base, r.oblivious, r.partial);
+}
+
+}  // namespace coyote::exp

@@ -1,0 +1,95 @@
+// The four-scheme margin sweep at the heart of the paper's evaluation
+// (Figs. 6-9, Table I), factored out of the per-figure bench binaries so
+// the scenario registry (scenario.hpp) and the experiment runner
+// (runner.hpp) can drive it uniformly.
+//
+// Every sweep prints/records the same rows the paper reports, normalized --
+// like the paper's figures -- by the demands-aware optimum *within the same
+// augmented DAGs*. Evaluation is over a finite pool of corner/hotspot
+// matrices of the uncertainty box (see tm::cornerPool); the same pool
+// drives COYOTE's optimizer, and the exact slave-LP oracle can be enabled
+// on small networks. Shapes (who wins, by what factor, where crossovers
+// fall), not absolute values, are the reproduction target; see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
+#include "tm/uncertainty.hpp"
+
+namespace coyote::exp {
+
+/// One row of the Fig. 6-9 / Table I comparison.
+struct SchemeRow {
+  double margin = 1.0;
+  double ecmp = 0.0;        ///< traditional TE with ECMP
+  double base = 0.0;        ///< demands-aware optimum for the base matrix
+  double oblivious = 0.0;   ///< COYOTE, no demand knowledge
+  double partial = 0.0;     ///< COYOTE, optimized for the uncertainty box
+};
+
+struct SweepOptions {
+  /// Corner-pool shape for the per-margin evaluation/optimization pool.
+  tm::PoolOptions pool;
+  core::CoyoteOptions coyote;
+  bool exact_oracle = false;  ///< add slave-LP cutting planes (small nets)
+  /// Evaluate the four schemes with the exact slave-LP adversary over the
+  /// whole box (one LP per edge per scheme) instead of the corner pool.
+  /// This is what exposes how quickly the base-optimal routing degrades
+  /// under uncertainty; affordable up to ~15-node networks.
+  bool exact_eval = false;
+
+  SweepOptions() {
+    pool.random_corners = 6;
+    pool.source_hotspots = false;  // halves the per-margin LP count
+    pool.max_hotspots = 12;        // caps LP count on the larger networks
+    pool.seed = 1;
+    coyote.splitting.iterations = 300;
+  }
+};
+
+/// Margin-sweep harness for one network. The margin-independent schemes
+/// (ECMP, the base-matrix optimum, COYOTE-oblivious) are computed once and
+/// re-evaluated under every margin's pool; COYOTE-partial-knowledge is
+/// re-optimized per margin. All heavy stages (pool normalization, PERF
+/// evaluation, the optimizer's forward pass, the slave LPs) run on the
+/// shared util::ThreadPool; results are bit-identical for any thread count.
+class NetworkSweep {
+ public:
+  NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
+               const tm::TrafficMatrix& base_tm, SweepOptions opt);
+
+  [[nodiscard]] SchemeRow run(double margin) const;
+
+  [[nodiscard]] const routing::RoutingConfig& ecmpRouting() const {
+    return ecmp_;
+  }
+  [[nodiscard]] const routing::RoutingConfig& obliviousRouting() const {
+    return oblivious_;
+  }
+
+ private:
+  const Graph& g_;
+  std::shared_ptr<const DagSet> dags_;
+  const tm::TrafficMatrix& base_tm_;
+  SweepOptions opt_;
+  routing::RoutingConfig ecmp_;
+  routing::RoutingConfig base_routing_;
+  routing::RoutingConfig oblivious_;
+};
+
+/// Margins used by the sweeps: the paper uses 1..3 (figures) and 1..5
+/// (Table I) in 0.5 steps; the quick default thins them out.
+[[nodiscard]] std::vector<double> marginGrid(double max_margin, bool full);
+
+void printSchemeHeader(const char* network, const char* model);
+void printSchemeRow(const SchemeRow& r);
+
+}  // namespace coyote::exp

@@ -64,4 +64,18 @@ TrafficMatrix bimodalMatrix(const Graph& g, const BimodalParams& params,
   return tm;
 }
 
+TrafficMatrix uniformMatrix(const Graph& g, double total) {
+  require(total >= 0.0, "negative total");
+  const int n = g.numNodes();
+  TrafficMatrix tm(n);
+  if (n < 2) return tm;
+  const double per_pair = total / (static_cast<double>(n) * (n - 1));
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s != t) tm.set(s, t, per_pair);
+    }
+  }
+  return tm;
+}
+
 }  // namespace coyote::tm

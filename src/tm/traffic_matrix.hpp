@@ -80,4 +80,8 @@ struct BimodalParams {
                                           std::uint64_t seed,
                                           double total = 1.0);
 
+/// Uniform model: every ordered pair exchanges the same demand; the matrix
+/// total equals `total`.
+[[nodiscard]] TrafficMatrix uniformMatrix(const Graph& g, double total = 1.0);
+
 }  // namespace coyote::tm

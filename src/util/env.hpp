@@ -1,0 +1,36 @@
+// Environment-variable knobs, shared by benches, tools and tests.
+//
+// Every runtime surface of the repo reads the same small set of COYOTE_*
+// variables (COYOTE_FULL, COYOTE_EXACT, COYOTE_THREADS, ...); these helpers
+// are the single parsing point so the semantics ("set and not '0'") cannot
+// drift between binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace coyote::util {
+
+/// True iff `name` is set to a non-empty value other than "0".
+[[nodiscard]] inline bool envFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Integer value of `name`, or `fallback` when unset/unparsable.
+[[nodiscard]] inline long envInt(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// String value of `name`, or `fallback` when unset.
+[[nodiscard]] inline std::string envString(const char* name,
+                                           const std::string& fallback = {}) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace coyote::util

@@ -1,0 +1,127 @@
+// Dependency-free JSON document model: an ordered value tree, a writer
+// emitting deterministic round-trippable text, and a small strict parser.
+//
+// This backs the machine-readable BENCH_<scenario>.json files the
+// experiment runner emits and the bench_compare regression gate consumes.
+// Scope is deliberately small: UTF-8 pass-through (no surrogate handling
+// beyond \uXXXX escapes for control characters), doubles via shortest
+// round-trip formatting, objects keep insertion order so emitted files
+// diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace coyote::util::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+using Object = std::vector<Member>;  // insertion-ordered
+
+/// Thrown by the parser on malformed input and by typed accessors on
+/// type mismatches.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Value(int i) : type_(Type::kNumber), num_(i) {}  // NOLINT
+  Value(long i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}  // NOLINT
+  Value(unsigned i) : type_(Type::kNumber), num_(i) {}  // NOLINT
+  Value(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool isNull() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool isBool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool isNumber() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool isString() const { return type_ == Type::kString; }
+  [[nodiscard]] bool isArray() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool isObject() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool asBool() const {
+    requireType(Type::kBool, "bool");
+    return bool_;
+  }
+  [[nodiscard]] double asNumber() const {
+    requireType(Type::kNumber, "number");
+    return num_;
+  }
+  [[nodiscard]] const std::string& asString() const {
+    requireType(Type::kString, "string");
+    return str_;
+  }
+  [[nodiscard]] const Array& asArray() const {
+    requireType(Type::kArray, "array");
+    return arr_;
+  }
+  [[nodiscard]] const Object& asObject() const {
+    requireType(Type::kObject, "object");
+    return obj_;
+  }
+
+  /// Object member access; inserts a null member when absent (like a map).
+  Value& operator[](const std::string& key);
+
+  /// Pointer to the member value, or nullptr when absent / not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Member value or `fallback` when absent (object access only).
+  [[nodiscard]] double numberOr(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const;
+
+  /// Appends to an array value (the value must be an array).
+  void push_back(Value v);
+
+  /// Serializes the tree. indent > 0 pretty-prints with that many spaces
+  /// per level; indent == 0 emits compact single-line JSON.
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  void requireType(Type t, const char* what) const {
+    if (type_ != t) throw Error(std::string("json: value is not a ") + what);
+  }
+  void writeTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Serializes a double exactly as the writer does (shortest round-trip
+/// form; integral values without exponent or trailing ".0").
+[[nodiscard]] std::string formatNumber(double d);
+
+/// Escapes `s` as the contents of a JSON string literal (no quotes).
+[[nodiscard]] std::string escapeString(const std::string& s);
+
+/// Strict parser for the subset this writer emits (standard JSON minus
+/// \u surrogate pairs, which pass through as-is). Throws Error with a
+/// byte offset on malformed input. Trailing garbage is an error.
+[[nodiscard]] Value parse(const std::string& text);
+
+}  // namespace coyote::util::json

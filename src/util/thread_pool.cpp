@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/env.hpp"
+
 namespace coyote::util {
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -88,10 +90,8 @@ ThreadPool& ThreadPool::global() {
 }
 
 unsigned ThreadPool::defaultThreads() {
-  if (const char* env = std::getenv("COYOTE_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
+  const long v = envInt("COYOTE_THREADS", 0);
+  if (v > 0) return static_cast<unsigned>(v);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }

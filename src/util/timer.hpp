@@ -1,0 +1,28 @@
+// Monotonic wall-clock timing for benches and the experiment runner.
+#pragma once
+
+#include <chrono>
+
+namespace coyote::util {
+
+/// Seconds on a monotonic clock (arbitrary epoch); subtract two readings.
+[[nodiscard]] inline double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(nowSeconds()) {}
+
+  [[nodiscard]] double elapsedSeconds() const { return nowSeconds() - start_; }
+
+  void reset() { start_ = nowSeconds(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace coyote::util

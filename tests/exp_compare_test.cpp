@@ -1,0 +1,243 @@
+// exp::compareBenchDirs / compareDocuments -- the library behind the
+// bench_compare CLI and CI's perf gate: timing regressions beyond the
+// threshold fail, within-threshold noise passes, and deterministic row
+// values may not drift.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "exp/compare.hpp"
+#include "util/json.hpp"
+
+namespace coyote::exp {
+namespace {
+
+namespace fs = std::filesystem;
+namespace json = util::json;
+
+json::Value benchDoc(const std::string& scenario, double ecmp,
+                     double median_seconds) {
+  json::Value doc = json::Value::object();
+  doc["schema"] = "coyote-bench/1";
+  doc["scenario"] = scenario;
+  json::Value row = json::Value::object();
+  row["margin"] = 2.0;
+  row["ecmp"] = ecmp;
+  row["partial"] = 1.1;
+  json::Value rows = json::Value::array();
+  rows.push_back(std::move(row));
+  doc["rows"] = std::move(rows);
+  json::Value timing = json::Value::object();
+  timing["median_seconds"] = median_seconds;
+  doc["timing"] = std::move(timing);
+  return doc;
+}
+
+bool hasKind(const CompareReport& report, CompareFinding::Kind kind) {
+  for (const CompareFinding& f : report.findings) {
+    if (f.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(CompareDocuments, IdenticalDocumentsPass) {
+  const json::Value doc = benchDoc("s", 1.5, 1.0);
+  CompareReport report;
+  compareDocuments(doc, doc, CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  EXPECT_EQ(report.compared, 1);
+}
+
+TEST(CompareDocuments, RegressionBeyondThresholdFails) {
+  CompareOptions opt;
+  opt.max_regression = 0.25;
+  // +50% median wall time: an artificially slowed candidate must fail.
+  CompareReport report;
+  compareDocuments(benchDoc("s", 1.5, 1.0), benchDoc("s", 1.5, 1.5), opt,
+                   &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kRegression));
+  EXPECT_FALSE(hasKind(report, CompareFinding::Kind::kDrift));
+}
+
+TEST(CompareDocuments, WithinThresholdTimingPasses) {
+  CompareOptions opt;
+  opt.max_regression = 0.25;
+  CompareReport report;
+  compareDocuments(benchDoc("s", 1.5, 1.0), benchDoc("s", 1.5, 1.2), opt,
+                   &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  // Speedups never fail, however large.
+  compareDocuments(benchDoc("s", 1.5, 1.0), benchDoc("s", 1.5, 0.01), opt,
+                   &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+}
+
+TEST(CompareDocuments, TimingFloorAbsorbsSubMillisecondNoise) {
+  CompareOptions opt;
+  opt.max_regression = 1.0;
+  opt.min_gate_seconds = 0.01;
+  // 90us -> 1.4ms is a 15x relative blowup but pure scheduler noise;
+  // the gate measures it against the 10ms floor instead.
+  CompareReport report;
+  compareDocuments(benchDoc("s", 1.5, 9e-5), benchDoc("s", 1.5, 1.4e-3), opt,
+                   &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  // A genuine hang still fails: way past floor * (1 + threshold).
+  compareDocuments(benchDoc("s", 1.5, 9e-5), benchDoc("s", 1.5, 10.0), opt,
+                   &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kRegression));
+}
+
+TEST(CompareDocuments, ResultDriftFailsEvenWhenTimingIsFine) {
+  CompareReport report;
+  compareDocuments(benchDoc("s", 1.5, 1.0), benchDoc("s", 1.5001, 1.0),
+                   CompareOptions{}, &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kDrift));
+  // The finding names the offending field.
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_NE(report.findings[0].what.find("ecmp"), std::string::npos);
+}
+
+TEST(CompareDocuments, SummaryFieldDriftIsDetected) {
+  // Kind-specific top-level results (fig12's 'verified'/'fake_nodes',
+  // fig09's 'ecmp_gap_percent', 'ok') are deterministic and gated too;
+  // run metadata (git, threads, timing, description) is not.
+  json::Value baseline = benchDoc("s", 1.5, 1.0);
+  baseline["ok"] = true;
+  baseline["fake_nodes"] = 4;
+  baseline["verified"] = true;
+  baseline["git"] = "aaa";
+
+  json::Value candidate = baseline;
+  candidate["git"] = "bbb";  // provenance may differ freely
+  CompareReport clean;
+  compareDocuments(baseline, candidate, CompareOptions{}, &clean);
+  EXPECT_TRUE(clean.pass()) << clean.text();
+
+  candidate["fake_nodes"] = 40;
+  candidate["verified"] = false;
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kDrift));
+  EXPECT_NE(report.text().find("fake_nodes"), std::string::npos);
+  EXPECT_NE(report.text().find("verified"), std::string::npos);
+}
+
+TEST(CompareDocuments, RowCountChangeIsDrift) {
+  json::Value baseline = benchDoc("s", 1.5, 1.0);
+  json::Value candidate = benchDoc("s", 1.5, 1.0);
+  candidate["rows"].push_back(json::Value::object());
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kDrift));
+}
+
+TEST(CompareDocuments, MissingSectionsAreMalformed) {
+  const json::Value good = benchDoc("s", 1.5, 1.0);
+  CompareReport report;
+  compareDocuments(json::parse(R"({"scenario":"s"})"), good, CompareOptions{},
+                   &report);
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kMalformed));
+
+  CompareReport no_median;
+  compareDocuments(json::parse(R"({"scenario":"s","rows":[],"timing":{}})"),
+                   good, CompareOptions{}, &no_median);
+  EXPECT_TRUE(hasKind(no_median, CompareFinding::Kind::kMalformed));
+}
+
+class CompareBenchDirsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::path(::testing::TempDir()) / "coyote_compare" / info->name();
+    baseline_ = root_ / "baseline";
+    candidate_ = root_ / "candidate";
+    fs::create_directories(baseline_);
+    fs::create_directories(candidate_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void write(const fs::path& dir, const std::string& scenario,
+                    const json::Value& doc) {
+    std::ofstream out(dir / ("BENCH_" + scenario + ".json"));
+    out << doc.dump(2);
+  }
+
+  fs::path root_, baseline_, candidate_;
+};
+
+TEST_F(CompareBenchDirsTest, MatchingDirectoriesPass) {
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  write(baseline_, "b", benchDoc("b", 2.0, 0.5));
+  write(candidate_, "a", benchDoc("a", 1.5, 1.1));
+  write(candidate_, "b", benchDoc("b", 2.0, 0.55));
+  const CompareReport report = compareBenchDirs(baseline_, candidate_);
+  EXPECT_TRUE(report.pass()) << report.text();
+  EXPECT_EQ(report.compared, 2);
+  EXPECT_NE(report.text().find("OK"), std::string::npos);
+}
+
+TEST_F(CompareBenchDirsTest, SlowedCandidateIsReportedPerScenario) {
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  write(baseline_, "b", benchDoc("b", 2.0, 1.0));
+  write(candidate_, "a", benchDoc("a", 1.5, 1.0));
+  write(candidate_, "b", benchDoc("b", 2.0, 2.0));  // 2x slower
+  const CompareReport report = compareBenchDirs(baseline_, candidate_);
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].scenario, "b");
+  EXPECT_EQ(report.findings[0].kind, CompareFinding::Kind::kRegression);
+  EXPECT_NE(report.text().find("REGRESSION"), std::string::npos);
+}
+
+TEST_F(CompareBenchDirsTest, LooserThresholdAbsorbsTheSameSlowdown) {
+  write(baseline_, "b", benchDoc("b", 2.0, 1.0));
+  write(candidate_, "b", benchDoc("b", 2.0, 2.0));
+  CompareOptions opt;
+  opt.max_regression = 1.5;  // allow up to 2.5x
+  EXPECT_TRUE(compareBenchDirs(baseline_, candidate_, opt).pass());
+}
+
+TEST_F(CompareBenchDirsTest, MissingCandidateFile) {
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  const CompareReport strict = compareBenchDirs(baseline_, candidate_);
+  EXPECT_FALSE(strict.pass());
+  EXPECT_TRUE(hasKind(strict, CompareFinding::Kind::kMissing));
+
+  CompareOptions opt;
+  opt.require_all = false;
+  EXPECT_TRUE(compareBenchDirs(baseline_, candidate_, opt).pass());
+}
+
+TEST_F(CompareBenchDirsTest, ExtraCandidateFilesAreIgnored) {
+  // New scenarios may land before their baseline is refreshed.
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  write(candidate_, "a", benchDoc("a", 1.5, 1.0));
+  write(candidate_, "new", benchDoc("new", 9.9, 9.9));
+  EXPECT_TRUE(compareBenchDirs(baseline_, candidate_).pass());
+}
+
+TEST_F(CompareBenchDirsTest, MalformedInputsAreFindingsNotCrashes) {
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  std::ofstream(candidate_ / "BENCH_a.json") << "{not json";
+  const CompareReport report = compareBenchDirs(baseline_, candidate_);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kMalformed));
+
+  const CompareReport no_dir =
+      compareBenchDirs(baseline_, (root_ / "absent").string());
+  EXPECT_FALSE(no_dir.pass());
+
+  const CompareReport empty_base =
+      compareBenchDirs((root_ / "absent").string(), candidate_);
+  EXPECT_FALSE(empty_base.pass());
+}
+
+}  // namespace
+}  // namespace coyote::exp

@@ -18,6 +18,7 @@
 #include "tm/traffic_matrix.hpp"
 #include "topo/generator.hpp"
 #include "topo/zoo.hpp"
+#include "util/env.hpp"
 
 namespace coyote {
 namespace {
@@ -210,8 +211,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomBackbonePipeline,
 // ---------------------------------------------------------------------------
 
 TEST(FullSweep, BoundsToVerifiedLiesAcrossCorpus) {
-  const char* v = std::getenv("COYOTE_FULL");
-  if (v == nullptr || v[0] == '\0' || v[0] == '0') {
+  if (!util::envFlag("COYOTE_FULL")) {
     GTEST_SKIP() << "set COYOTE_FULL=1 (ctest label `full') for the sweep";
   }
   // The Abilene pipeline check of Pipeline.BoundsToVerifiedLies, across

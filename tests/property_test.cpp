@@ -24,6 +24,7 @@
 #include "topo/generator.hpp"
 #include "topo/parser.hpp"
 #include "topo/zoo.hpp"
+#include "util/env.hpp"
 
 namespace coyote {
 namespace {
@@ -256,10 +257,7 @@ INSTANTIATE_TEST_SUITE_P(Zoo, SchemeDominance,
 // COYOTE_FULL=1 sweeps (the ctest `full' label; skipped in quick runs).
 // ---------------------------------------------------------------------------
 
-bool fullSweepsEnabled() {
-  const char* v = std::getenv("COYOTE_FULL");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+bool fullSweepsEnabled() { return util::envFlag("COYOTE_FULL"); }
 
 TEST(FullSweep, CoyoteAtMarginOneIsOptimalAcrossCorpus) {
   if (!fullSweepsEnabled()) {

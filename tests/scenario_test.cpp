@@ -1,0 +1,189 @@
+// exp::ScenarioRegistry -- the experiment grid behind coyote_experiments
+// and the per-figure bench shims: id uniqueness, filtering, and that every
+// registered scenario actually builds (graph, base matrix, corner pool).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep.hpp"
+#include "tm/uncertainty.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::exp {
+namespace {
+
+const ScenarioRegistry& reg() { return ScenarioRegistry::global(); }
+
+TEST(ScenarioRegistry, CoversThePaperAndTheExtensionGrid) {
+  // The acceptance bar for the harness: the paper's 7 figures + Table I +
+  // ablations plus the zoo x demand-model and synthetic grids.
+  EXPECT_GE(reg().all().size(), 25u);
+  for (const char* id :
+       {"fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+        "table1", "ablation-dag-aug", "ablation-optimizer",
+        "ablation-hardness", "running-example"}) {
+    EXPECT_NE(reg().find(id), nullptr) << id;
+  }
+  // Every Zoo topology appears under every base-demand model.
+  for (const std::string& name : topo::zooNames()) {
+    std::string lower;
+    for (const char c : name) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    for (const char* model : {"gravity", "bimodal", "uniform"}) {
+      EXPECT_NE(reg().find("zoo-" + lower + "-" + model), nullptr)
+          << name << " x " << model;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, IdsAreUniqueAndWellFormed) {
+  std::set<std::string> seen;
+  for (const Scenario& s : reg().all()) {
+    EXPECT_FALSE(s.id.empty());
+    EXPECT_TRUE(seen.insert(s.id).second) << "duplicate id: " << s.id;
+    EXPECT_FALSE(s.description.empty()) << s.id;
+    EXPECT_FALSE(s.tags.empty()) << s.id;
+    // Ids are shell- and filename-safe (they name BENCH_<id>.json files).
+    for (const char c : s.id) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '-')
+          << s.id;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, FindAndMatch) {
+  EXPECT_EQ(reg().find("no-such-scenario"), nullptr);
+  const Scenario* fig06 = reg().find("fig06");
+  ASSERT_NE(fig06, nullptr);
+  EXPECT_EQ(fig06->kind, ScenarioKind::kSchemes);
+  EXPECT_TRUE(fig06->hasTag("figure"));
+  EXPECT_FALSE(fig06->hasTag("synthetic"));
+
+  // match() hits ids and tags, and the empty pattern selects everything.
+  EXPECT_EQ(reg().match("").size(), reg().all().size());
+  const auto figures = reg().match("figure");
+  EXPECT_GE(figures.size(), 7u);
+  for (const Scenario* s : figures) EXPECT_TRUE(s->hasTag("figure"));
+  EXPECT_EQ(reg().match("fig06").size(), 1u);
+  EXPECT_TRUE(reg().match("zzz-no-hit").empty());
+
+  // The CI smoke selection: small scenarios that finish in seconds.
+  EXPECT_GE(reg().match("smoke").size(), 2u);
+}
+
+TEST(ScenarioRegistry, MarginGridsAreSane) {
+  for (const Scenario& s : reg().all()) {
+    switch (s.kind) {
+      case ScenarioKind::kSchemes:
+      case ScenarioKind::kTable:
+      case ScenarioKind::kLocalSearch:
+      case ScenarioKind::kQuantization: {
+        ASSERT_FALSE(s.margins.empty()) << s.id;
+        // Full grids refine the quick ones; both start at margin >= 1 and
+        // ascend (margin 1 = no uncertainty, the paper's leftmost point).
+        for (const std::vector<double>& grid :
+             {s.grid(false), s.grid(true)}) {
+          EXPECT_GE(grid.front(), 1.0) << s.id;
+          for (std::size_t i = 1; i < grid.size(); ++i) {
+            EXPECT_LT(grid[i - 1], grid[i]) << s.id;
+          }
+        }
+        EXPECT_GE(s.grid(true).size(), s.grid(false).size()) << s.id;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ScenarioRegistry, EveryScenarioBuildsGraphMatrixAndPool) {
+  for (const Scenario& s : reg().all()) {
+    SCOPED_TRACE(s.id);
+    if (!s.networks.empty()) {
+      // Network-list kinds: every listed Zoo name must resolve.
+      for (const bool full : {false, true}) {
+        for (const std::string& name : s.networkList(full)) {
+          const Graph g = topo::makeZoo(name);
+          EXPECT_GE(g.numNodes(), 2);
+          EXPECT_GT(g.numEdges(), 0);
+        }
+      }
+      continue;
+    }
+    const Graph g = s.topology.build();
+    EXPECT_GE(g.numNodes(), 2);
+    EXPECT_GT(g.numEdges(), 0);
+    EXPECT_FALSE(s.topology.label().empty());
+
+    if (s.kind == ScenarioKind::kOptimizer ||
+        s.kind == ScenarioKind::kHardness ||
+        s.kind == ScenarioKind::kPrototype) {
+      continue;  // these kinds build their own instances internally
+    }
+    const tm::TrafficMatrix base = s.demand.build(g);
+    EXPECT_EQ(base.numNodes(), g.numNodes());
+    EXPECT_GT(base.total(), 0.0);
+
+    const double margin = s.margins.empty() ? 2.0 : s.margins.back();
+    const tm::DemandBounds box = tm::marginBounds(base, margin);
+    const std::vector<tm::TrafficMatrix> pool =
+        tm::cornerPool(box, s.sweep.pool);
+    ASSERT_FALSE(pool.empty());
+    for (const tm::TrafficMatrix& d : pool) {
+      EXPECT_TRUE(box.contains(d));
+    }
+  }
+}
+
+TEST(ScenarioRegistry, ExplicitConstructionRejectsDuplicates) {
+  Scenario a;
+  a.id = "a";
+  a.description = "first";
+  Scenario b = a;
+  b.description = "second";
+  EXPECT_THROW(ScenarioRegistry({a, b}), std::invalid_argument);
+
+  Scenario unnamed;
+  EXPECT_THROW(ScenarioRegistry({unnamed}), std::invalid_argument);
+
+  b.id = "b";
+  const ScenarioRegistry two({a, b});
+  EXPECT_EQ(two.all().size(), 2u);
+  EXPECT_NE(two.find("a"), nullptr);
+  EXPECT_NE(two.find("b"), nullptr);
+}
+
+TEST(TopologySpec, SyntheticBuildersMatchTheirLabels) {
+  EXPECT_EQ(TopologySpec::ring(8).label(), "ring8");
+  EXPECT_EQ(TopologySpec::grid(3, 4).label(), "grid3x4");
+  EXPECT_EQ(TopologySpec::fullMesh(6).label(), "mesh6");
+  EXPECT_EQ(TopologySpec::ring(8).build().numNodes(), 8);
+  EXPECT_EQ(TopologySpec::grid(3, 4).build().numNodes(), 12);
+  EXPECT_EQ(TopologySpec::fullMesh(6).build().numEdges(), 6 * 5);
+}
+
+TEST(DemandSpec, ModelsProduceTheRequestedTotal) {
+  const Graph g = TopologySpec::fullMesh(5).build();
+  for (const DemandSpec::Model model :
+       {DemandSpec::Model::kGravity, DemandSpec::Model::kBimodal,
+        DemandSpec::Model::kUniform}) {
+    DemandSpec d;
+    d.model = model;
+    d.total = 4.0;
+    const tm::TrafficMatrix m = d.build(g);
+    EXPECT_NEAR(m.total(), 4.0, 1e-9) << d.name();
+  }
+  // Uniform: every ordered pair carries the same demand.
+  DemandSpec u;
+  u.model = DemandSpec::Model::kUniform;
+  const tm::TrafficMatrix m = u.build(g);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), m.at(4, 2));
+}
+
+}  // namespace
+}  // namespace coyote::exp
