@@ -2,13 +2,20 @@
 // throughput, lie synthesis, split apportionment, fluid-simulator steps.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/dag_builder.hpp"
 #include "core/splitting_optimizer.hpp"
 #include "fibbing/lie_synthesis.hpp"
 #include "fibbing/ospf_model.hpp"
+#include "lp/stats.hpp"
+#include "routing/ecmp.hpp"
 #include "routing/evaluator.hpp"
+#include "routing/optu.hpp"
+#include "routing/worst_case.hpp"
 #include "sim/fluid.hpp"
 #include "tm/traffic_matrix.hpp"
+#include "tm/uncertainty.hpp"
 #include "topo/zoo.hpp"
 
 namespace {
@@ -103,6 +110,123 @@ BENCHMARK(BM_AddPoolThreadScaling)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// OPTU normalization of a GEANT-sized corner pool: Arg(0) solves every
+// matrix cold (a fresh engine per matrix, the pre-warm-start behavior),
+// Arg(1) runs the engine's warm-start chains. The warm path is cross-checked
+// against the cold objectives (equal within LP tolerance) before timing;
+// pivots/solve lands in the counters.
+void BM_SimplexOptu(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Geant");
+  const auto dags = core::augmentedDagsShared(g);
+  tm::PoolOptions popt;
+  popt.random_corners = 16;
+  popt.pair_hotspots = 8;
+  popt.seed = 17;
+  const auto pool =
+      tm::cornerPool(tm::marginBounds(tm::gravityMatrix(g, 1.0), 2.0), popt);
+  const bool warm = state.range(0) != 0;
+  util::ThreadPool tp(1);  // time the solver, not the fan-out
+
+  static std::vector<double> cold_ref;
+  if (!warm) {
+    cold_ref.clear();
+    for (const auto& d : pool) {
+      routing::OptuEngine engine(g, dags);
+      cold_ref.push_back(engine.utilization(d));
+    }
+  } else if (!cold_ref.empty()) {
+    routing::OptuEngine engine(g, dags);
+    const std::vector<double> got = engine.utilizationBatch(pool, tp);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (std::abs(got[i] - cold_ref[i]) > 1e-7 * (1.0 + cold_ref[i])) {
+        state.SkipWithError("warm OPTU objective differs from cold");
+        return;
+      }
+    }
+  }
+
+  const lp::StatsSnapshot before = lp::statsSnapshot();
+  for (auto _ : state) {
+    if (warm) {
+      routing::OptuEngine engine(g, dags);
+      benchmark::DoNotOptimize(engine.utilizationBatch(pool, tp));
+    } else {
+      for (const auto& d : pool) {
+        routing::OptuEngine engine(g, dags);
+        benchmark::DoNotOptimize(engine.utilization(d));
+      }
+    }
+  }
+  const lp::StatsSnapshot delta = lp::statsSnapshot() - before;
+  if (delta.solves > 0) {
+    state.counters["pivots_per_solve"] =
+        static_cast<double>(delta.iterations) /
+        static_cast<double>(delta.solves);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pool.size()));
+  state.SetLabel(warm ? "warm-chained" : "cold");
+}
+BENCHMARK(BM_SimplexOptu)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// The per-edge worst-case slave LPs on GEANT: Arg(0) is one cold solve per
+// edge (fresh session each, the pre-warm-start behavior), Arg(1) the
+// oracle's warm-start chains, cross-checked edge-by-edge against cold.
+void BM_SimplexSlaveWarmStart(benchmark::State& state) {
+  const Graph g = topo::makeZoo("Geant");
+  const auto dags = core::augmentedDagsShared(g);
+  const auto ecmp = routing::ecmpConfig(g, dags);
+  const bool warm = state.range(0) != 0;
+
+  static std::vector<double> cold_ref;
+  if (!warm) {
+    cold_ref.clear();
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      cold_ref.push_back(
+          routing::findWorstCaseDemandForEdge(g, ecmp, e).ratio);
+    }
+  } else if (!cold_ref.empty()) {
+    // Validate the warm-chained scan itself: its winning ratio must match
+    // the maximum of the independent cold per-edge solves.
+    routing::WorstCaseOracle oracle(g, dags, nullptr);
+    const double warm_best = oracle.find(ecmp).ratio;
+    double cold_best = 0.0;
+    for (const double r : cold_ref) cold_best = std::max(cold_best, r);
+    if (std::abs(warm_best - cold_best) > 1e-7 * (1.0 + cold_best)) {
+      state.SkipWithError("warm slave-LP objective differs from cold");
+      return;
+    }
+  }
+
+  const lp::StatsSnapshot before = lp::statsSnapshot();
+  routing::WorstCaseOracle oracle(g, dags, nullptr);
+  for (auto _ : state) {
+    if (warm) {
+      benchmark::DoNotOptimize(oracle.find(ecmp));
+    } else {
+      double worst = 0.0;
+      for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        worst = std::max(
+            worst, routing::findWorstCaseDemandForEdge(g, ecmp, e).ratio);
+      }
+      benchmark::DoNotOptimize(worst);
+    }
+  }
+  const lp::StatsSnapshot delta = lp::statsSnapshot() - before;
+  if (delta.solves > 0) {
+    state.counters["pivots_per_solve"] =
+        static_cast<double>(delta.iterations) /
+        static_cast<double>(delta.solves);
+  }
+  state.SetItemsProcessed(state.iterations() * g.numEdges());
+  state.SetLabel(warm ? "warm-chained" : "cold");
+}
+BENCHMARK(BM_SimplexSlaveWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_LieSynthesisAllDests(benchmark::State& state) {
   const Graph g = topo::makeZoo("Geant");

@@ -29,12 +29,17 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
 
   // Cutting-plane rounds with the exact slave-LP separation oracle: add the
   // worst-case matrix the oracle finds, re-optimize, and keep the best
-  // configuration by *exact* ratio across rounds.
+  // configuration by *exact* ratio across rounds. One oracle serves every
+  // round (and the final ECMP scoring): only the objective depends on the
+  // routing, so each round's per-edge LPs warm-start from the previous
+  // round's bases, and each addMatrix normalization warm-starts inside the
+  // evaluator's OPTU engine -- the rounds append state instead of
+  // rebuilding it.
   if (opt.oracle_rounds > 0) {
+    routing::WorstCaseOracle oracle(g, dags, box, opt.lp);
     double best_exact = std::numeric_limits<double>::infinity();
     for (int round = 0; round < opt.oracle_rounds; ++round) {
-      const routing::WorstCaseResult wc =
-          routing::findWorstCaseDemand(g, cfg, box, opt.lp);
+      const routing::WorstCaseResult wc = oracle.find(cfg);
       if (wc.ratio < best_exact) {
         best_exact = wc.ratio;
         out.routing = cfg;
@@ -46,16 +51,14 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
       cfg = optimizeSplitting(g, pool, cfg, opt.splitting);
     }
     // The last re-optimized config was never scored; score it.
-    const double final_exact =
-        routing::findWorstCaseDemand(g, cfg, box, opt.lp).ratio;
+    const double final_exact = oracle.find(cfg).ratio;
     if (final_exact < best_exact) {
       best_exact = final_exact;
       out.routing = cfg;
     }
     if (opt.ensure_not_worse_than_ecmp) {
       const routing::RoutingConfig ecmp = routing::ecmpConfig(g, dags);
-      const double ecmp_exact =
-          routing::findWorstCaseDemand(g, ecmp, box, opt.lp).ratio;
+      const double ecmp_exact = oracle.find(ecmp).ratio;
       if (ecmp_exact < best_exact) out.routing = ecmp;
     }
   } else if (opt.ensure_not_worse_than_ecmp) {

@@ -25,6 +25,11 @@ bool numbersDiffer(double a, double b, double rel_tol) {
   return std::fabs(a - b) / scale > rel_tol;
 }
 
+/// Solver-work telemetry (schema coyote-bench/2): deterministic for one
+/// binary but sensitive to toolchain/libm differences, so it is reported
+/// informationally instead of gated as drift.
+bool isLpTelemetry(const std::string& key) { return key.rfind("lp_", 0) == 0; }
+
 /// Recursively compares numeric leaves of the row trees; `path` names the
 /// offending field in findings.
 void compareValues(const json::Value& base, const json::Value& cand,
@@ -62,6 +67,7 @@ void compareValues(const json::Value& base, const json::Value& cand,
     }
     case json::Value::Type::kObject: {
       for (const auto& [key, value] : base.asObject()) {
+        if (isLpTelemetry(key)) continue;
         const json::Value* other = cand.find(key);
         if (other == nullptr) {
           addFinding(report, CompareFinding::Kind::kDrift, scenario,
@@ -86,7 +92,11 @@ void compareValues(const json::Value& base, const json::Value& cand,
 // Top-level members that legitimately differ between two runs of the
 // same source tree: provenance, machine, options, and prose. Everything
 // else (rows, ok, and the kind-specific summary fields like 'verified',
-// 'fake_nodes', 'ecmp_gap_percent') is deterministic and gated.
+// 'fake_nodes', 'ecmp_gap_percent') is deterministic and gated --
+// except `lp_*` solver telemetry (see isLpTelemetry) and keys unknown to
+// this binary, which future schema revisions may add: the baseline-driven
+// walk simply never visits candidate-only keys, so newer candidates stay
+// forward-compatible.
 bool isRunMetadata(const std::string& key) {
   static const char* const kKeys[] = {
       "schema", "scenario", "kind",    "description", "tags",
@@ -112,7 +122,7 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
   }
   if (baseline.isObject()) {
     for (const auto& [key, value] : baseline.asObject()) {
-      if (isRunMetadata(key)) continue;
+      if (isRunMetadata(key) || isLpTelemetry(key)) continue;
       const json::Value* other = cand.find(key);
       if (other == nullptr) {
         addFinding(report, CompareFinding::Kind::kDrift, scenario,
@@ -120,6 +130,24 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
         continue;
       }
       compareValues(value, *other, key, scenario, opt, report);
+    }
+  }
+
+  // Informational lp_pivots delta (never gated): the warm-start engine's
+  // whole point is driving this number down, so surface it per scenario.
+  {
+    const double base_pivots = baseline.numberOr("lp_pivots", -1.0);
+    const double cand_pivots = cand.numberOr("lp_pivots", -1.0);
+    if (base_pivots >= 0.0 && cand_pivots >= 0.0) {
+      std::ostringstream msg;
+      msg << "lp_pivots " << json::formatNumber(base_pivots) << " -> "
+          << json::formatNumber(cand_pivots);
+      if (base_pivots > 0.0) {
+        msg.precision(3);
+        msg << " (" << (cand_pivots >= base_pivots ? "+" : "")
+            << 100.0 * (cand_pivots / base_pivots - 1.0) << "%)";
+      }
+      addFinding(report, CompareFinding::Kind::kInfo, scenario, msg.str());
     }
   }
 
@@ -215,11 +243,7 @@ CompareReport compareBenchDirs(const std::string& baseline_dir,
 std::string CompareReport::text() const {
   std::ostringstream out;
   out << "compared " << compared << " scenario(s): ";
-  if (pass()) {
-    out << "OK\n";
-    return out.str();
-  }
-  int regressions = 0, drifts = 0, other = 0;
+  int regressions = 0, drifts = 0, infos = 0, other = 0;
   for (const CompareFinding& f : findings) {
     switch (f.kind) {
       case CompareFinding::Kind::kRegression:
@@ -228,12 +252,19 @@ std::string CompareReport::text() const {
       case CompareFinding::Kind::kDrift:
         ++drifts;
         break;
+      case CompareFinding::Kind::kInfo:
+        ++infos;
+        break;
       default:
         ++other;
     }
   }
-  out << regressions << " regression(s), " << drifts << " drift(s), "
-      << other << " other problem(s)\n";
+  if (pass()) {
+    out << "OK\n";
+  } else {
+    out << regressions << " regression(s), " << drifts << " drift(s), "
+        << other << " other problem(s)\n";
+  }
   for (const CompareFinding& f : findings) {
     const char* kind = "";
     switch (f.kind) {
@@ -248,6 +279,9 @@ std::string CompareReport::text() const {
         break;
       case CompareFinding::Kind::kMalformed:
         kind = "MALFORMED";
+        break;
+      case CompareFinding::Kind::kInfo:
+        kind = "INFO";
         break;
     }
     out << "  [" << kind << "] " << f.scenario << ": " << f.what << "\n";

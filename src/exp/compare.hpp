@@ -35,14 +35,21 @@ struct CompareOptions {
 struct CompareFinding {
   std::string scenario;
   std::string what;  ///< human-readable, one line
-  enum class Kind { kRegression, kDrift, kMissing, kMalformed } kind;
+  /// kInfo findings (e.g. per-scenario lp_pivots deltas) are printed but
+  /// never fail the gate.
+  enum class Kind { kRegression, kDrift, kMissing, kMalformed, kInfo } kind;
 };
 
 struct CompareReport {
   int compared = 0;  ///< scenarios present on both sides
   std::vector<CompareFinding> findings;
 
-  [[nodiscard]] bool pass() const { return findings.empty(); }
+  [[nodiscard]] bool pass() const {
+    for (const CompareFinding& f : findings) {
+      if (f.kind != CompareFinding::Kind::kInfo) return false;
+    }
+    return true;
+  }
   /// Multi-line summary suitable for CI logs.
   [[nodiscard]] std::string text() const;
 };

@@ -13,6 +13,7 @@
 #include "fibbing/lie_synthesis.hpp"
 #include "fibbing/ospf_model.hpp"
 #include "hardness/gadgets.hpp"
+#include "lp/stats.hpp"
 #include "routing/propagation.hpp"
 #include "routing/stretch.hpp"
 #include "sim/fluid.hpp"
@@ -44,6 +45,10 @@ json::Value schemeRowJson(const SchemeRow& r) {
   row["base"] = r.base;
   row["oblivious"] = r.oblivious;
   row["partial"] = r.partial;
+  // Solver-work telemetry; `lp_`-prefixed fields are exempt from the
+  // bench_compare drift gate (pivot counts are toolchain-sensitive).
+  row["lp_solves"] = static_cast<double>(r.lp_solves);
+  row["lp_pivots"] = static_cast<double>(r.lp_pivots);
   return row;
 }
 
@@ -723,19 +728,38 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   KindOutput output;
   const int total = std::max(1, opt_.repeat) + std::max(0, opt_.warmup);
   const int warmup = std::max(0, opt_.warmup);
+  const lp::StatsSnapshot lp_start = lp::statsSnapshot();
+  lp::StatsSnapshot lp_delta;   // last repetition (all reps do equal work)
+  double last_elapsed = 0.0;
   for (int rep = 0; rep < total; ++rep) {
     // Deterministic results: print during the first execution only.
     const bool print = opt_.print && rep == 0;
+    const lp::StatsSnapshot lp_before = lp::statsSnapshot();
     const util::Timer timer;
     output = runKind(s, opt_, print);
     const double elapsed = timer.elapsedSeconds();
+    lp_delta = lp::statsSnapshot() - lp_before;
+    last_elapsed = elapsed;
     if (print) printElapsed(s, opt_, elapsed);
     if (rep >= warmup) result.seconds.push_back(elapsed);
   }
   result.ok = output.ok;
 
+  // An LP hitting its iteration limit means some reported objective is not
+  // the optimum -- a silent correctness failure, surfaced here as a hard
+  // per-scenario error rather than a quietly-wrong BENCH row.
+  const lp::StatsSnapshot lp_total = lp::statsSnapshot() - lp_start;
+  if (lp_total.iter_limit_solves > 0) {
+    std::fprintf(stderr,
+                 "scenario %s: %lld LP solve(s) hit the iteration limit "
+                 "(objectives are not optimal); failing the scenario\n",
+                 s.id.c_str(),
+                 static_cast<long long>(lp_total.iter_limit_solves));
+    result.ok = false;
+  }
+
   json::Value doc = json::Value::object();
-  doc["schema"] = "coyote-bench/1";
+  doc["schema"] = "coyote-bench/2";
   doc["scenario"] = s.id;
   doc["kind"] = kindName(s.kind);
   doc["description"] = s.description;
@@ -766,6 +790,16 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
       break;
   }
   doc["ok"] = result.ok;
+  // Per-scenario LP work (one repetition's worth). The counts are
+  // deterministic for a binary (and for any thread count); all lp_*
+  // fields are exempt from the bench_compare drift gate. The wall-clock
+  // share of the solver lands under "timing" with the other
+  // machine-dependent data.
+  doc["lp_solves"] = static_cast<double>(lp_delta.solves);
+  doc["lp_pivots"] = static_cast<double>(lp_delta.iterations);
+  doc["lp_phase1_pivots"] = static_cast<double>(lp_delta.phase1_iters);
+  doc["lp_refactorizations"] =
+      static_cast<double>(lp_delta.refactorizations);
   doc["rows"] = std::move(output.rows);
   for (auto& [key, value] : output.extra.asObject()) {
     doc[key] = value;
@@ -778,6 +812,12 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   timing["seconds"] = std::move(secs);
   timing["min_seconds"] = result.minSeconds();
   timing["median_seconds"] = result.medianSeconds();
+  // Solver seconds (summed across worker threads) per wall-clock second:
+  // can exceed 1.0 when COYOTE_THREADS > 1 and the LP chunks run
+  // concurrently -- it is a utilization measure, not a percentage.
+  timing["lp_time_frac"] =
+      last_elapsed > 0.0 ? std::max(0.0, lp_delta.seconds / last_elapsed)
+                         : 0.0;
   doc["timing"] = std::move(timing);
   result.document = std::move(doc);
   return result;

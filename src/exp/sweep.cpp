@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "lp/stats.hpp"
+
 namespace coyote::exp {
 
 NetworkSweep::NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
@@ -10,6 +12,8 @@ NetworkSweep::NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
       dags_(std::move(dags)),
       base_tm_(base_tm),
       opt_(std::move(opt)),
+      optu_engine_(std::make_shared<routing::OptuEngine>(g, dags_,
+                                                         opt_.coyote.lp)),
       ecmp_(routing::ecmpConfig(g, dags_)),
       base_routing_(
           routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
@@ -23,8 +27,11 @@ NetworkSweep::NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
 SchemeRow NetworkSweep::run(double margin) const {
   SchemeRow row;
   row.margin = margin;
+  const lp::StatsSnapshot lp_before = lp::statsSnapshot();
   const tm::DemandBounds box = tm::marginBounds(base_tm_, margin);
-  routing::PerformanceEvaluator pool(g_, dags_, opt_.coyote.lp);
+  routing::PerformanceEvaluator pool(g_, dags_, opt_.coyote.lp,
+                                     routing::Normalization::kWithinDags,
+                                     optu_engine_);
   pool.addPool(tm::cornerPool(box, opt_.pool));
 
   core::CoyoteOptions copt = opt_.coyote;
@@ -46,6 +53,9 @@ SchemeRow NetworkSweep::run(double margin) const {
     row.oblivious = pool.ratioFor(oblivious_);
     row.partial = pool.ratioFor(pk.routing);
   }
+  const lp::StatsSnapshot lp_delta = lp::statsSnapshot() - lp_before;
+  row.lp_solves = lp_delta.solves;
+  row.lp_pivots = lp_delta.iterations;
   return row;
 }
 

@@ -13,6 +13,7 @@
 // EXPERIMENTS.md.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,10 @@ struct SchemeRow {
   double base = 0.0;        ///< demands-aware optimum for the base matrix
   double oblivious = 0.0;   ///< COYOTE, no demand knowledge
   double partial = 0.0;     ///< COYOTE, optimized for the uncertainty box
+  /// LP work this margin point cost (pool normalization, optimizer
+  /// re-solves, slave LPs): deltas of lp::statsSnapshot() around run().
+  std::int64_t lp_solves = 0;
+  std::int64_t lp_pivots = 0;
 };
 
 struct SweepOptions {
@@ -61,6 +66,11 @@ struct SweepOptions {
 /// re-optimized per margin. All heavy stages (pool normalization, PERF
 /// evaluation, the optimizer's forward pass, the slave LPs) run on the
 /// shared util::ThreadPool; results are bit-identical for any thread count.
+///
+/// One routing::OptuEngine is shared by every margin point's evaluator:
+/// the OPTU constraint matrix is built once per (graph, DAG-set,
+/// active-destination signature) and each margin's pool normalizations
+/// re-solve it by mutating the conservation rhs from a warm basis.
 class NetworkSweep {
  public:
   NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
@@ -80,6 +90,7 @@ class NetworkSweep {
   std::shared_ptr<const DagSet> dags_;
   const tm::TrafficMatrix& base_tm_;
   SweepOptions opt_;
+  std::shared_ptr<routing::OptuEngine> optu_engine_;
   routing::RoutingConfig ecmp_;
   routing::RoutingConfig base_routing_;
   routing::RoutingConfig oblivious_;

@@ -1,0 +1,44 @@
+#include "lp/basis.hpp"
+
+#include <cmath>
+
+namespace coyote::lp {
+
+void EtaFile::clear() {
+  etas_.clear();
+  nonzeros_ = 0;
+}
+
+void EtaFile::append(int pivot_row, const std::vector<double>& d,
+                     const std::vector<int>& touched) {
+  Eta eta;
+  eta.row = pivot_row;
+  eta.pivot = d[pivot_row];
+  eta.off.reserve(touched.size());
+  for (const int i : touched) {
+    if (i != pivot_row && d[i] != 0.0) eta.off.push_back({i, d[i]});
+  }
+  nonzeros_ += eta.off.size() + 1;
+  etas_.push_back(std::move(eta));
+}
+
+void EtaFile::ftran(std::vector<double>& z) const {
+  for (const Eta& e : etas_) {
+    const double zr = z[e.row];
+    if (zr == 0.0) continue;
+    const double piv = zr / e.pivot;
+    z[e.row] = piv;
+    for (const ColNz& nz : e.off) z[nz.row] -= nz.val * piv;
+  }
+}
+
+void EtaFile::btran(std::vector<double>& z) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = z[it->row];
+    for (const ColNz& nz : it->off) s -= nz.val * z[nz.row];
+    if (s == 0.0 && z[it->row] == 0.0) continue;
+    z[it->row] = s / it->pivot;
+  }
+}
+
+}  // namespace coyote::lp

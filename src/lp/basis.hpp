@@ -1,0 +1,58 @@
+// Product-form (eta-file) representation of the simplex basis inverse.
+//
+// B^{-1} is held as a product of elementary "eta" matrices
+// E_k ... E_2 E_1, each recording one Gauss pivot: applying E (ftran
+// direction) divides the pivot row by the pivot element and eliminates it
+// from the other rows. Refactorization rebuilds the file from the basic
+// columns with sparse elimination in fill-reducing order (sparsest column
+// first, largest available pivot within the column -- the classic
+// Markowitz compromise between sparsity and stability); between
+// refactorizations every simplex pivot appends one eta. ftran solves
+// B z = a (z = E_k(...E_1(a))), btran solves B^T y = c (transposed etas in
+// reverse order). Work is proportional to the stored nonzeros, which for
+// the network-flow LPs in this repository is a few entries per eta -- the
+// dense O(m^2)-per-pivot explicit inverse this replaces did m^2 work no
+// matter how sparse the basis was.
+#pragma once
+
+#include <vector>
+
+namespace coyote::lp {
+
+/// One nonzero of a sparse column.
+struct ColNz {
+  int row = 0;
+  double val = 0.0;
+};
+
+class EtaFile {
+ public:
+  /// Drops all etas (the representation becomes the identity).
+  void clear();
+
+  /// Appends the eta of a pivot on `pivot_row`, where `d` is the dense
+  /// ftran'd entering column and `touched` lists the indices where d may
+  /// be nonzero (a superset is fine; zeros are skipped).
+  void append(int pivot_row, const std::vector<double>& d,
+              const std::vector<int>& touched);
+
+  /// z <- B^{-1} z, in place (dense vector of size m).
+  void ftran(std::vector<double>& z) const;
+
+  /// z <- B^{-T} z, in place (dense vector of size m).
+  void btran(std::vector<double>& z) const;
+
+  [[nodiscard]] int size() const { return static_cast<int>(etas_.size()); }
+  [[nodiscard]] std::size_t nonzeros() const { return nonzeros_; }
+
+ private:
+  struct Eta {
+    int row = 0;          ///< pivot row
+    double pivot = 0.0;   ///< d[pivot_row]
+    std::vector<ColNz> off;  ///< d's other nonzeros
+  };
+  std::vector<Eta> etas_;
+  std::size_t nonzeros_ = 0;
+};
+
+}  // namespace coyote::lp

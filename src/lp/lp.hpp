@@ -1,16 +1,37 @@
-// Self-contained linear-programming solver.
+// Self-contained linear-programming engine.
 //
 // The paper solves several families of LPs (the demands-aware optimum
 // OPTU(D), the per-edge worst-case-demand "slave LP" of Sec. IV/Appendix C,
 // and the optimal base-TM routing of [24]) with AMPL+MOSEK. Neither is
-// available offline, so this module implements a dense revised primal
-// simplex (two-phase, explicit basis inverse with periodic refactorization,
-// Bland anti-cycling fallback). Problem sizes in this repository are a few
-// thousand variables and a few hundred to ~2000 rows, which this solver
-// handles in well under a second per instance.
+// available offline, so this module implements a *sparse revised primal
+// simplex* over bounded variables:
+//
+//  * column-sparse constraint storage -- every row gets one logical
+//    (slack) column, so the constraint matrix is [A | I] and an all-logical
+//    basis is always available;
+//  * bounded-variable pivoting -- finite upper bounds are handled natively
+//    by the ratio test (nonbasic variables rest at either bound and may
+//    bound-flip), not by materializing extra rows;
+//  * an eta-file (product-form) basis factorization: refactorization runs
+//    sparse Gauss elimination over the basic columns in fill-reducing
+//    (Markowitz-style, sparsest-column-first) order, and each pivot appends
+//    one eta vector until the next periodic refactorization;
+//  * a composite (artificial-free) phase 1 that minimizes the total bound
+//    violation of the basic variables, which makes any basis -- in
+//    particular a retained basis after setRhs/setBounds/addRow mutations --
+//    a valid warm start.
+//
+// The SimplexSolver session API retains the optimal basis between solves:
+// consumers that solve long sequences of near-identical LPs (OPTU across a
+// pool of matrices, the per-edge slave LPs, cutting-plane re-solves) mutate
+// the objective/rhs/bounds/rows and re-solve instead of rebuilding, which
+// typically cuts simplex pivots by an order of magnitude. The one-shot
+// lp::solve() wrapper is unchanged for callers without solve sequences.
 #pragma once
 
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,8 +57,7 @@ struct Term {
 ///     optimize  c^T x
 ///     s.t.      sum_j a_ij x_j  {<=,=,>=}  b_i      for every row i
 ///               lb_j <= x_j <= ub_j                 for every variable j
-/// Lower bounds must be finite (variables are shifted internally);
-/// ub may be +infinity.
+/// Lower bounds must be finite; ub may be +infinity.
 class LpProblem {
  public:
   explicit LpProblem(Sense sense = Sense::kMinimize) : sense_(sense) {}
@@ -68,25 +88,92 @@ class LpProblem {
 
 struct SimplexOptions {
   int max_iterations = 200000;
-  /// Refactorize the basis inverse every this many pivots.
-  int refactor_every = 512;
+  /// Refactorize the eta-file basis representation every this many pivots.
+  int refactor_every = 128;
   /// Switch to Bland's rule after this many non-improving pivots.
   int stall_limit = 2000;
   double feas_tol = 1e-7;
   double opt_tol = 1e-8;
 };
 
+/// A simplex basis: one status entry per column (structural variables
+/// first, then one logical/slack column per row). Retained by
+/// SimplexSolver between solves and exported in LpResult so callers can
+/// warm-start a different session (e.g. a per-thread clone).
+struct Basis {
+  enum : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+  std::vector<std::int8_t> status;
+
+  [[nodiscard]] bool empty() const { return status.empty(); }
+};
+
+/// Work counters of one solve (also aggregated globally; see stats.hpp).
+struct SolveStats {
+  int iterations = 0;        ///< simplex pivots + bound flips, both phases
+  int refactorizations = 0;  ///< basis refactorizations performed
+  int phase1_iters = 0;      ///< iterations spent restoring feasibility
+};
+
 struct LpResult {
   Status status = Status::kIterLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< primal solution in original variable space
-  int iterations = 0;
+  int iterations = 0;     ///< == stats.iterations (kept for old callers)
+  Basis basis;            ///< final basis (valid when status == kOptimal)
+  SolveStats stats;
 
   [[nodiscard]] bool optimal() const { return status == Status::kOptimal; }
 };
 
-/// Solves the LP. Never throws for infeasible/unbounded inputs (reported via
-/// Status); throws std::invalid_argument for malformed problems.
+/// A solver session: owns a mutable copy of the problem plus the basis and
+/// factorization state retained across solves. Mutations are cheap and
+/// never invalidate the retained basis -- the composite phase 1 repairs
+/// any lost feasibility on the next solve(), so
+///
+///     SimplexSolver s(problem);
+///     auto r0 = s.solve();
+///     s.setRhs(row, v);            // or setObjective / setBounds / addRow
+///     auto r1 = s.solve();         // warm start from r0's basis
+///
+/// is the intended idiom. Sessions are copyable: clone one per worker to
+/// fan a family of solves out over threads deterministically.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(LpProblem problem, SimplexOptions opt = {});
+  SimplexSolver(const SimplexSolver&);
+  SimplexSolver& operator=(const SimplexSolver&);
+  SimplexSolver(SimplexSolver&&) noexcept;
+  SimplexSolver& operator=(SimplexSolver&&) noexcept;
+  ~SimplexSolver();
+
+  /// Solves from the retained basis (cold all-logical basis on the first
+  /// call or after setBasis({})). Updates the retained basis on success.
+  [[nodiscard]] LpResult solve();
+
+  // --- mutations (retained basis survives; next solve() warm-starts) ---
+  void setObjective(int var, double coef);
+  void setRhs(int row, double rhs);
+  /// lb must stay finite; ub may be kInfinity; ub == lb fixes the variable.
+  void setBounds(int var, double lb, double ub);
+  /// Appends a constraint row (cutting plane), returns its index. The new
+  /// row's logical column joins the basis, so the factorization stays
+  /// nonsingular and the next solve() warm-starts.
+  int addRow(std::vector<Term> terms, Rel rel, double rhs);
+
+  /// Installs an externally retained basis ({} resets to a cold start).
+  void setBasis(const Basis& basis);
+  [[nodiscard]] const Basis& basis() const;
+
+  [[nodiscard]] const LpProblem& problem() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot solve (cold start). Never throws for infeasible/unbounded
+/// inputs (reported via Status); throws std::invalid_argument for
+/// malformed problems.
 [[nodiscard]] LpResult solve(const LpProblem& p, const SimplexOptions& opt = {});
 
 }  // namespace coyote::lp

@@ -2,7 +2,10 @@
 #include <cmath>
 #include <cstddef>
 
+#include "lp/basis.hpp"
 #include "lp/lp.hpp"
+#include "lp/stats.hpp"
+#include "util/timer.hpp"
 
 namespace coyote::lp {
 
@@ -13,7 +16,8 @@ std::string toString(Status s) {
     case Status::kUnbounded: return "unbounded";
     case Status::kIterLimit: return "iteration-limit";
   }
-  return "unknown";
+  ensure(false, "lp::toString: invalid Status value");
+  return {};  // unreachable
 }
 
 int LpProblem::addVar(double obj, double lb, double ub, std::string name) {
@@ -45,386 +49,613 @@ void LpProblem::setObjective(int var, double coef) {
 
 namespace {
 
-/// Column-sparse matrix entry.
-struct Nz {
-  int row;
-  double val;
-};
+/// Merges duplicate variables of a row into sorted (var, coef) nonzeros.
+std::vector<Term> mergeTerms(std::vector<Term> terms) {
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::vector<Term> out;
+  out.reserve(terms.size());
+  for (std::size_t k = 0; k < terms.size();) {
+    double sum = 0.0;
+    const int v = terms[k].var;
+    while (k < terms.size() && terms[k].var == v) sum += terms[k++].coef;
+    if (sum != 0.0) out.push_back({v, sum});
+  }
+  return out;
+}
+
+constexpr double kPivotTol = 1e-9;   ///< min |alpha| to leave the basis on
+constexpr double kDependTol = 1e-11; ///< refactorization singularity cutoff
 
 }  // namespace
 
-/// Revised primal simplex over the standard form
-///     min c^T x,  A x = b,  x >= 0,
-/// built from the user problem by shifting lower bounds, splitting free-ish
-/// structure away (lb must be finite by contract), turning finite upper
-/// bounds into rows, and adding slack/artificial columns.
-class SimplexSolver {
+// ---------------------------------------------------------------------------
+// SimplexSolver::Impl: sparse revised primal simplex over bounded variables.
+//
+// Internal form: columns 0..n-1 are the structural variables, column n+i is
+// row i's logical (slack) with unit coefficient, so A~ = [A | I] and
+// A~ x~ = b always. Row relations map to logical bounds:
+//     <=  ->  s in [0, +inf)      >=  ->  s in (-inf, 0]      =  ->  s = 0.
+// Nonbasic columns rest at a finite bound; the all-logical basis is the
+// cold start. Feasibility is restored by a composite phase 1 (minimize the
+// total bound violation of the basic variables), which needs no artificial
+// columns and accepts any retained basis as a warm start.
+// ---------------------------------------------------------------------------
+class SimplexSolver::Impl {
  public:
-  SimplexSolver(const LpProblem& p, const SimplexOptions& opt)
-      : p_(p), opt_(opt) {}
+  Impl(LpProblem p, SimplexOptions opt) : p_(std::move(p)), opt_(opt) {
+    n_ = p_.numVars();
+    m_ = 0;
+    cols_.assign(n_, {});
+    for (int j = 0; j < n_; ++j) {
+      lb_.push_back(p_.lb_[j]);
+      ub_.push_back(p_.ub_[j]);
+    }
+    sgn_ = (p_.sense_ == Sense::kMaximize) ? -1.0 : 1.0;
+    cost_.assign(n_, 0.0);
+    for (int j = 0; j < n_; ++j) cost_[j] = sgn_ * p_.obj_[j];
+    for (int i = 0; i < p_.numRows(); ++i) {
+      appendRow(p_.rows_[i], p_.rels_[i], p_.rhs_[i]);
+    }
+    resetBasisCold();
+  }
 
-  LpResult run() {
-    build();
+  // ---- mutations ------------------------------------------------------
+
+  void setObjective(int var, double coef) {
+    p_.setObjective(var, coef);
+    cost_[var] = sgn_ * coef;
+  }
+
+  void setRhs(int row, double rhs) {
+    require(row >= 0 && row < m_, "setRhs: bad row");
+    require(std::isfinite(rhs), "setRhs: non-finite rhs");
+    p_.rhs_[row] = rhs;
+    rhs_[row] = rhs;
+    primal_fresh_ = false;
+  }
+
+  void setBounds(int var, double lb, double ub) {
+    require(var >= 0 && var < n_, "setBounds: bad var");
+    require(std::isfinite(lb), "variable lower bound must be finite");
+    require(ub >= lb, "variable upper bound below lower bound");
+    p_.lb_[var] = lb;
+    p_.ub_[var] = ub;
+    lb_[var] = lb;
+    ub_[var] = ub;
+    if (status(var) == Basis::kAtUpper && !std::isfinite(ub)) {
+      setStatus(var, Basis::kAtLower);
+    }
+    primal_fresh_ = false;
+  }
+
+  int addRow(std::vector<Term> terms, Rel rel, double rhs) {
+    for (const Term& t : terms) {
+      require(t.var >= 0 && t.var < n_, "addRow: bad var");
+      require(std::isfinite(t.coef), "non-finite constraint coefficient");
+    }
+    require(std::isfinite(rhs), "non-finite rhs");
+    p_.rows_.push_back(terms);
+    p_.rels_.push_back(rel);
+    p_.rhs_.push_back(rhs);
+    appendRow(terms, rel, rhs);
+    // The new logical joins the basis: [B 0; C I] stays nonsingular.
+    basis_status_.status.insert(
+        basis_status_.status.begin() + (n_ + m_ - 1), Basis::kBasic);
+    factored_ = false;
+    return m_ - 1;
+  }
+
+  void setBasis(const Basis& basis) {
+    if (basis.empty()) {
+      resetBasisCold();
+      return;
+    }
+    require(static_cast<int>(basis.status.size()) == n_ + m_,
+            "setBasis: status size mismatch");
+    basis_status_ = basis;
+    sanitizeStatuses();
+    factored_ = false;
+  }
+
+  [[nodiscard]] const Basis& basis() const { return basis_status_; }
+  [[nodiscard]] const LpProblem& problem() const { return p_; }
+
+  // ---- solve ----------------------------------------------------------
+
+  LpResult solve() {
+    require(n_ > 0, "LP has no variables");
+    const util::Timer timer;
     LpResult res;
-    // ---- Phase 1: minimize sum of artificials.
-    if (num_artificial_ > 0) {
-      std::vector<double> phase1(cols_.size(), 0.0);
-      for (int j = first_artificial_; j < static_cast<int>(cols_.size()); ++j) {
-        phase1[j] = 1.0;
+    res.status = run(res.stats);
+    res.iterations = res.stats.iterations;
+    res.basis = basis_status_;
+    if (res.status == Status::kOptimal) {
+      res.x.assign(n_, 0.0);
+      double obj = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        double v = std::max(xval_[j], lb_[j]);
+        if (std::isfinite(ub_[j])) v = std::min(v, ub_[j]);
+        res.x[j] = v;
+        obj += p_.obj_[j] * v;
       }
-      const Status s1 = iterate(phase1, res.iterations);
-      if (s1 != Status::kOptimal) {
-        res.status = (s1 == Status::kUnbounded) ? Status::kInfeasible : s1;
-        return res;
-      }
-      double art_sum = 0.0;
-      for (int i = 0; i < m_; ++i) {
-        if (basis_[i] >= first_artificial_) art_sum += xb_[i];
-      }
-      if (art_sum > opt_.feas_tol * (1.0 + normB_)) {
-        res.status = Status::kInfeasible;
-        return res;
-      }
-      banned_from_ = first_artificial_;  // artificials may not re-enter
-      // Artificials still basic (at zero) would be free to drift positive
-      // during phase 2, silently violating their rows. Pivot them out with
-      // degenerate pivots; rows where no structural column can enter are
-      // redundant and their artificial provably stays at zero.
-      driveOutArtificials();
+      res.objective = obj;
     }
-    // ---- Phase 2: original objective.
-    const Status s2 = iterate(cost_, res.iterations);
-    res.status = s2;
-    if (s2 != Status::kOptimal) return res;
-
-    // Recover original-space solution.
-    std::vector<double> xs(cols_.size(), 0.0);
-    for (int i = 0; i < m_; ++i) xs[basis_[i]] = std::max(0.0, xb_[i]);
-    res.x.assign(p_.numVars(), 0.0);
-    double obj = 0.0;
-    for (int j = 0; j < p_.numVars(); ++j) {
-      res.x[j] = xs[j] + p_.lb_[j];
-      obj += p_.obj_[j] * res.x[j];
-    }
-    res.objective = obj;
+    StatsSnapshot delta;
+    delta.solves = 1;
+    delta.iterations = res.stats.iterations;
+    delta.phase1_iters = res.stats.phase1_iters;
+    delta.refactorizations = res.stats.refactorizations;
+    delta.iter_limit_solves = (res.status == Status::kIterLimit) ? 1 : 0;
+    delta.seconds = timer.elapsedSeconds();
+    GlobalStats::instance().record(delta);
     return res;
   }
 
  private:
-  void build() {
-    const int n = p_.numVars();
-    // Row right-hand sides after shifting x by lb.
-    std::vector<double> rhs = p_.rhs_;
-    for (int i = 0; i < p_.numRows(); ++i) {
-      for (const Term& t : p_.rows_[i]) rhs[i] -= t.coef * p_.lb_[t.var];
-    }
-    // Upper-bound rows: x_j - lb_j <= ub_j - lb_j.
-    std::vector<int> ub_rows;
-    for (int j = 0; j < n; ++j) {
-      if (std::isfinite(p_.ub_[j])) ub_rows.push_back(j);
-    }
-    m_ = p_.numRows() + static_cast<int>(ub_rows.size());
+  [[nodiscard]] std::int8_t status(int col) const {
+    return basis_status_.status[col];
+  }
+  void setStatus(int col, std::int8_t s) { basis_status_.status[col] = s; }
 
-    // Assemble dense row data first (sign-normalized so b >= 0), then
-    // transpose into sparse columns.
-    std::vector<double> b(m_);
-    std::vector<Rel> rel(m_);
-    std::vector<std::vector<Term>> rows(m_);
-    for (int i = 0; i < p_.numRows(); ++i) {
-      rows[i] = p_.rows_[i];
-      rel[i] = p_.rels_[i];
-      b[i] = rhs[i];
-    }
-    for (std::size_t k = 0; k < ub_rows.size(); ++k) {
-      const int i = p_.numRows() + static_cast<int>(k);
-      const int j = ub_rows[k];
-      rows[i] = {Term{j, 1.0}};
-      rel[i] = Rel::kLe;
-      b[i] = p_.ub_[j] - p_.lb_[j];
-    }
-    for (int i = 0; i < m_; ++i) {
-      if (b[i] < 0.0) {
-        b[i] = -b[i];
-        for (Term& t : rows[i]) t.coef = -t.coef;
-        rel[i] = (rel[i] == Rel::kLe)   ? Rel::kGe
-                 : (rel[i] == Rel::kGe) ? Rel::kLe
-                                        : Rel::kEq;
-      }
-    }
-    b_ = b;
-    normB_ = 0.0;
-    for (const double v : b_) normB_ = std::max(normB_, std::abs(v));
+  [[nodiscard]] bool isFixed(int col) const { return lb_[col] == ub_[col]; }
 
-    // Structural columns (possibly duplicate terms are merged here).
-    const double sgn = (p_.sense_ == Sense::kMaximize) ? -1.0 : 1.0;
-    cols_.assign(n, {});
-    cost_.assign(n, 0.0);
-    for (int j = 0; j < n; ++j) cost_[j] = sgn * p_.obj_[j];
-    std::vector<std::vector<Nz>> by_col(n);
-    for (int i = 0; i < m_; ++i) {
-      // Merge duplicate variables within the row.
-      std::sort(rows[i].begin(), rows[i].end(),
-                [](const Term& a, const Term& c) { return a.var < c.var; });
-      for (std::size_t k = 0; k < rows[i].size();) {
-        double sum = 0.0;
-        const int v = rows[i][k].var;
-        while (k < rows[i].size() && rows[i][k].var == v) sum += rows[i][k++].coef;
-        if (sum != 0.0) by_col[v].push_back({i, sum});
-      }
-    }
-    cols_ = std::move(by_col);
-
-    // Slack / surplus columns; build initial basis.
-    basis_.assign(m_, -1);
-    for (int i = 0; i < m_; ++i) {
-      if (rel[i] == Rel::kLe) {
-        cols_.push_back({Nz{i, 1.0}});
-        cost_.push_back(0.0);
-        basis_[i] = static_cast<int>(cols_.size()) - 1;
-      } else if (rel[i] == Rel::kGe) {
-        cols_.push_back({Nz{i, -1.0}});
-        cost_.push_back(0.0);
-      }
-    }
-    // Artificial columns for rows without a basic slack.
-    first_artificial_ = static_cast<int>(cols_.size());
-    num_artificial_ = 0;
-    for (int i = 0; i < m_; ++i) {
-      if (basis_[i] < 0) {
-        cols_.push_back({Nz{i, 1.0}});
-        cost_.push_back(0.0);
-        basis_[i] = static_cast<int>(cols_.size()) - 1;
-        ++num_artificial_;
-      }
-    }
-    banned_from_ = static_cast<int>(cols_.size());
-
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
-    xb_ = b_;
-    basic_flag_.assign(cols_.size(), 0);
-    for (int i = 0; i < m_; ++i) basic_flag_[basis_[i]] = 1;
+  /// Value a nonbasic column rests at under its status.
+  [[nodiscard]] double boundValue(int col) const {
+    return status(col) == Basis::kAtUpper ? ub_[col] : lb_[col];
   }
 
-  /// Runs simplex pivots for the given phase cost vector. Shares basis state
-  /// across phases.
-  Status iterate(const std::vector<double>& cost, int& iter_count) {
-    const int ncols = static_cast<int>(cols_.size());
-    std::vector<double> y(m_);
-    std::vector<double> d(m_);
-    int stall = 0;
-    double last_obj = objValue(cost);
-    bool bland = false;
-    for (int it = 0; it < opt_.max_iterations; ++it, ++iter_count) {
-      if (it > 0 && it % opt_.refactor_every == 0) refactorize();
-      // y = c_B^T * Binv
-      for (int i = 0; i < m_; ++i) {
-        double s = 0.0;
-        for (int k = 0; k < m_; ++k) {
-          s += cost[basis_[k]] * binv_[static_cast<std::size_t>(k) * m_ + i];
-        }
-        y[i] = s;
-      }
-      // Pricing.
-      int enter = -1;
-      double best_rc = -opt_.opt_tol;
-      for (int j = 0; j < ncols; ++j) {
-        if (j >= banned_from_) break;
-        if (in_basis(j)) continue;
-        double rc = cost[j];
-        for (const Nz& nz : cols_[j]) rc -= y[nz.row] * nz.val;
-        if (bland) {
-          if (rc < -opt_.opt_tol) {
-            enter = j;
-            break;
-          }
-        } else if (rc < best_rc) {
-          best_rc = rc;
-          enter = j;
-        }
-      }
-      if (enter < 0) return Status::kOptimal;
+  void appendRow(const std::vector<Term>& terms, Rel rel, double rhs) {
+    const std::vector<Term> merged = mergeTerms(terms);
+    for (const Term& t : merged) cols_[t.var].push_back({m_, t.coef});
+    rhs_.push_back(rhs);
+    cost_.push_back(0.0);  // the row's logical column
+    switch (rel) {
+      case Rel::kLe:
+        lb_.push_back(0.0);
+        ub_.push_back(kInfinity);
+        break;
+      case Rel::kGe:
+        lb_.push_back(-kInfinity);
+        ub_.push_back(0.0);
+        break;
+      case Rel::kEq:
+        lb_.push_back(0.0);
+        ub_.push_back(0.0);
+        break;
+    }
+    ++m_;
+  }
 
-      // d = Binv * A_enter
+  void resetBasisCold() {
+    basis_status_.status.assign(static_cast<std::size_t>(n_) + m_,
+                                Basis::kAtLower);
+    for (int i = 0; i < m_; ++i) setStatus(colOfLogical(i), Basis::kBasic);
+    factored_ = false;
+  }
+
+  [[nodiscard]] int colOfLogical(int row) const { return n_ + row; }
+  [[nodiscard]] bool isLogical(int col) const { return col >= n_; }
+
+  // lb_/ub_ hold structural bounds in [0, n) and logical bounds in
+  // [n, n+m) -- but note appendRow pushes logical bounds after the
+  // structural ones, so the combined index space is already col-aligned.
+
+  void sanitizeStatuses() {
+    for (int col = 0; col < n_ + m_; ++col) {
+      if (status(col) == Basis::kBasic) continue;
+      if (status(col) == Basis::kAtLower && !std::isfinite(lb_[col])) {
+        setStatus(col, Basis::kAtUpper);
+      } else if (status(col) == Basis::kAtUpper &&
+                 !std::isfinite(ub_[col])) {
+        setStatus(col, Basis::kAtLower);
+      }
+    }
+  }
+
+  /// Scatters column `col` of [A | I] into dense `z` (assumed zeroed).
+  void scatterColumn(int col, std::vector<double>& z) const {
+    if (isLogical(col)) {
+      z[col - n_] = 1.0;
+    } else {
+      for (const ColNz& nz : cols_[col]) z[nz.row] = nz.val;
+    }
+  }
+
+  [[nodiscard]] int columnNnz(int col) const {
+    return isLogical(col) ? 1 : static_cast<int>(cols_[col].size());
+  }
+
+  /// Rebuilds the eta file from the current statuses with sparse Gauss
+  /// elimination (sparsest column first, largest pivot in the column).
+  /// Repairs singular/overcomplete bases by demoting dependent columns and
+  /// completing unpivoted rows with their logicals, then recomputes the
+  /// primal values. This is what makes stale warm-start bases safe.
+  void refactorize(SolveStats& st) {
+    ++st.refactorizations;
+    updates_since_refactor_ = 0;
+    eta_.clear();
+    basis_.assign(m_, -1);
+    std::vector<char> pivoted(m_, 0);
+
+    std::vector<int> basics;
+    for (int col = 0; col < n_ + m_; ++col) {
+      if (status(col) == Basis::kBasic) basics.push_back(col);
+    }
+    std::sort(basics.begin(), basics.end(), [&](int a, int b) {
+      const int na = columnNnz(a), nb = columnNnz(b);
+      return na != nb ? na < nb : a < b;
+    });
+
+    std::vector<double> d(m_, 0.0);
+    int placed = 0;
+    const auto tryPlace = [&](int col) -> bool {
+      scatterColumn(col, d);
+      eta_.ftran(d);
+      int piv = -1;
+      double best = kDependTol;
+      for (int i = 0; i < m_; ++i) {
+        if (!pivoted[i] && std::abs(d[i]) > best) {
+          best = std::abs(d[i]);
+          piv = i;
+        }
+      }
+      if (piv < 0) {
+        std::fill(d.begin(), d.end(), 0.0);
+        return false;
+      }
+      std::vector<int> touched;
+      for (int i = 0; i < m_; ++i) {
+        if (d[i] != 0.0) touched.push_back(i);
+      }
+      if (!(touched.size() == 1 && piv == touched[0] && d[piv] == 1.0)) {
+        eta_.append(piv, d, touched);
+      }
+      basis_[piv] = col;
+      pivoted[piv] = 1;
+      ++placed;
       std::fill(d.begin(), d.end(), 0.0);
-      for (const Nz& nz : cols_[enter]) {
-        const double v = nz.val;
-        const double* col = &binv_[nz.row];  // column nz.row, stride m_
-        for (int i = 0; i < m_; ++i) d[i] += v * col[static_cast<std::size_t>(i) * m_];
+      return true;
+    };
+
+    for (const int col : basics) {
+      if (placed == m_ || !tryPlace(col)) {
+        // Dependent (or surplus) column: demote to the bound nearest its
+        // current value (falling back to lb before any primal values
+        // exist, e.g. on the very first factorization of a stale basis).
+        const bool have_x =
+            static_cast<int>(xval_.size()) == n_ + m_;
+        const double x = have_x ? xval_[col] : lb_[col];
+        const bool to_upper =
+            std::isfinite(ub_[col]) &&
+            (!std::isfinite(lb_[col]) || std::abs(x - ub_[col]) <
+                                             std::abs(x - lb_[col]));
+        setStatus(col, to_upper ? Basis::kAtUpper : Basis::kAtLower);
       }
-      // Ratio test (prefer larger pivots among ties for stability).
-      int leave = -1;
-      double theta = kInfinity;
-      constexpr double kPivTol = 1e-9;
+    }
+    // Complete with nonbasic logicals for any unpivoted row.
+    for (int r = 0; r < m_ && placed < m_; ++r) {
+      if (pivoted[r]) continue;
+      if (status(colOfLogical(r)) != Basis::kBasic &&
+          tryPlace(colOfLogical(r))) {
+        setStatus(colOfLogical(r), Basis::kBasic);
+        continue;
+      }
+      for (int rr = 0; rr < m_ && !pivoted[r]; ++rr) {
+        const int col = colOfLogical(rr);
+        if (status(col) != Basis::kBasic && tryPlace(col)) {
+          setStatus(col, Basis::kBasic);
+        }
+      }
+      ensure(pivoted[r], "simplex refactorization: cannot complete basis");
+    }
+
+    factored_ = true;
+    recomputePrimal();
+  }
+
+  /// x_B = B^{-1} (b - N x_N); nonbasic values snap to their bounds.
+  void recomputePrimal() {
+    xval_.assign(static_cast<std::size_t>(n_) + m_, 0.0);
+    std::vector<double> w = rhs_;
+    for (int col = 0; col < n_ + m_; ++col) {
+      if (status(col) == Basis::kBasic) continue;
+      const double v = boundValue(col);
+      xval_[col] = v;
+      if (v == 0.0) continue;
+      if (isLogical(col)) {
+        w[col - n_] -= v;
+      } else {
+        for (const ColNz& nz : cols_[col]) w[nz.row] -= nz.val * v;
+      }
+    }
+    eta_.ftran(w);
+    for (int i = 0; i < m_; ++i) xval_[basis_[i]] = w[i];
+    primal_fresh_ = true;
+  }
+
+  [[nodiscard]] double feasScale() const {
+    double nb = 0.0;
+    for (const double v : rhs_) nb = std::max(nb, std::abs(v));
+    return opt_.feas_tol * (1.0 + nb);
+  }
+
+  /// Total bound violation of the basic variables.
+  [[nodiscard]] double infeasibility(double eps) const {
+    double f = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basis_[i];
+      const double x = xval_[col];
+      if (x < lb_[col] - eps) f += lb_[col] - x;
+      if (x > ub_[col] + eps) f += x - ub_[col];
+    }
+    return f;
+  }
+
+  [[nodiscard]] double phase2Objective() const {
+    double z = 0.0;
+    for (int col = 0; col < n_ + m_; ++col) z += cost_[col] * xval_[col];
+    return z;
+  }
+
+  Status run(SolveStats& st) {
+    sanitizeStatuses();
+    if (!factored_) {
+      refactorize(st);
+    } else if (!primal_fresh_) {
+      recomputePrimal();
+    }
+    const double eps = feasScale();
+
+    std::vector<double> y(m_), alpha(m_);
+    std::vector<double> phase1_cost;  // sized n_+m_ when in use
+    int stall = 0;
+    bool bland = false;
+    bool was_phase1 = true;
+    double last_measure = kInfinity;
+
+    for (int it = 0; it < opt_.max_iterations; ++it) {
+      if (updates_since_refactor_ >= opt_.refactor_every) refactorize(st);
+
+      const double infeas = infeasibility(eps);
+      const bool phase1 = infeas > eps;
+
+      // y = B^{-T} c_B for the phase's cost vector.
+      std::fill(y.begin(), y.end(), 0.0);
+      if (phase1) {
+        phase1_cost.assign(static_cast<std::size_t>(n_) + m_, 0.0);
+        for (int i = 0; i < m_; ++i) {
+          const int col = basis_[i];
+          const double x = xval_[col];
+          double c = 0.0;
+          if (x < lb_[col] - eps) c = -1.0;
+          if (x > ub_[col] + eps) c = 1.0;
+          phase1_cost[col] = c;
+          y[i] = c;
+        }
+      } else {
+        for (int i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+      }
+      eta_.btran(y);
+      const std::vector<double>& cost = phase1 ? phase1_cost : cost_;
+
+      // Pricing: Dantzig (most violating), Bland when anti-cycling.
+      int enter = -1;
+      double enter_dir = 0.0;
+      double best_viol = opt_.opt_tol;
+      for (int col = 0; col < n_ + m_; ++col) {
+        const std::int8_t s = status(col);
+        if (s == Basis::kBasic || isFixed(col)) continue;
+        double rc = phase1 ? 0.0 : cost[col];
+        if (isLogical(col)) {
+          rc -= y[col - n_];
+        } else {
+          for (const ColNz& nz : cols_[col]) rc -= y[nz.row] * nz.val;
+        }
+        double viol = 0.0;
+        double dir = 0.0;
+        if (s == Basis::kAtLower && rc < -opt_.opt_tol) {
+          viol = -rc;
+          dir = 1.0;
+        } else if (s == Basis::kAtUpper && rc > opt_.opt_tol) {
+          viol = rc;
+          dir = -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {
+          enter = col;
+          enter_dir = dir;
+          break;
+        }
+        if (viol > best_viol) {
+          best_viol = viol;
+          enter = col;
+          enter_dir = dir;
+        }
+      }
+
+      if (enter < 0) {
+        // Confirm on a fresh factorization before declaring a verdict:
+        // eta-file round-off can fake optimality/infeasibility.
+        if (updates_since_refactor_ > 0) {
+          refactorize(st);
+          continue;
+        }
+        return phase1 ? Status::kInfeasible : Status::kOptimal;
+      }
+
+      // alpha = B^{-1} A_enter.
+      std::fill(alpha.begin(), alpha.end(), 0.0);
+      scatterColumn(enter, alpha);
+      eta_.ftran(alpha);
+
+      // Bounded-variable ratio test. The entering column moves by t >= 0
+      // in direction enter_dir; basic i changes at rate -enter_dir*alpha_i.
+      // Feasible basics block at the bound they approach; infeasible
+      // basics moving toward feasibility block at the violated bound
+      // (composite phase-1 short step).
+      double t_limit = kInfinity;
+      int leave = -1;          // blocking row; -1 = entering bound flip
+      double leave_to = 0.0;   // bound the leaving variable stops at
+      bool leave_at_upper = false;
+      if (std::isfinite(ub_[enter]) && std::isfinite(lb_[enter])) {
+        t_limit = ub_[enter] - lb_[enter];
+      }
       for (int i = 0; i < m_; ++i) {
-        if (d[i] > kPivTol) {
-          const double t = std::max(0.0, xb_[i]) / d[i];
-          if (t < theta - 1e-12 ||
-              (t < theta + 1e-12 && (leave < 0 || d[i] > d[leave]))) {
-            theta = t;
-            leave = i;
+        const double a = alpha[i];
+        if (std::abs(a) <= kPivotTol) continue;
+        const int col = basis_[i];
+        const double x = xval_[col];
+        const double rate = -enter_dir * a;
+        double bound;
+        if (rate < 0.0) {
+          if (x > ub_[col] + eps) {
+            bound = ub_[col];  // infeasible above, decreasing: stop at ub
+          } else if (x < lb_[col] - eps) {
+            continue;  // infeasible below, decreasing further: no block
+          } else if (std::isfinite(lb_[col])) {
+            bound = lb_[col];
+          } else {
+            continue;
+          }
+        } else {
+          if (x < lb_[col] - eps) {
+            bound = lb_[col];  // infeasible below, increasing: stop at lb
+          } else if (x > ub_[col] + eps) {
+            continue;  // infeasible above, increasing further: no block
+          } else if (std::isfinite(ub_[col])) {
+            bound = ub_[col];
+          } else {
+            continue;
+          }
+        }
+        const double t = std::max(0.0, (bound - x) / rate);
+        // Ties: prefer the larger pivot (stability); under Bland's rule,
+        // the lowest basic column index (required for finite termination).
+        bool better = t < t_limit - 1e-12;
+        if (!better && t < t_limit + 1e-12 && leave >= 0) {
+          better = bland ? col < basis_[leave]
+                         : std::abs(a) > std::abs(alpha[leave]);
+        }
+        if (better) {
+          t_limit = t;
+          leave = i;
+          leave_to = bound;
+          leave_at_upper = bound == ub_[col];
+        }
+      }
+
+      if (!std::isfinite(t_limit)) {
+        if (updates_since_refactor_ > 0) {  // confirm on a fresh basis
+          refactorize(st);
+          continue;
+        }
+        // A genuinely unbounded improving ray. In phase 1 the composite
+        // objective is bounded below, so this can only be numerical noise.
+        return phase1 ? Status::kIterLimit : Status::kUnbounded;
+      }
+
+      ++st.iterations;
+      if (phase1) ++st.phase1_iters;
+
+      // Apply the step to the basic values.
+      if (t_limit != 0.0) {
+        for (int i = 0; i < m_; ++i) {
+          if (alpha[i] != 0.0) {
+            xval_[basis_[i]] -= enter_dir * alpha[i] * t_limit;
           }
         }
       }
-      if (leave < 0) return Status::kUnbounded;
+      if (leave < 0) {
+        // Bound flip: the entering column crosses to its other bound.
+        setStatus(enter, status(enter) == Basis::kAtLower ? Basis::kAtUpper
+                                                          : Basis::kAtLower);
+        xval_[enter] = boundValue(enter);
+      } else {
+        const int leaving_col = basis_[leave];
+        xval_[enter] = boundValue(enter) + enter_dir * t_limit;
+        xval_[leaving_col] = leave_to;  // snap exactly onto the bound
+        setStatus(leaving_col,
+                  leave_at_upper ? Basis::kAtUpper : Basis::kAtLower);
+        setStatus(enter, Basis::kBasic);
+        basis_[leave] = enter;
+        std::vector<int> touched;
+        for (int i = 0; i < m_; ++i) {
+          if (alpha[i] != 0.0) touched.push_back(i);
+        }
+        eta_.append(leave, alpha, touched);
+        ++updates_since_refactor_;
+      }
 
-      // Update basic solution and basis inverse (pivot on row `leave`).
-      for (int i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
-      xb_[leave] = theta;
-      applyPivot(enter, leave, d);
-
-      const double obj = objValue(cost);
-      if (obj < last_obj - 1e-12 * (1.0 + std::abs(last_obj))) {
+      // Stall detection drives the Bland anti-cycling fallback.
+      const double measure = phase1 ? infeasibility(eps) : phase2Objective();
+      if (phase1 != was_phase1) {
+        last_measure = kInfinity;
+        was_phase1 = phase1;
         stall = 0;
         bland = false;
-      } else if (++stall > opt_.stall_limit) {
-        bland = true;  // anti-cycling
       }
-      last_obj = obj;
+      if (measure < last_measure - 1e-12 * (1.0 + std::abs(last_measure))) {
+        stall = 0;
+        bland = false;
+        last_measure = measure;
+      } else if (++stall > opt_.stall_limit) {
+        bland = true;
+      }
     }
     return Status::kIterLimit;
   }
 
-  /// Replaces basis_[leave] by `enter` and updates the basis inverse.
-  /// `d` must be Binv * A_enter with d[leave] != 0.
-  void applyPivot(int enter, int leave, const std::vector<double>& d) {
-    basic_flag_[basis_[leave]] = 0;
-    basic_flag_[enter] = 1;
-    basis_[leave] = enter;
-    const double piv = d[leave];
-    double* prow = &binv_[static_cast<std::size_t>(leave) * m_];
-    for (int k = 0; k < m_; ++k) prow[k] /= piv;
-    for (int i = 0; i < m_; ++i) {
-      if (i == leave || d[i] == 0.0) continue;
-      double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      const double f = d[i];
-      for (int k = 0; k < m_; ++k) row[k] -= f * prow[k];
-    }
-  }
-
-  /// Degenerate pivots removing basic artificials after phase 1. Rows whose
-  /// artificial cannot be replaced by any structural column are linearly
-  /// dependent; their Binv row keeps (Binv*A_j)[r] == 0 for every column,
-  /// so the artificial can never re-grow and is safe to leave in place.
-  void driveOutArtificials() {
-    std::vector<double> d(m_);
-    for (int r = 0; r < m_; ++r) {
-      if (basis_[r] < first_artificial_) continue;
-      const double* br = &binv_[static_cast<std::size_t>(r) * m_];
-      int enter = -1;
-      for (int j = 0; j < first_artificial_; ++j) {
-        if (in_basis(j)) continue;
-        double alpha = 0.0;
-        for (const Nz& nz : cols_[j]) alpha += br[nz.row] * nz.val;
-        if (std::abs(alpha) > 1e-7) {
-          enter = j;
-          break;
-        }
-      }
-      if (enter < 0) continue;
-      std::fill(d.begin(), d.end(), 0.0);
-      for (const Nz& nz : cols_[enter]) {
-        const double v = nz.val;
-        const double* col = &binv_[nz.row];
-        for (int i = 0; i < m_; ++i) {
-          d[i] += v * col[static_cast<std::size_t>(i) * m_];
-        }
-      }
-      // x_B is unchanged: the artificial sits at zero, so theta == 0.
-      xb_[r] = 0.0;
-      applyPivot(enter, r, d);
-    }
-  }
-
-  [[nodiscard]] double objValue(const std::vector<double>& cost) const {
-    double s = 0.0;
-    for (int i = 0; i < m_; ++i) s += cost[basis_[i]] * std::max(0.0, xb_[i]);
-    return s;
-  }
-
-  [[nodiscard]] bool in_basis(int j) const { return basic_flag_[j] != 0; }
-
-  /// Rebuilds binv_ and xb_ from scratch via Gauss-Jordan on the basis
-  /// matrix; controls numerical drift of the product-form updates.
-  void refactorize() {
-    std::vector<double> B(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int k = 0; k < m_; ++k) {
-      for (const Nz& nz : cols_[basis_[k]]) {
-        B[static_cast<std::size_t>(nz.row) * m_ + k] = nz.val;
-      }
-    }
-    std::vector<double> inv(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * m_ + i] = 1.0;
-    for (int col = 0; col < m_; ++col) {
-      int piv = col;
-      double best = std::abs(B[static_cast<std::size_t>(col) * m_ + col]);
-      for (int r = col + 1; r < m_; ++r) {
-        const double v = std::abs(B[static_cast<std::size_t>(r) * m_ + col]);
-        if (v > best) {
-          best = v;
-          piv = r;
-        }
-      }
-      ensure(best > 1e-13, "simplex refactorization: singular basis");
-      if (piv != col) {
-        for (int k = 0; k < m_; ++k) {
-          std::swap(B[static_cast<std::size_t>(piv) * m_ + k],
-                    B[static_cast<std::size_t>(col) * m_ + k]);
-          std::swap(inv[static_cast<std::size_t>(piv) * m_ + k],
-                    inv[static_cast<std::size_t>(col) * m_ + k]);
-        }
-      }
-      const double pv = B[static_cast<std::size_t>(col) * m_ + col];
-      for (int k = 0; k < m_; ++k) {
-        B[static_cast<std::size_t>(col) * m_ + k] /= pv;
-        inv[static_cast<std::size_t>(col) * m_ + k] /= pv;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double f = B[static_cast<std::size_t>(r) * m_ + col];
-        if (f == 0.0) continue;
-        for (int k = 0; k < m_; ++k) {
-          B[static_cast<std::size_t>(r) * m_ + k] -=
-              f * B[static_cast<std::size_t>(col) * m_ + k];
-          inv[static_cast<std::size_t>(r) * m_ + k] -=
-              f * inv[static_cast<std::size_t>(col) * m_ + k];
-        }
-      }
-    }
-    binv_ = std::move(inv);
-    // xb = Binv * b
-    for (int i = 0; i < m_; ++i) {
-      double s = 0.0;
-      const double* row = &binv_[static_cast<std::size_t>(i) * m_];
-      for (int k = 0; k < m_; ++k) s += row[k] * b_[k];
-      xb_[i] = s;
-    }
-  }
-
-  const LpProblem& p_;
-  const SimplexOptions& opt_;
-  int m_ = 0;
-  double normB_ = 0.0;
-  std::vector<std::vector<Nz>> cols_;
-  std::vector<double> cost_;
-  std::vector<double> b_;
-  std::vector<double> xb_;
-  std::vector<int> basis_;
-  std::vector<char> basic_flag_;
-  std::vector<double> binv_;  // row-major m_ x m_
-  int first_artificial_ = 0;
-  int num_artificial_ = 0;
-  int banned_from_ = 0;
+  LpProblem p_;
+  SimplexOptions opt_;
+  int n_ = 0;  ///< structural columns
+  int m_ = 0;  ///< rows (== logical columns)
+  double sgn_ = 1.0;
+  std::vector<std::vector<ColNz>> cols_;  ///< structural columns, sparse
+  std::vector<double> cost_;              ///< internal (minimize) costs
+  std::vector<double> lb_, ub_;           ///< per column, logicals included
+  std::vector<double> rhs_;
+  Basis basis_status_;
+  std::vector<int> basis_;   ///< row -> basic column (valid when factored_)
+  std::vector<double> xval_; ///< per-column primal values
+  EtaFile eta_;
+  int updates_since_refactor_ = 0;  ///< pivot etas since the last refactor
+  bool factored_ = false;
+  bool primal_fresh_ = false;
 };
+
+SimplexSolver::SimplexSolver(LpProblem problem, SimplexOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(problem), opt)) {}
+SimplexSolver::SimplexSolver(const SimplexSolver& rhs)
+    : impl_(std::make_unique<Impl>(*rhs.impl_)) {}
+SimplexSolver& SimplexSolver::operator=(const SimplexSolver& rhs) {
+  if (this != &rhs) impl_ = std::make_unique<Impl>(*rhs.impl_);
+  return *this;
+}
+SimplexSolver::SimplexSolver(SimplexSolver&&) noexcept = default;
+SimplexSolver& SimplexSolver::operator=(SimplexSolver&&) noexcept = default;
+SimplexSolver::~SimplexSolver() = default;
+
+LpResult SimplexSolver::solve() { return impl_->solve(); }
+void SimplexSolver::setObjective(int var, double coef) {
+  impl_->setObjective(var, coef);
+}
+void SimplexSolver::setRhs(int row, double rhs) { impl_->setRhs(row, rhs); }
+void SimplexSolver::setBounds(int var, double lb, double ub) {
+  impl_->setBounds(var, lb, ub);
+}
+int SimplexSolver::addRow(std::vector<Term> terms, Rel rel, double rhs) {
+  return impl_->addRow(std::move(terms), rel, rhs);
+}
+void SimplexSolver::setBasis(const Basis& basis) { impl_->setBasis(basis); }
+const Basis& SimplexSolver::basis() const { return impl_->basis(); }
+const LpProblem& SimplexSolver::problem() const { return impl_->problem(); }
 
 LpResult solve(const LpProblem& p, const SimplexOptions& opt) {
   require(p.numVars() > 0, "LP has no variables");
   SimplexSolver solver(p, opt);
-  LpResult res = solver.run();
-  if (res.status == Status::kOptimal && p.sense() == Sense::kMaximize) {
-    // SimplexSolver already reports the objective in original sense.
-  }
-  return res;
+  return solver.solve();
 }
 
 }  // namespace coyote::lp

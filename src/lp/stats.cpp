@@ -1,0 +1,35 @@
+#include "lp/stats.hpp"
+
+namespace coyote::lp {
+
+GlobalStats& GlobalStats::instance() {
+  static GlobalStats stats;
+  return stats;
+}
+
+void GlobalStats::record(const StatsSnapshot& delta) {
+  solves_.fetch_add(delta.solves, std::memory_order_relaxed);
+  iterations_.fetch_add(delta.iterations, std::memory_order_relaxed);
+  phase1_iters_.fetch_add(delta.phase1_iters, std::memory_order_relaxed);
+  refactorizations_.fetch_add(delta.refactorizations,
+                              std::memory_order_relaxed);
+  iter_limit_solves_.fetch_add(delta.iter_limit_solves,
+                               std::memory_order_relaxed);
+  nanos_.fetch_add(static_cast<std::int64_t>(delta.seconds * 1e9),
+                   std::memory_order_relaxed);
+}
+
+StatsSnapshot GlobalStats::snapshot() const {
+  StatsSnapshot s;
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.iterations = iterations_.load(std::memory_order_relaxed);
+  s.phase1_iters = phase1_iters_.load(std::memory_order_relaxed);
+  s.refactorizations = refactorizations_.load(std::memory_order_relaxed);
+  s.iter_limit_solves = iter_limit_solves_.load(std::memory_order_relaxed);
+  s.seconds = static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+StatsSnapshot statsSnapshot() { return GlobalStats::instance().snapshot(); }
+
+}  // namespace coyote::lp

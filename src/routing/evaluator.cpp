@@ -44,9 +44,10 @@ void PerformanceEvaluator::setThreads(unsigned threads) {
 
 double PerformanceEvaluator::normalizationOf(const tm::TrafficMatrix& d) const {
   if (d.total() <= 0.0) return 0.0;
-  return (norm_ == Normalization::kWithinDags)
-             ? optimalUtilization(g_, *dags_, d, lp_options_)
-             : optimalUtilizationUnrestricted(g_, d, lp_options_);
+  // The shared engine retains the constraint matrix and basis between
+  // calls, so successive normalizations (cutting-plane rounds, margin
+  // sweeps) warm-start instead of rebuilding.
+  return engine_->utilization(d);
 }
 
 int PerformanceEvaluator::addMatrix(const tm::TrafficMatrix& d) {
@@ -68,12 +69,12 @@ void PerformanceEvaluator::addPool(const std::vector<tm::TrafficMatrix>& pool) {
   for (const auto& d : pool) {
     require(d.numNodes() == g_.numNodes(), "matrix/graph size mismatch");
   }
-  // Solve the normalization LPs concurrently (they are independent), then
-  // insert sequentially so ordering and deduplication stay deterministic.
-  std::vector<double> optu(pool.size(), 0.0);
-  this->pool().parallelFor(pool.size(), [&](std::size_t i) {
-    optu[i] = normalizationOf(pool[i]);
-  });
+  // Solve the normalization LPs in warm-start chains: the engine groups
+  // matrices by LP structure and cuts each group into fixed-size chunks
+  // that fan out over the thread pool (results identical for any thread
+  // count). Insertion stays sequential so ordering and deduplication are
+  // deterministic.
+  std::vector<double> optu = engine_->utilizationBatch(pool, this->pool());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     if (optu[i] <= 1e-12) continue;
     tm::TrafficMatrix scaled = pool[i];

@@ -28,11 +28,25 @@ enum class Normalization {
 
 class PerformanceEvaluator {
  public:
+  /// `engine` may share a warm OPTU solver across evaluators (one per
+  /// (graph, DAG-set); see NetworkSweep, which reuses it across margin
+  /// points). When null, the evaluator builds a private engine matching
+  /// `norm`. A supplied engine must have been built over the same graph
+  /// and, for kWithinDags, the same DAG set.
   PerformanceEvaluator(const Graph& g, std::shared_ptr<const DagSet> dags,
                        lp::SimplexOptions lp_options = {},
-                       Normalization norm = Normalization::kWithinDags)
-      : g_(g), dags_(std::move(dags)), lp_options_(lp_options), norm_(norm) {
+                       Normalization norm = Normalization::kWithinDags,
+                       std::shared_ptr<OptuEngine> engine = nullptr)
+      : g_(g), dags_(std::move(dags)), engine_(std::move(engine)) {
     require(dags_ != nullptr, "null dag set");
+    // lp_options/norm only shape the default engine: once an engine
+    // exists (supplied or built here), it alone defines the
+    // normalization LP and its solver options.
+    if (engine_ == nullptr) {
+      engine_ = (norm == Normalization::kWithinDags)
+                    ? std::make_shared<OptuEngine>(g_, dags_, lp_options)
+                    : std::make_shared<OptuEngine>(g_, lp_options);
+    }
   }
 
   /// Adds a matrix to the pool: computes OPTU within the DAGs once and
@@ -76,8 +90,7 @@ class PerformanceEvaluator {
 
   const Graph& g_;
   std::shared_ptr<const DagSet> dags_;
-  lp::SimplexOptions lp_options_;
-  Normalization norm_;
+  std::shared_ptr<OptuEngine> engine_;
   std::vector<tm::TrafficMatrix> pool_;
   unsigned threads_ = 0;
   std::unique_ptr<util::ThreadPool> own_pool_;

@@ -1,115 +1,236 @@
 #include "routing/optu.hpp"
 
-#include <string>
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "util/env.hpp"
+
 namespace coyote::routing {
-namespace {
 
-/// Shared LP construction for the DAG-restricted and unrestricted variants.
-/// For destination t, `edgesFor(t)` yields the edges flow to t may use.
-class OptuBuilder {
- public:
-  OptuBuilder(const Graph& g, const tm::TrafficMatrix& d) : g_(g), d_(d) {
-    require(d.numNodes() == g.numNodes(), "matrix/graph size mismatch");
-  }
-
-  /// Builds and solves; returns (alpha, flows) where flows[t] maps EdgeId to
-  /// the optimal aggregate flow toward t (empty for inactive destinations).
-  std::pair<double, std::vector<std::vector<double>>> solve(
-      const std::vector<std::vector<EdgeId>>& edges_per_dest,
-      const lp::SimplexOptions& opt) {
-    const int n = g_.numNodes();
-    lp::LpProblem p(lp::Sense::kMinimize);
-    const int alpha = p.addVar(1.0, 0.0, lp::kInfinity, "alpha");
-
-    // var_[t][e] = LP variable of flow toward t on edge e (or -1).
-    var_.assign(n, std::vector<int>(g_.numEdges(), -1));
-    std::vector<char> active(n, 0);
-    for (NodeId t = 0; t < n; ++t) {
-      for (NodeId s = 0; s < n; ++s) {
-        if (s != t && d_.at(s, t) > 0.0) {
-          active[t] = 1;
-          break;
-        }
-      }
-      if (!active[t]) continue;
-      for (const EdgeId e : edges_per_dest[t]) {
-        var_[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
-      }
-    }
-
-    // Conservation at every non-destination node.
-    for (NodeId t = 0; t < n; ++t) {
-      if (!active[t]) continue;
-      for (NodeId u = 0; u < n; ++u) {
-        if (u == t) continue;
-        std::vector<lp::Term> terms;
-        for (const EdgeId e : g_.outEdges(u)) {
-          if (var_[t][e] >= 0) terms.push_back({var_[t][e], 1.0});
-        }
-        for (const EdgeId e : g_.inEdges(u)) {
-          if (var_[t][e] >= 0) terms.push_back({var_[t][e], -1.0});
-        }
-        const double dem = d_.at(u, t);
-        if (terms.empty()) {
-          require(dem <= 0.0, "demand from " + g_.nodeName(u) + " to " +
-                                  g_.nodeName(t) +
-                                  " cannot be routed (no usable edges)");
-          continue;
-        }
-        p.addConstraint(std::move(terms), lp::Rel::kEq, dem);
-      }
-    }
-
-    // Capacity: sum_t g_t(e) - alpha*c(e) <= 0.
-    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-      std::vector<lp::Term> terms;
-      for (NodeId t = 0; t < n; ++t) {
-        if (active[t] && var_[t][e] >= 0) terms.push_back({var_[t][e], 1.0});
-      }
-      if (terms.empty()) continue;
-      terms.push_back({alpha, -g_.edge(e).capacity});
-      p.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
-    }
-
-    const lp::LpResult res = lp::solve(p, opt);
-    if (res.status != lp::Status::kOptimal) {
-      throw std::runtime_error("OPTU LP not optimal: " +
-                               lp::toString(res.status));
-    }
-    std::vector<std::vector<double>> flows(n);
-    for (NodeId t = 0; t < n; ++t) {
-      if (!active[t]) continue;
-      flows[t].assign(g_.numEdges(), 0.0);
-      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-        if (var_[t][e] >= 0) flows[t][e] = std::max(0.0, res.x[var_[t][e]]);
-      }
-    }
-    return {res.x[alpha], std::move(flows)};
-  }
-
- private:
-  const Graph& g_;
-  const tm::TrafficMatrix& d_;
-  std::vector<std::vector<int>> var_;
+/// Constraint matrix, variable map and row map for one active-destination
+/// signature. `problem` is the rhs-agnostic skeleton (conservation rhs 0);
+/// `serial` is the retained warm-start session of the serial entry points.
+struct OptuEngine::Template {
+  lp::LpProblem problem{lp::Sense::kMinimize};
+  int alpha = -1;
+  std::vector<char> active;              ///< [t] 1 if destination modeled
+  std::vector<std::vector<int>> var;     ///< [t][e] flow var or -1
+  std::vector<std::vector<int>> row;     ///< [t][u] conservation row or -1
+  std::unique_ptr<lp::SimplexSolver> serial;
 };
 
-std::vector<std::vector<EdgeId>> dagEdgeSets(const Graph& g,
-                                             const DagSet& dags) {
-  std::vector<std::vector<EdgeId>> sets(g.numNodes());
-  for (NodeId t = 0; t < g.numNodes(); ++t) sets[t] = dags[t].edges();
-  return sets;
+OptuEngine::OptuEngine(const Graph& g, std::shared_ptr<const DagSet> dags,
+                       lp::SimplexOptions opt)
+    : g_(g), dags_(std::move(dags)), opt_(opt) {
+  require(dags_ != nullptr, "null dag set");
+  require(static_cast<int>(dags_->size()) == g.numNodes(), "bad dag set");
 }
 
-std::vector<std::vector<EdgeId>> allEdgeSets(const Graph& g) {
-  std::vector<std::vector<EdgeId>> sets(g.numNodes());
-  for (NodeId t = 0; t < g.numNodes(); ++t) {
-    for (EdgeId e = 0; e < g.numEdges(); ++e) {
-      if (g.edge(e).src != t) sets[t].push_back(e);
+OptuEngine::OptuEngine(const Graph& g, lp::SimplexOptions opt)
+    : g_(g), dags_(nullptr), opt_(opt) {}
+
+OptuEngine::~OptuEngine() = default;
+
+std::vector<char> OptuEngine::activeSignature(
+    const tm::TrafficMatrix& d) const {
+  require(d.numNodes() == g_.numNodes(), "matrix/graph size mismatch");
+  const int n = g_.numNodes();
+  std::vector<char> active(n, 0);
+  for (NodeId t = 0; t < n; ++t) {
+    for (NodeId s = 0; s < n; ++s) {
+      if (s != t && d.at(s, t) > 0.0) {
+        active[t] = 1;
+        break;
+      }
     }
   }
-  return sets;
+  return active;
+}
+
+OptuEngine::Template& OptuEngine::templateFor(const std::vector<char>& active) {
+  std::string key(active.begin(), active.end());
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  auto tpl = std::make_unique<Template>();
+  Template& t = *tpl;
+  t.active = active;
+  const int n = g_.numNodes();
+  t.alpha = t.problem.addVar(1.0, 0.0, lp::kInfinity, "alpha");
+  t.var.assign(n, {});
+  t.row.assign(n, {});
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!active[dest]) continue;
+    t.var[dest].assign(g_.numEdges(), -1);
+    if (dags_ != nullptr) {
+      for (const EdgeId e : (*dags_)[dest].edges()) {
+        t.var[dest][e] = t.problem.addVar(0.0, 0.0, lp::kInfinity);
+      }
+    } else {
+      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+        if (g_.edge(e).src != dest) {
+          t.var[dest][e] = t.problem.addVar(0.0, 0.0, lp::kInfinity);
+        }
+      }
+    }
+  }
+  // Conservation at every non-destination node (rhs filled per matrix).
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!active[dest]) continue;
+    t.row[dest].assign(n, -1);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == dest) continue;
+      std::vector<lp::Term> terms;
+      for (const EdgeId e : g_.outEdges(u)) {
+        if (t.var[dest][e] >= 0) terms.push_back({t.var[dest][e], 1.0});
+      }
+      for (const EdgeId e : g_.inEdges(u)) {
+        if (t.var[dest][e] >= 0) terms.push_back({t.var[dest][e], -1.0});
+      }
+      if (terms.empty()) continue;
+      t.row[dest][u] = t.problem.numRows();
+      t.problem.addConstraint(std::move(terms), lp::Rel::kEq, 0.0);
+    }
+  }
+  // Capacity: sum_t g_t(e) - alpha*c(e) <= 0.
+  for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+    std::vector<lp::Term> terms;
+    for (NodeId dest = 0; dest < n; ++dest) {
+      if (active[dest] && !t.var[dest].empty() && t.var[dest][e] >= 0) {
+        terms.push_back({t.var[dest][e], 1.0});
+      }
+    }
+    if (terms.empty()) continue;
+    terms.push_back({t.alpha, -g_.edge(e).capacity});
+    t.problem.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
+  }
+  t.serial = std::make_unique<lp::SimplexSolver>(t.problem, opt_);
+  return *cache_.emplace(std::move(key), std::move(tpl)).first->second;
+}
+
+void OptuEngine::applyDemand(lp::SimplexSolver& solver, const Template& t,
+                             const tm::TrafficMatrix& d) const {
+  const int n = g_.numNodes();
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!t.active[dest]) continue;
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == dest) continue;
+      const double dem = d.at(u, dest);
+      const int row = t.row[dest][u];
+      if (row < 0) {
+        require(dem <= 0.0, "demand from " + g_.nodeName(u) + " to " +
+                                g_.nodeName(dest) +
+                                " cannot be routed (no usable edges)");
+        continue;
+      }
+      solver.setRhs(row, dem);
+    }
+  }
+}
+
+double OptuEngine::solveAlpha(lp::SimplexSolver& solver, const Template& t) {
+  const lp::LpResult res = solver.solve();
+  if (res.status != lp::Status::kOptimal) {
+    throw std::runtime_error("OPTU LP not optimal: " +
+                             lp::toString(res.status));
+  }
+  return res.x[t.alpha];
+}
+
+double OptuEngine::utilization(const tm::TrafficMatrix& d) {
+  const std::vector<char> active = activeSignature(d);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Template& t = templateFor(active);
+  if (coldOverride()) t.serial->setBasis({});
+  applyDemand(*t.serial, t, d);
+  return solveAlpha(*t.serial, t);
+}
+
+bool OptuEngine::coldOverride() { return util::envFlag("COYOTE_LP_COLD"); }
+
+std::vector<double> OptuEngine::utilizationBatch(
+    const std::vector<tm::TrafficMatrix>& pool, util::ThreadPool& tp) {
+  // Group matrices by signature, then cut every group into fixed-size
+  // chunks; each chunk is one warm-start chain on its own session clone.
+  // The chunking is independent of the thread count, so results (and
+  // pivot counts) are identical no matter how the chunks are scheduled.
+  std::vector<double> out(pool.size(), 0.0);
+  std::unordered_map<std::string, std::vector<std::size_t>> groups;
+  std::vector<std::string> group_order;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const std::vector<char> active = activeSignature(pool[i]);
+    std::string key(active.begin(), active.end());
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) group_order.push_back(it->first);
+    it->second.push_back(i);
+  }
+
+  struct Chunk {
+    const Template* tpl = nullptr;
+    std::vector<std::size_t> indices;
+  };
+  const std::size_t chunk_size = coldOverride() ? 1 : kBatchChunk;
+  std::vector<Chunk> chunks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& key : group_order) {
+      const std::vector<std::size_t>& members = groups[key];
+      const Template& t =
+          templateFor(std::vector<char>(key.begin(), key.end()));
+      for (std::size_t at = 0; at < members.size(); at += chunk_size) {
+        Chunk c;
+        c.tpl = &t;
+        const std::size_t end = std::min(members.size(), at + chunk_size);
+        c.indices.assign(members.begin() + at, members.begin() + end);
+        chunks.push_back(std::move(c));
+      }
+    }
+  }
+
+  tp.parallelFor(chunks.size(), [&](std::size_t ci) {
+    const Chunk& c = chunks[ci];
+    lp::SimplexSolver solver(c.tpl->problem, opt_);
+    for (const std::size_t i : c.indices) {
+      applyDemand(solver, *c.tpl, pool[i]);
+      out[i] = solveAlpha(solver, *c.tpl);
+    }
+  });
+  return out;
+}
+
+std::pair<double, std::vector<std::vector<double>>>
+OptuEngine::utilizationWithFlows(const tm::TrafficMatrix& d) {
+  const std::vector<char> active = activeSignature(d);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Template& t = templateFor(active);
+  if (coldOverride()) t.serial->setBasis({});
+  applyDemand(*t.serial, t, d);
+  const lp::LpResult res = t.serial->solve();
+  if (res.status != lp::Status::kOptimal) {
+    throw std::runtime_error("OPTU LP not optimal: " +
+                             lp::toString(res.status));
+  }
+  const int n = g_.numNodes();
+  std::vector<std::vector<double>> flows(n);
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!t.active[dest]) continue;
+    flows[dest].assign(g_.numEdges(), 0.0);
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+      if (t.var[dest][e] >= 0) {
+        flows[dest][e] = std::max(0.0, res.x[t.var[dest][e]]);
+      }
+    }
+  }
+  return {res.x[t.alpha], std::move(flows)};
+}
+
+namespace {
+
+/// Non-owning shared_ptr view for the by-reference entry points.
+std::shared_ptr<const DagSet> borrow(const DagSet& dags) {
+  return {std::shared_ptr<void>(), &dags};
 }
 
 }  // namespace
@@ -117,16 +238,15 @@ std::vector<std::vector<EdgeId>> allEdgeSets(const Graph& g) {
 double optimalUtilization(const Graph& g, const DagSet& dags,
                           const tm::TrafficMatrix& d,
                           const lp::SimplexOptions& opt) {
-  require(static_cast<int>(dags.size()) == g.numNodes(), "bad dag set");
-  OptuBuilder builder(g, d);
-  return builder.solve(dagEdgeSets(g, dags), opt).first;
+  OptuEngine engine(g, borrow(dags), opt);
+  return engine.utilization(d);
 }
 
 double optimalUtilizationUnrestricted(const Graph& g,
                                       const tm::TrafficMatrix& d,
                                       const lp::SimplexOptions& opt) {
-  OptuBuilder builder(g, d);
-  return builder.solve(allEdgeSets(g), opt).first;
+  OptuEngine engine(g, opt);
+  return engine.utilization(d);
 }
 
 OptimalRouting optimalRoutingForDemand(const Graph& g,
@@ -134,8 +254,8 @@ OptimalRouting optimalRoutingForDemand(const Graph& g,
                                        const tm::TrafficMatrix& d,
                                        const lp::SimplexOptions& opt) {
   require(dags != nullptr, "null dag set");
-  OptuBuilder builder(g, d);
-  auto [alpha, flows] = builder.solve(dagEdgeSets(g, *dags), opt);
+  OptuEngine engine(g, dags, opt);
+  auto [alpha, flows] = engine.utilizationWithFlows(d);
 
   RoutingConfig cfg(g, dags);
   for (NodeId t = 0; t < g.numNodes(); ++t) {

@@ -14,13 +14,93 @@
 // the "demands-aware optimum within the same DAGs" that the paper's figures
 // normalize by; the unrestricted variant is the formal OPTU over all
 // per-destination routings.
+//
+// Only the conservation right-hand sides depend on the demand matrix, so
+// OptuEngine builds the constraint matrix once per (graph, DAG-set,
+// active-destination signature) and re-solves across pool matrices and
+// margin points by mutating the rhs of a retained lp::SimplexSolver
+// session -- the warm-started basis typically cuts the simplex pivots per
+// matrix by several-fold. Batch solves are fanned out over the thread pool
+// in fixed-size chunks (each chunk one warm-start chain), so every result
+// and pivot count is bit-identical for any thread count.
 #pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "lp/lp.hpp"
 #include "routing/config.hpp"
 #include "tm/traffic_matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace coyote::routing {
+
+/// Reusable OPTU solver for one (graph, DAG-set) or (graph, unrestricted).
+/// Thread-safe: serial entry points warm-start a retained session under a
+/// lock; batch solves clone per-chunk sessions. See file comment.
+class OptuEngine {
+ public:
+  /// DAG-restricted OPTU (the paper's normalization). `dags` must outlive
+  /// the engine; pass the shared_ptr to tie the lifetimes.
+  OptuEngine(const Graph& g, std::shared_ptr<const DagSet> dags,
+             lp::SimplexOptions opt = {});
+
+  /// Unrestricted OPTU over all destination-based routings.
+  OptuEngine(const Graph& g, lp::SimplexOptions opt = {});
+
+  ~OptuEngine();
+
+  OptuEngine(const OptuEngine&) = delete;
+  OptuEngine& operator=(const OptuEngine&) = delete;
+
+  /// OPTU(d). Warm-starts from the previous solve with the same
+  /// active-destination signature. Throws std::runtime_error if the LP is
+  /// not optimal, std::invalid_argument if some demand cannot be routed.
+  [[nodiscard]] double utilization(const tm::TrafficMatrix& d);
+
+  /// OPTU of every matrix, in order. Independent fixed-size chunks of the
+  /// batch run on `tp`, each chunk a warm-start chain on a session clone;
+  /// results are identical for any thread count.
+  [[nodiscard]] std::vector<double> utilizationBatch(
+      const std::vector<tm::TrafficMatrix>& pool, util::ThreadPool& tp);
+
+  /// OPTU(d) plus the optimal aggregate flows: flows[t] maps EdgeId to the
+  /// flow toward t (empty vector for inactive destinations).
+  [[nodiscard]] std::pair<double, std::vector<std::vector<double>>>
+  utilizationWithFlows(const tm::TrafficMatrix& d);
+
+  [[nodiscard]] const Graph& graph() const { return g_; }
+
+  /// Matrices per warm-start chain in utilizationBatch. Fixed (not derived
+  /// from the thread count) so results never depend on parallelism.
+  static constexpr int kBatchChunk = 8;
+
+  /// True when COYOTE_LP_COLD=1: every solve cold-starts (chunk size 1,
+  /// serial sessions reset). A debugging/measurement knob -- the lp_pivots
+  /// delta between a cold and a default run is the warm-start payoff.
+  [[nodiscard]] static bool coldOverride();
+
+ private:
+  struct Template;  // constraint matrix + var/row maps for one signature
+
+  [[nodiscard]] std::vector<char> activeSignature(
+      const tm::TrafficMatrix& d) const;
+  /// Returns the cached template for the signature, building it on demand.
+  Template& templateFor(const std::vector<char>& active);
+  /// Points the session's conservation rhs at d (validates routability).
+  void applyDemand(lp::SimplexSolver& solver, const Template& t,
+                   const tm::TrafficMatrix& d) const;
+  [[nodiscard]] static double solveAlpha(lp::SimplexSolver& solver,
+                                         const Template& t);
+
+  const Graph& g_;
+  std::shared_ptr<const DagSet> dags_;  ///< null for unrestricted mode
+  lp::SimplexOptions opt_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Template>> cache_;
+};
 
 /// OPTU restricted to the DAG set. Throws std::runtime_error if some demand
 /// cannot be routed inside its DAG at any utilization (disconnected DAG).

@@ -1,7 +1,9 @@
 #include "routing/worst_case.hpp"
 
+#include <algorithm>
 #include <vector>
 
+#include "routing/optu.hpp"
 #include "routing/propagation.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,77 +36,197 @@ struct LoadCoefficients {
   }
 };
 
-class SlaveLp {
- public:
-  SlaveLp(const Graph& g, const RoutingConfig& cfg,
-          const tm::DemandBounds* box)
-      : g_(g), cfg_(cfg), box_(box), coef_(g, cfg) {}
+}  // namespace
 
-  // Reads only the shared coefficients; safe to call concurrently for
-  // different edges (findWorstCaseDemand fans the per-edge LPs out).
-  WorstCaseResult solveForEdge(EdgeId target,
-                               const lp::SimplexOptions& opt) const {
+// ---------------------------------------------------------------------------
+// WorstCaseOracle::Impl
+//
+// The constraint matrix (conservation, capacity, box scaling) depends only
+// on (graph, DAGs, box): demand variables exist for every pair the DAGs can
+// route (restricted to hi > 0 in the box case; pairs the box pins to zero
+// or the DAGs cannot carry are omitted -- conservation fixed them at zero
+// in the per-edge formulation, which is equivalent, except that a pair
+// with a positive box *lower* bound the DAGs cannot route pins lambda to
+// zero, detected up front as `forced_zero_`). The target edge and the
+// routing phi enter through the objective alone, so an edge scan is a
+// sequence of setObjective + warm solve on a retained session.
+// ---------------------------------------------------------------------------
+class WorstCaseOracle::Impl {
+ public:
+  Impl(const Graph& g, std::shared_ptr<const DagSet> dags,
+       const tm::DemandBounds* box, const lp::SimplexOptions& opt)
+      : g_(g), dags_(std::move(dags)), box_(box), opt_(opt) {
+    require(dags_ != nullptr, "null dag set");
+    require(static_cast<int>(dags_->size()) == g.numNodes(), "bad dag set");
+    build();
+  }
+
+  WorstCaseResult find(const RoutingConfig& cfg) {
+    requireSameDags(cfg);
     const int n = g_.numNodes();
+    const int m = g_.numEdges();
+    if (num_dvars_ == 0 || forced_zero_) {
+      return {tm::TrafficMatrix(n), 0.0, m > 0 ? 0 : kInvalidEdge};
+    }
+    const LoadCoefficients coef(g_, cfg);
+
+    // One independent LP per edge, scanned in fixed-size warm-start chains
+    // (chunk k handles edges [k*kEdgeChunk, ...)); the chunk -> session
+    // mapping is stable across calls, so cutting-plane rounds keep warm
+    // bases too. Only the per-edge ratio is kept (a full result per edge
+    // would be O(|E| |V|^2) memory); the winner -- reduced in edge order so
+    // ties resolve to the lowest edge id -- is re-solved cold for its
+    // demand matrix.
+    const std::size_t chunk_size =
+        OptuEngine::coldOverride() ? 1 : kEdgeChunk;
+    const std::size_t chunks =
+        (static_cast<std::size_t>(m) + chunk_size - 1) / chunk_size;
+    if (sessions_.size() != chunks) {
+      sessions_.clear();
+      for (std::size_t c = 0; c < chunks; ++c) {
+        sessions_.push_back(
+            std::make_unique<Session>(Session{lp::SimplexSolver(problem_, opt_), {}}));
+      }
+    }
+    std::vector<double> ratio(static_cast<std::size_t>(m), 0.0);
+    util::ThreadPool::global().parallelFor(chunks, [&](std::size_t c) {
+      Session& session = *sessions_[c];
+      if (OptuEngine::coldOverride()) session.solver.setBasis({});
+      const EdgeId begin = static_cast<EdgeId>(c * chunk_size);
+      const EdgeId end = std::min<EdgeId>(m, begin + chunk_size);
+      for (EdgeId e = begin; e < end; ++e) {
+        ratio[e] = solveEdge(session, coef, e);
+      }
+    });
+
+    EdgeId arg = kInvalidEdge;
+    double best = -1.0;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (ratio[e] > best) {
+        best = ratio[e];
+        arg = e;
+      }
+    }
+    if (arg == kInvalidEdge) {
+      return {tm::TrafficMatrix(n), -1.0, kInvalidEdge};
+    }
+    return resolveEdge(coef, arg);
+  }
+
+  WorstCaseResult findForEdge(const RoutingConfig& cfg, EdgeId edge) {
+    requireSameDags(cfg);
+    require(edge >= 0 && edge < g_.numEdges(), "edge out of range");
+    if (num_dvars_ == 0 || forced_zero_) {
+      return {tm::TrafficMatrix(g_.numNodes()), 0.0, edge};
+    }
+    return resolveEdge(LoadCoefficients(g_, cfg), edge);
+  }
+
+ private:
+  /// Cold solve of one edge's LP with the demand matrix extracted
+  /// (`coef` is reused from the caller's scan -- it costs O(|V|^2) flow
+  /// propagations to build).
+  WorstCaseResult resolveEdge(const LoadCoefficients& coef, EdgeId edge) {
+    const int n = g_.numNodes();
+    WorstCaseResult out{tm::TrafficMatrix(n), 0.0, edge};
+    Session session{lp::SimplexSolver(problem_, opt_), {}};  // cold solve
+    setEdgeObjective(session, coef, edge);
+    const lp::LpResult res = session.solver.solve();
+    if (res.status != lp::Status::kOptimal) {
+      // Degenerate cases (no demand can cross the edge) report ratio 0.
+      return out;
+    }
+    out.ratio = res.objective;
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) {
+        if (dvar_[s][t] >= 0 && res.x[dvar_[s][t]] > 1e-12) {
+          out.demand.set(s, t, res.x[dvar_[s][t]]);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Session {
+    lp::SimplexSolver solver;
+    std::vector<int> objective_vars;  ///< vars with nonzero obj installed
+  };
+
+  /// The template's var/slot maps are indexed by the oracle's DAG set; a
+  /// routing over a different set would read them out of bounds.
+  void requireSameDags(const RoutingConfig& cfg) const {
+    require(cfg.dagsPtr().get() == dags_.get(),
+            "routing uses a different DAG set than the oracle");
+  }
+
+  void build() {
+    const int n = g_.numNodes();
+    dvar_.assign(n, std::vector<int>(n, -1));
+    num_dvars_ = 0;
+    lambda_ = -1;
     lp::LpProblem p(lp::Sense::kMaximize);
 
-    // Demand variables. Oblivious case: only pairs whose flow crosses
-    // `target` can increase the objective; every other pair's optimal
-    // demand is zero (it merely consumes capacity), so we omit it.
-    // Box case: all pairs with dmax > 0 participate (they are lower-bounded
-    // by lambda*dmin and consume capacity).
-    std::vector<std::vector<int>> dvar(n, std::vector<int>(n, -1));
-    int lambda = -1;
-    int num_dvars = 0;
-    if (box_ != nullptr) lambda = p.addVar(0.0, 0.0, lp::kInfinity, "lambda");
-    const double target_cap = g_.edge(target).capacity;
+    // Demand variables: every pair the DAGs can route (and, in the box
+    // case, the box does not pin to zero). Pairs that cannot cross the
+    // target edge keep objective coefficient 0 for that edge; their
+    // optimal value does not affect the objective.
+    //
+    // A box pair with a *positive lower bound* the DAGs cannot route at
+    // all pins lambda to 0 (no scaled copy of the box is routable): the
+    // whole oracle is degenerate and every ratio is 0. Detect it here
+    // instead of carrying the pinned variable through every solve.
+    if (box_ != nullptr) {
+      for (NodeId t = 0; t < n && !forced_zero_; ++t) {
+        const Dag& dag = (*dags_)[t];
+        for (NodeId s = 0; s < n && !forced_zero_; ++s) {
+          if (s != t && box_->lo.at(s, t) > 0.0 &&
+              (dag.edges().empty() || !dag.reachesDest(s))) {
+            forced_zero_ = true;
+          }
+        }
+      }
+      lambda_ = p.addVar(0.0, 0.0, lp::kInfinity, "lambda");
+    }
     for (NodeId t = 0; t < n; ++t) {
-      const auto& edges = cfg_.dags()[t].edges();
-      const auto slot = slotOf(edges, target);
+      const Dag& dag = (*dags_)[t];
+      if (dag.edges().empty()) continue;
       for (NodeId s = 0; s < n; ++s) {
-        if (s == t) continue;
-        const double l =
-            slot ? coef_.per_pair[static_cast<std::size_t>(t) * n + s][*slot]
-                 : 0.0;
-        const bool in_box = box_ != nullptr && box_->hi.at(s, t) > 0.0;
-        if (l <= 0.0 && !in_box) continue;
-        dvar[s][t] = p.addVar(l / target_cap, 0.0, lp::kInfinity);
-        ++num_dvars;
+        if (s == t || !dag.reachesDest(s)) continue;
+        if (box_ != nullptr && box_->hi.at(s, t) <= 0.0) continue;
+        dvar_[s][t] = p.addVar(0.0, 0.0, lp::kInfinity);
+        ++num_dvars_;
         if (box_ != nullptr) {
           // d <= lambda*dmax ; d >= lambda*dmin.
-          p.addConstraint({{dvar[s][t], 1.0}, {lambda, -box_->hi.at(s, t)}},
+          p.addConstraint({{dvar_[s][t], 1.0}, {lambda_, -box_->hi.at(s, t)}},
                           lp::Rel::kLe, 0.0);
           if (box_->lo.at(s, t) > 0.0) {
-            p.addConstraint({{dvar[s][t], 1.0}, {lambda, -box_->lo.at(s, t)}},
+            p.addConstraint({{dvar_[s][t], 1.0}, {lambda_, -box_->lo.at(s, t)}},
                             lp::Rel::kGe, 0.0);
           }
         }
       }
     }
 
-    // No demand can load this edge at all (e.g., every destination routes
-    // zero traffic across it): the worst case is trivially 0.
-    if (num_dvars == 0) return {tm::TrafficMatrix(n), 0.0, target};
-
     // Witness flows g_t(e) on DAG edges for destinations with any demand
     // variable; conservation ties them to d.
-    std::vector<std::vector<int>> gvar(n);
+    gvar_.assign(n, {});
     for (NodeId t = 0; t < n; ++t) {
       bool any = false;
-      for (NodeId s = 0; s < n; ++s) any = any || dvar[s][t] >= 0;
+      for (NodeId s = 0; s < n; ++s) any = any || dvar_[s][t] >= 0;
       if (!any) continue;
-      const auto& edges = cfg_.dags()[t].edges();
-      gvar[t].assign(g_.numEdges(), -1);
-      for (const EdgeId e : edges) {
-        gvar[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
+      const Dag& dag = (*dags_)[t];
+      gvar_[t].assign(g_.numEdges(), -1);
+      for (const EdgeId e : dag.edges()) {
+        gvar_[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
       }
-      const Dag& dag = cfg_.dags()[t];
       for (NodeId u = 0; u < n; ++u) {
         if (u == t) continue;
         std::vector<lp::Term> terms;
-        for (const EdgeId e : dag.outEdges(u)) terms.push_back({gvar[t][e], 1.0});
-        for (const EdgeId e : dag.inEdges(u)) terms.push_back({gvar[t][e], -1.0});
-        if (dvar[u][t] >= 0) {
-          terms.push_back({dvar[u][t], -1.0});
+        for (const EdgeId e : dag.outEdges(u)) terms.push_back({gvar_[t][e], 1.0});
+        for (const EdgeId e : dag.inEdges(u)) terms.push_back({gvar_[t][e], -1.0});
+        if (dvar_[u][t] >= 0) {
+          terms.push_back({dvar_[u][t], -1.0});
         } else if (terms.empty()) {
           continue;
         }
@@ -115,48 +237,86 @@ class SlaveLp {
     // Capacity of every edge.
     for (EdgeId e = 0; e < g_.numEdges(); ++e) {
       std::vector<lp::Term> terms;
-      for (NodeId t = 0; t < n; ++t) {
-        if (!gvar[t].empty() && gvar[t][e] >= 0) {
-          terms.push_back({gvar[t][e], 1.0});
+      for (NodeId t = 0; t < g_.numNodes(); ++t) {
+        if (!gvar_[t].empty() && gvar_[t][e] >= 0) {
+          terms.push_back({gvar_[t][e], 1.0});
         }
       }
       if (terms.empty()) continue;
       p.addConstraint(std::move(terms), lp::Rel::kLe, g_.edge(e).capacity);
     }
 
-    const lp::LpResult res = lp::solve(p, opt);
-    WorstCaseResult out{tm::TrafficMatrix(n), 0.0, target};
-    if (res.status != lp::Status::kOptimal) {
-      // Degenerate cases (no demand can cross the edge) report ratio 0.
-      return out;
-    }
-    out.ratio = res.objective;
-    for (NodeId s = 0; s < n; ++s) {
-      for (NodeId t = 0; t < n; ++t) {
-        if (dvar[s][t] >= 0 && res.x[dvar[s][t]] > 1e-12) {
-          out.demand.set(s, t, res.x[dvar[s][t]]);
-        }
+    // Slot of every edge within dags[t].edges() (for objective lookups).
+    slot_.assign(n, {});
+    for (NodeId t = 0; t < n; ++t) {
+      slot_[t].assign(g_.numEdges(), -1);
+      const auto& edges = (*dags_)[t].edges();
+      for (std::size_t k = 0; k < edges.size(); ++k) {
+        slot_[t][edges[k]] = static_cast<int>(k);
       }
     }
-    return out;
+    problem_ = std::move(p);
   }
 
- private:
-  static std::optional<std::size_t> slotOf(const std::vector<EdgeId>& edges,
-                                           EdgeId e) {
-    for (std::size_t k = 0; k < edges.size(); ++k) {
-      if (edges[k] == e) return k;
+  void setEdgeObjective(Session& session, const LoadCoefficients& coef,
+                        EdgeId target) const {
+    for (const int var : session.objective_vars) {
+      session.solver.setObjective(var, 0.0);
     }
-    return std::nullopt;
+    session.objective_vars.clear();
+    const int n = g_.numNodes();
+    const double cap = g_.edge(target).capacity;
+    for (NodeId t = 0; t < n; ++t) {
+      const int slot = slot_[t][target];
+      if (slot < 0) continue;
+      for (NodeId s = 0; s < n; ++s) {
+        if (s == t || dvar_[s][t] < 0) continue;
+        const double l =
+            coef.per_pair[static_cast<std::size_t>(t) * n + s][slot];
+        if (l <= 0.0) continue;
+        session.solver.setObjective(dvar_[s][t], l / cap);
+        session.objective_vars.push_back(dvar_[s][t]);
+      }
+    }
+  }
+
+  double solveEdge(Session& session, const LoadCoefficients& coef,
+                   EdgeId target) const {
+    setEdgeObjective(session, coef, target);
+    if (session.objective_vars.empty()) return 0.0;  // nothing loads it
+    const lp::LpResult res = session.solver.solve();
+    return res.status == lp::Status::kOptimal ? res.objective : 0.0;
   }
 
   const Graph& g_;
-  const RoutingConfig& cfg_;
+  std::shared_ptr<const DagSet> dags_;
   const tm::DemandBounds* box_;
-  LoadCoefficients coef_;
+  lp::SimplexOptions opt_;
+  lp::LpProblem problem_{lp::Sense::kMaximize};
+  int lambda_ = -1;
+  int num_dvars_ = 0;
+  bool forced_zero_ = false;  ///< box demands a pair the DAGs cannot route
+  std::vector<std::vector<int>> dvar_;  ///< [s][t]
+  std::vector<std::vector<int>> gvar_;  ///< [t][e]
+  std::vector<std::vector<int>> slot_;  ///< [t][e] -> index in dag edges
+  std::vector<std::unique_ptr<Session>> sessions_;  ///< one per edge chunk
 };
 
-}  // namespace
+WorstCaseOracle::WorstCaseOracle(const Graph& g,
+                                 std::shared_ptr<const DagSet> dags,
+                                 const tm::DemandBounds* box,
+                                 const lp::SimplexOptions& opt)
+    : impl_(std::make_unique<Impl>(g, std::move(dags), box, opt)) {}
+WorstCaseOracle::~WorstCaseOracle() = default;
+
+WorstCaseResult WorstCaseOracle::find(const RoutingConfig& cfg) {
+  return impl_->find(cfg);
+}
+
+WorstCaseResult WorstCaseOracle::findForEdge(const RoutingConfig& cfg,
+                                             EdgeId edge) {
+  return impl_->findForEdge(cfg, edge);
+}
 
 WorstCaseResult findWorstCaseDemandForEdge(const Graph& g,
                                            const RoutingConfig& cfg,
@@ -164,35 +324,15 @@ WorstCaseResult findWorstCaseDemandForEdge(const Graph& g,
                                            const tm::DemandBounds* box,
                                            const lp::SimplexOptions& opt) {
   require(edge >= 0 && edge < g.numEdges(), "edge out of range");
-  SlaveLp lp(g, cfg, box);
-  return lp.solveForEdge(edge, opt);
+  WorstCaseOracle oracle(g, cfg.dagsPtr(), box, opt);
+  return oracle.findForEdge(cfg, edge);
 }
 
 WorstCaseResult findWorstCaseDemand(const Graph& g, const RoutingConfig& cfg,
                                     const tm::DemandBounds* box,
                                     const lp::SimplexOptions& opt) {
-  SlaveLp lp(g, cfg, box);
-  // One independent LP per edge: solve them on the pool, keeping only the
-  // per-edge ratio (a full WorstCaseResult per edge would be O(|E| |V|^2)
-  // memory), then reduce in edge order so ties keep resolving to the
-  // lowest edge id, and re-solve the winner once for its demand matrix.
-  std::vector<double> ratio(static_cast<std::size_t>(g.numEdges()), 0.0);
-  util::ThreadPool::global().parallelFor(
-      static_cast<std::size_t>(g.numEdges()), [&](std::size_t e) {
-        ratio[e] = lp.solveForEdge(static_cast<EdgeId>(e), opt).ratio;
-      });
-  EdgeId arg = kInvalidEdge;
-  double best = -1.0;
-  for (EdgeId e = 0; e < g.numEdges(); ++e) {
-    if (ratio[e] > best) {
-      best = ratio[e];
-      arg = e;
-    }
-  }
-  if (arg == kInvalidEdge) {
-    return {tm::TrafficMatrix(g.numNodes()), -1.0, kInvalidEdge};
-  }
-  return lp.solveForEdge(arg, opt);
+  WorstCaseOracle oracle(g, cfg.dagsPtr(), box, opt);
+  return oracle.find(cfg);
 }
 
 }  // namespace coyote::routing

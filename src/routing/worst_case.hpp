@@ -16,13 +16,21 @@
 // that phi places on e. The max over all edges is the exact performance
 // ratio PERF(phi, D) relative to the in-DAG optimum.
 //
-// Cost: one LP with O(|V||E|) variables per edge. Exact evaluation is
-// practical for small/medium networks and is used by tests and ablations;
-// the figure benches default to the corner-pool evaluator (see
-// evaluator.hpp) whose pools the cutting-plane optimizer also consumes.
+// Only the objective depends on the target edge (and, through l, on the
+// routing phi): WorstCaseOracle builds the constraint matrix once per
+// (graph, DAGs, box) and scans the edges as warm-start chains on retained
+// lp::SimplexSolver sessions -- one session per fixed-size edge chunk, so
+// the thread-pool fan-out is deterministic for any thread count. The same
+// oracle instance serves every cutting-plane round of COYOTE's optimizer
+// (each round is one more objective sweep, not a rebuild). Exact
+// evaluation is practical for small/medium networks and is used by tests,
+// ablations and the Table I '+' rows; the figure benches default to the
+// corner-pool evaluator (see evaluator.hpp).
 #pragma once
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "lp/lp.hpp"
 #include "routing/config.hpp"
@@ -36,8 +44,44 @@ struct WorstCaseResult {
   EdgeId edge = kInvalidEdge;     ///< the edge attaining it
 };
 
+/// Reusable slave-LP solver for one (graph, DAG-set, box). find() may be
+/// called repeatedly with different routings (the cutting-plane loop);
+/// sessions and bases are retained across calls. Not thread-safe for
+/// concurrent calls on one instance (find() itself fans out internally).
+class WorstCaseOracle {
+ public:
+  /// `dags` and `box` (nullable: the oblivious case) must outlive the
+  /// oracle; the box is identified by reference across calls.
+  WorstCaseOracle(const Graph& g, std::shared_ptr<const DagSet> dags,
+                  const tm::DemandBounds* box,
+                  const lp::SimplexOptions& opt = {});
+  ~WorstCaseOracle();
+
+  WorstCaseOracle(const WorstCaseOracle&) = delete;
+  WorstCaseOracle& operator=(const WorstCaseOracle&) = delete;
+
+  /// Worst case over all edges for `cfg` (which must use the oracle's DAG
+  /// set). Per-edge LPs run on the shared thread pool in fixed-size warm
+  /// chunks; the winner is re-solved cold for its demand matrix, so the
+  /// result is identical to findWorstCaseDemandForEdge on the argmax edge.
+  [[nodiscard]] WorstCaseResult find(const RoutingConfig& cfg);
+
+  /// Worst case for a single edge.
+  [[nodiscard]] WorstCaseResult findForEdge(const RoutingConfig& cfg,
+                                            EdgeId edge);
+
+  /// Edges per warm-start chain in find(). Fixed (not derived from the
+  /// thread count) so results never depend on parallelism.
+  static constexpr int kEdgeChunk = 8;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Worst case over all demand matrices (box == nullptr, the oblivious case)
-/// or over the scaled uncertainty box.
+/// or over the scaled uncertainty box. One-shot: builds a WorstCaseOracle
+/// internally; callers with repeated queries should hold an oracle.
 [[nodiscard]] WorstCaseResult findWorstCaseDemand(
     const Graph& g, const RoutingConfig& cfg,
     const tm::DemandBounds* box = nullptr, const lp::SimplexOptions& opt = {});

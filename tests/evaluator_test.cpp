@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -73,9 +74,21 @@ TEST(PerformanceEvaluator, AddPoolMatchesSequentialAddMatrix) {
   routing::PerformanceEvaluator sequential(f.g, f.dags);
   for (const auto& d : pool) sequential.addMatrix(d);
 
+  // addPool normalizes in fixed warm-start chunks while addMatrix chains
+  // one retained session, so the two paths may take different pivot
+  // sequences to the same optimum: the normalized matrices agree to LP
+  // round-off (the evaluator's own dedup tolerance), not bit-for-bit.
   ASSERT_EQ(batched.size(), sequential.size());
   for (int i = 0; i < batched.size(); ++i) {
-    EXPECT_TRUE(batched.matrix(i) == sequential.matrix(i)) << "index " << i;
+    const tm::TrafficMatrix& a = batched.matrix(i);
+    const tm::TrafficMatrix& b = sequential.matrix(i);
+    for (NodeId s = 0; s < f.g.numNodes(); ++s) {
+      for (NodeId t = 0; t < f.g.numNodes(); ++t) {
+        EXPECT_NEAR(a.at(s, t), b.at(s, t),
+                    1e-9 * (1.0 + std::abs(a.at(s, t))))
+            << "index " << i << " pair (" << s << "," << t << ")";
+      }
+    }
   }
 }
 

@@ -129,6 +129,49 @@ TEST(CompareDocuments, SummaryFieldDriftIsDetected) {
   EXPECT_NE(report.text().find("verified"), std::string::npos);
 }
 
+TEST(CompareDocuments, LpTelemetryIsExemptFromDriftAndReportedAsInfo) {
+  // Schema coyote-bench/2 solver telemetry: lp_* fields are deterministic
+  // for one binary but toolchain-sensitive, so they must never gate -- at
+  // any nesting level -- and lp_pivots deltas surface as INFO findings.
+  const auto docWithLp = [](double pivots, double frac, double row_pivots) {
+    json::Value doc = benchDoc("s", 1.5, 1.0);
+    doc["lp_pivots"] = pivots;
+    doc["lp_solves"] = 64.0;
+    doc["lp_time_frac"] = frac;
+    json::Value row = json::Value::object();
+    row["margin"] = 2.0;
+    row["ecmp"] = 1.5;
+    row["partial"] = 1.1;
+    row["lp_pivots"] = row_pivots;
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    doc["rows"] = std::move(rows);
+    return doc;
+  };
+  const json::Value baseline = docWithLp(1000.0, 0.5, 500.0);
+  const json::Value candidate = docWithLp(400.0, 0.9, 123.0);
+
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  EXPECT_FALSE(hasKind(report, CompareFinding::Kind::kDrift));
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kInfo));
+  EXPECT_NE(report.text().find("lp_pivots 1000 -> 400"), std::string::npos)
+      << report.text();
+}
+
+TEST(CompareDocuments, UnknownCandidateFieldsAreIgnoredForwardCompat) {
+  // A candidate produced by a newer schema may add summary fields the
+  // baseline lacks; the baseline-driven walk must not flag them.
+  const json::Value baseline = benchDoc("s", 1.5, 1.0);
+  json::Value candidate = benchDoc("s", 1.5, 1.0);
+  candidate["schema"] = "coyote-bench/99";
+  candidate["future_summary_field"] = 42.0;
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+}
+
 TEST(CompareDocuments, RowCountChangeIsDrift) {
   json::Value baseline = benchDoc("s", 1.5, 1.0);
   json::Value candidate = benchDoc("s", 1.5, 1.0);
