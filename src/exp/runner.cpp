@@ -10,6 +10,8 @@
 
 #include "core/local_search.hpp"
 #include "core/splitting_optimizer.hpp"
+#include "failure/evaluate.hpp"
+#include "failure/scenario.hpp"
 #include "fibbing/lie_synthesis.hpp"
 #include "fibbing/ospf_model.hpp"
 #include "hardness/gadgets.hpp"
@@ -645,6 +647,117 @@ KindOutput runHardness(const Scenario&, const RunOptions&, bool print) {
   return out;
 }
 
+// --- kFailure (src/failure/: post-failure four-scheme sweep) ----------
+
+KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
+  KindOutput out;
+  const Graph g = s.topology.build();
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = s.demand.build(g);
+
+  std::vector<failure::FailureScenario> fails;
+  switch (s.failure.model) {
+    case FailureSpec::Model::kSingleLink:
+      fails = failure::singleLinkFailures(g);
+      break;
+    case FailureSpec::Model::kDoubleLink:
+      fails = failure::sampledDoubleLinkFailures(g, s.failure.double_samples,
+                                                 s.failure.seed);
+      break;
+    case FailureSpec::Model::kSrlg:
+      fails = failure::srlgFailures(g, failure::derivedSrlgs(g));
+      break;
+  }
+
+  failure::FailureEvalOptions fopt;
+  fopt.margin = s.fixed_margin;
+  fopt.coyote = s.sweep.coyote;
+  const failure::FailureEvaluator eval(g, dags, base, fopt);
+  const failure::FailureSweepResult res = eval.evaluate(fails);
+
+  if (print) {
+    std::printf("# %s, %s base matrix -- %s failure sweep, margin %.1f\n",
+                s.topology.label().c_str(), s.demand.name(),
+                s.failure.name(), s.fixed_margin);
+    std::printf("# post-failure ratios: worst over the corner pool, "
+                "normalized by the unrestricted optimum on the surviving "
+                "network\n");
+    std::printf("%-24s %-8s %-8s %-12s %-12s\n", "failed", "ECMP", "Base",
+                "COYOTE-obl", "COYOTE-pk");
+  }
+
+  using failure::kSchemeCount;
+  using failure::Scheme;
+  for (const failure::FailureOutcome& o : res.outcomes) {
+    json::Value row = json::Value::object();
+    row["label"] = o.label;
+    row["evaluated"] = o.evaluated;
+    row["disconnected_pairs"] = o.disconnected_pairs;
+    if (print) std::printf("%-24s ", o.label.c_str());
+    if (!o.evaluated) {
+      if (print) {
+        std::printf("(disconnects %d demand pair(s))\n",
+                    o.disconnected_pairs);
+      }
+    } else {
+      json::Value unroutable = json::Value::array();
+      for (int i = 0; i < kSchemeCount; ++i) {
+        const char* key = failure::schemeKey(static_cast<Scheme>(i));
+        const int width = i < 2 ? 8 : 12;
+        if (o.routable[i]) {
+          row[key] = o.ratio[i];
+          if (print) std::printf("%-*.2f ", width, o.ratio[i]);
+        } else {
+          unroutable.push_back(key);
+          if (print) std::printf("%-*s ", width, "n/a");
+        }
+      }
+      row["unroutable"] = std::move(unroutable);
+      if (print) std::printf("\n");
+    }
+    if (print) std::fflush(stdout);
+    out.rows.push_back(std::move(row));
+  }
+
+  json::Value block = json::Value::object();
+  block["model"] = s.failure.name();
+  block["margin"] = s.fixed_margin;
+  block["scenarios"] = static_cast<int>(res.outcomes.size());
+  block["evaluated"] = res.evaluated;
+  block["disconnecting"] = res.disconnecting;
+  block["disconnected_pairs"] = res.disconnected_pairs;
+  block["pool_size"] = eval.poolSize();
+  json::Value schemes = json::Value::object();
+  for (int i = 0; i < kSchemeCount; ++i) {
+    const failure::SchemeFailureStats& st = res.schemes[i];
+    json::Value v = json::Value::object();
+    v["worst"] = st.worst;
+    v["median"] = st.median;
+    v["p95"] = st.p95;
+    v["evaluated"] = st.evaluated;
+    v["unroutable"] = st.unroutable;
+    schemes[failure::schemeKey(static_cast<Scheme>(i))] = std::move(v);
+  }
+  block["schemes"] = std::move(schemes);
+  out.extra["failures"] = std::move(block);
+
+  if (print) {
+    std::printf("# failures: %zu total, %d evaluated, %d disconnecting "
+                "(%d demand pair(s) cut)\n",
+                res.outcomes.size(), res.evaluated, res.disconnecting,
+                res.disconnected_pairs);
+    std::printf("# worst/median/p95:");
+    for (int i = 0; i < kSchemeCount; ++i) {
+      const failure::SchemeFailureStats& st = res.schemes[i];
+      std::printf("  %s %.2f/%.2f/%.2f",
+                  failure::schemeKey(static_cast<Scheme>(i)), st.worst,
+                  st.median, st.p95);
+    }
+    std::printf("\n");
+  }
+  return out;
+}
+
 KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
   switch (s.kind) {
     case ScenarioKind::kSchemes:
@@ -665,6 +778,8 @@ KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
       return runOptimizer(s, opt, print);
     case ScenarioKind::kHardness:
       return runHardness(s, opt, print);
+    case ScenarioKind::kFailure:
+      return runFailure(s, opt, print);
   }
   require(false, "unknown scenario kind");
   return {};  // unreachable
@@ -759,7 +874,7 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   }
 
   json::Value doc = json::Value::object();
-  doc["schema"] = "coyote-bench/2";
+  doc["schema"] = "coyote-bench/3";
   doc["scenario"] = s.id;
   doc["kind"] = kindName(s.kind);
   doc["description"] = s.description;
@@ -776,6 +891,11 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
     case ScenarioKind::kQuantization:
       doc["network"] = s.topology.label();
       doc["demand_model"] = s.demand.name();
+      break;
+    case ScenarioKind::kFailure:
+      doc["network"] = s.topology.label();
+      doc["demand_model"] = s.demand.name();
+      doc["failure_model"] = s.failure.name();
       break;
     case ScenarioKind::kTable:
     case ScenarioKind::kStretch:

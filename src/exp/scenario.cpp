@@ -30,6 +30,20 @@ const char* kindName(ScenarioKind kind) {
       return "optimizer";
     case ScenarioKind::kHardness:
       return "hardness";
+    case ScenarioKind::kFailure:
+      return "failure";
+  }
+  return "unknown";
+}
+
+const char* FailureSpec::name() const {
+  switch (model) {
+    case Model::kSingleLink:
+      return "single-link";
+    case Model::kDoubleLink:
+      return "double-link";
+    case Model::kSrlg:
+      return "srlg";
   }
   return "unknown";
 }
@@ -181,6 +195,13 @@ ScenarioRegistry::ScenarioRegistry(std::vector<Scenario> scenarios) {
 void ScenarioRegistry::add(Scenario s) {
   require(!s.id.empty(), "scenario id must be non-empty");
   require(find(s.id) == nullptr, "duplicate scenario id: " + s.id);
+  // Ids name BENCH_<id>.json files and appear in shell command lines:
+  // enforce the safe charset here, at registration time, so a bad id
+  // fails fast in every tool rather than only in scenario_test.
+  for (const char c : s.id) {
+    require(std::isalnum(static_cast<unsigned char>(c)) || c == '-',
+            "scenario id must be [a-zA-Z0-9-]: " + s.id);
+  }
   scenarios_.push_back(std::move(s));
 }
 
@@ -471,6 +492,59 @@ ScenarioRegistry::ScenarioRegistry() {
   addSynthetic("synth-backbone32-uniform",
                TopologySpec::randomBackbone(32, 3.0, 13),
                DemandSpec::Model::kUniform, /*small=*/false);
+
+  // --- Failure variants (src/failure/): post-failure four-scheme sweeps
+  // --- derived from every smoke/figure scenario with a single topology.
+  const auto failureVariant = [&](const Scenario& parent,
+                                  FailureSpec::Model model,
+                                  const char* suffix, bool smoke) {
+    Scenario s;
+    s.id = parent.id + "-" + suffix;
+    FailureSpec spec;
+    spec.model = model;
+    s.description = parent.topology.label() + ", " + parent.demand.name() +
+                    " base model -- " + spec.name() +
+                    " failure sweep: post-failure four-scheme ratios "
+                    "(margin 2.0)";
+    s.tags = {"failure", suffix};
+    for (const char* inherited : {"zoo", "synthetic", "small"}) {
+      if (parent.hasTag(inherited)) s.tags.emplace_back(inherited);
+    }
+    if (smoke) s.tags.emplace_back("smoke");
+    s.kind = ScenarioKind::kFailure;
+    s.topology = parent.topology;
+    s.demand = parent.demand;
+    s.fixed_margin = 2.0;
+    s.failure = spec;
+    s.sweep = parent.sweep;
+    add(std::move(s));
+  };
+  {
+    // Snapshot first: failureVariant() appends to scenarios_ while we
+    // iterate, and the variants must not themselves get variants.
+    std::vector<Scenario> parents;
+    for (const Scenario& s : scenarios_) {
+      const bool eligible = s.kind == ScenarioKind::kSchemes ||
+                            s.kind == ScenarioKind::kLocalSearch ||
+                            s.kind == ScenarioKind::kQuantization ||
+                            s.kind == ScenarioKind::kPrototype;
+      if (eligible && (s.hasTag("smoke") || s.hasTag("figure"))) {
+        parents.push_back(s);
+      }
+    }
+    for (const Scenario& parent : parents) {
+      // The CI bench-smoke gate runs exactly one failure scenario: the
+      // running example's single-link sweep (tiny and fully determined).
+      failureVariant(parent, FailureSpec::Model::kSingleLink, "fail1",
+                     /*smoke=*/parent.id == "running-example");
+      failureVariant(parent, FailureSpec::Model::kSrlg, "srlg",
+                     /*smoke=*/false);
+      if (parent.id == "running-example" || parent.id == "fig06") {
+        failureVariant(parent, FailureSpec::Model::kDoubleLink, "fail2",
+                       /*smoke=*/false);
+      }
+    }
+  }
 }
 
 }  // namespace coyote::exp

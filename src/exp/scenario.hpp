@@ -32,6 +32,7 @@ enum class ScenarioKind {
   kDagAug,        ///< SP-DAGs vs augmented DAGs ablation
   kOptimizer,     ///< inner-optimizer ablation (GP vs mirror descent)
   kHardness,      ///< Sec. IV constructions, numerically
+  kFailure,       ///< post-failure four-scheme sweep (src/failure/)
 };
 
 [[nodiscard]] const char* kindName(ScenarioKind kind);
@@ -77,6 +78,17 @@ struct DemandSpec {
   [[nodiscard]] const char* name() const;
 };
 
+/// How a kFailure scenario enumerates its failure set (the scenarios
+/// themselves come from failure::singleLinkFailures & friends).
+struct FailureSpec {
+  enum class Model { kSingleLink, kDoubleLink, kSrlg };
+  Model model = Model::kSingleLink;
+  int double_samples = 8;    ///< kDoubleLink: sampled pair count
+  std::uint64_t seed = 17;   ///< kDoubleLink: sampling seed
+
+  [[nodiscard]] const char* name() const;  ///< "single-link", ...
+};
+
 struct Scenario {
   std::string id;           ///< unique, stable key ("fig06", "zoo-geant-uniform")
   std::string description;
@@ -101,7 +113,9 @@ struct Scenario {
   /// kTable / kStretch / kDagAug: networks swept in quick / full mode.
   std::vector<std::string> networks;
   std::vector<std::string> full_networks;
-  double fixed_margin = 2.5;  ///< kStretch / kDagAug
+  double fixed_margin = 2.5;  ///< kStretch / kDagAug / kFailure margin
+
+  FailureSpec failure;  ///< kFailure: which failure family to sweep
 
   core::LocalSearchOptions local_search;  ///< kLocalSearch
   int ls_full_moves = 24;  ///< max_moves_per_round under --full

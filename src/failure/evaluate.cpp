@@ -1,0 +1,189 @@
+#include "failure/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "routing/evaluator.hpp"
+#include "routing/optu.hpp"
+#include "routing/propagation.hpp"
+#include "util/require.hpp"
+
+namespace coyote::failure {
+
+const char* schemeKey(Scheme s) {
+  switch (s) {
+    case Scheme::kEcmp:
+      return "ecmp";
+    case Scheme::kBase:
+      return "base";
+    case Scheme::kOblivious:
+      return "oblivious";
+    case Scheme::kPartial:
+      return "partial";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample (p in (0, 1]).
+double nearestRank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+double medianOf(const std::vector<double>& sorted) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+}  // namespace
+
+FailureEvaluator::FailureEvaluator(const Graph& g,
+                                   std::shared_ptr<const DagSet> dags,
+                                   const tm::TrafficMatrix& base_tm,
+                                   FailureEvalOptions opt)
+    : g_(g),
+      dags_(std::move(dags)),
+      base_(base_tm),
+      opt_(std::move(opt)),
+      pool_(tm::cornerPool(tm::marginBounds(base_tm, opt_.margin),
+                           opt_.pool)),
+      base_routing_(
+          routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
+              .routing),
+      oblivious_(core::coyoteOblivious(g, dags_, opt_.coyote).routing),
+      partial_([&] {
+        // COYOTE with the operator's uncertainty box, optimized on the
+        // intact network (the offline configuration the failure hits),
+        // against the same corner pool the sweep evaluates with.
+        const tm::DemandBounds box = tm::marginBounds(base_tm, opt_.margin);
+        routing::PerformanceEvaluator eval(g, dags_, opt_.coyote.lp);
+        eval.addPool(pool_);
+        return core::optimizeAgainstPool(g, eval, &box, opt_.coyote).routing;
+      }()) {
+  require(dags_ != nullptr, "null dag set");
+  require(opt_.margin >= 1.0, "margin must be >= 1");
+  if (opt_.threads != 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(opt_.threads);
+  }
+}
+
+const routing::RoutingConfig& FailureEvaluator::intactRouting(Scheme s) const {
+  switch (s) {
+    case Scheme::kBase:
+      return base_routing_;
+    case Scheme::kOblivious:
+      return oblivious_;
+    case Scheme::kPartial:
+      return partial_;
+    default:
+      break;
+  }
+  throw std::invalid_argument("no intact config for this scheme");
+}
+
+FailureOutcome FailureEvaluator::evaluateOne(
+    const FailureScenario& f, routing::OptuEngine& engine) const {
+  FailureOutcome out;
+  out.label = f.label;
+
+  const Graph degraded = degradedGraph(g_, f);
+  out.disconnected_pairs = disconnectedPairs(degraded, base_);
+  if (out.disconnected_pairs > 0) return out;  // reported, not evaluated
+  out.evaluated = true;
+
+  // The surviving routings: OSPF reconvergence for ECMP, DAG repair with
+  // split renormalization for the static schemes.
+  const std::vector<char> failed = failedEdgeMask(g_, f);
+  const std::shared_ptr<const DagSet> repaired =
+      repairDags(g_, *dags_, failed);
+  std::array<routing::RoutingConfig, kSchemeCount> cfgs = {
+      reconvergedEcmp(degraded),
+      repairRouting(g_, base_routing_, repaired),
+      repairRouting(g_, oblivious_, repaired),
+      repairRouting(g_, partial_, repaired),
+  };
+  for (int s = 0; s < kSchemeCount; ++s) {
+    out.routable[s] = routesAllDemands(cfgs[s], base_);
+  }
+
+  // The common post-failure ruler: unrestricted OPTU on the surviving
+  // network, one warm re-solve per pool matrix (the failure entered the
+  // engine as a bounds mutation; see OptuEngine::setFailedEdges).
+  engine.setFailedEdges(directedEdges(g_, f));
+  std::vector<double> optu(pool_.size(), 0.0);
+  for (std::size_t j = 0; j < pool_.size(); ++j) {
+    optu[j] = engine.utilization(pool_[j]);
+  }
+
+  for (std::size_t j = 0; j < pool_.size(); ++j) {
+    if (optu[j] <= 0.0) continue;  // zero matrix
+    for (int s = 0; s < kSchemeCount; ++s) {
+      if (!out.routable[s]) continue;
+      const double mxlu =
+          routing::maxLinkUtilization(degraded, cfgs[s], pool_[j]);
+      out.ratio[s] = std::max(out.ratio[s], mxlu / optu[j]);
+    }
+  }
+  return out;
+}
+
+FailureSweepResult FailureEvaluator::evaluate(
+    const std::vector<FailureScenario>& failures) const {
+  FailureSweepResult result;
+  result.outcomes.resize(failures.size());
+
+  // Fixed-size chunks of the failure list: each chunk owns one OptuEngine
+  // whose sessions stay warm across the chunk's failures x pool matrices.
+  // Chunking is independent of the thread count, so results (and pivot
+  // counts) are bit-identical for any COYOTE_THREADS.
+  const std::size_t chunks =
+      (failures.size() + kFailureChunk - 1) / kFailureChunk;
+  util::ThreadPool& tp = own_pool_ ? *own_pool_ : util::ThreadPool::global();
+  tp.parallelFor(chunks, [&](std::size_t c) {
+    routing::OptuEngine engine(g_, opt_.coyote.lp);  // unrestricted OPTU
+    const std::size_t begin = c * kFailureChunk;
+    const std::size_t end =
+        std::min(failures.size(), begin + kFailureChunk);
+    for (std::size_t i = begin; i < end; ++i) {
+      result.outcomes[i] = evaluateOne(failures[i], engine);
+    }
+  });
+
+  // Serial reduction in scenario order.
+  std::array<std::vector<double>, kSchemeCount> ratios;
+  for (const FailureOutcome& out : result.outcomes) {
+    if (!out.evaluated) {
+      ++result.disconnecting;
+      result.disconnected_pairs += out.disconnected_pairs;
+      continue;
+    }
+    ++result.evaluated;
+    for (int s = 0; s < kSchemeCount; ++s) {
+      if (out.routable[s]) {
+        ratios[s].push_back(out.ratio[s]);
+      } else {
+        ++result.schemes[s].unroutable;
+      }
+    }
+  }
+  for (int s = 0; s < kSchemeCount; ++s) {
+    std::vector<double>& r = ratios[s];
+    std::sort(r.begin(), r.end());
+    SchemeFailureStats& stats = result.schemes[s];
+    stats.evaluated = static_cast<int>(r.size());
+    if (!r.empty()) {
+      stats.worst = r.back();
+      stats.median = medianOf(r);
+      stats.p95 = nearestRank(r, 0.95);
+    }
+  }
+  return result;
+}
+
+}  // namespace coyote::failure

@@ -1,0 +1,132 @@
+// Four-scheme evaluation over a set of failure scenarios.
+//
+// For each failure the surviving network is derived (degrade.hpp) and the
+// schemes react the way they would in deployment: ECMP reconverges via
+// OSPF, the three static DAG schemes (Base, COYOTE-oblivious,
+// COYOTE-partial-knowledge) repair their precomputed DAGs locally. Each
+// scheme's post-failure performance ratio is
+//
+//     max over the corner pool D of  MxLU(repaired cfg, D) / OPTU_f(D)
+//
+// where OPTU_f is the *unrestricted* demands-aware optimum on the
+// surviving network -- the common ruler all four schemes (whose DAG sets
+// now differ) are measured against. Note this is a stricter normalization
+// than the intact sweeps' within-DAG optimum, so post-failure ratios are
+// not directly comparable to the intact rows of the same scenario.
+//
+// OPTU_f re-solves ride routing::OptuEngine::setFailedEdges: a failure is
+// a bounds mutation on a retained simplex session, not an LP rebuild, so
+// sweeping hundreds of failure variants reuses warm bases (the pivot-count
+// payoff is surfaced in the BENCH lp_* telemetry; COYOTE_LP_COLD=1
+// disables it for A/B measurement). Failures are fanned out over
+// util::ThreadPool in fixed-size chunks -- each chunk one engine with its
+// own warm chain -- so results are bit-identical for any COYOTE_THREADS.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coyote.hpp"
+#include "failure/degrade.hpp"
+#include "failure/scenario.hpp"
+#include "routing/config.hpp"
+#include "tm/uncertainty.hpp"
+#include "util/thread_pool.hpp"
+
+namespace coyote::failure {
+
+/// The four schemes of the paper's comparison, in row order.
+inline constexpr int kSchemeCount = 4;
+enum class Scheme { kEcmp = 0, kBase = 1, kOblivious = 2, kPartial = 3 };
+[[nodiscard]] const char* schemeKey(Scheme s);  ///< "ecmp", "base", ...
+
+struct FailureEvalOptions {
+  /// Uncertainty margin of the evaluation box around the base matrix.
+  double margin = 2.0;
+  /// Corner-pool shape for the post-failure adversary (smaller than the
+  /// intact sweeps' default: every matrix costs one OPTU LP per failure).
+  tm::PoolOptions pool;
+  /// Optimizer options for the intact COYOTE schemes.
+  core::CoyoteOptions coyote;
+  /// 0 = the process-wide util::ThreadPool; otherwise a private pool of
+  /// exactly that many threads. Results are identical either way.
+  unsigned threads = 0;
+
+  FailureEvalOptions() {
+    pool.source_hotspots = false;
+    pool.max_hotspots = 8;
+    pool.random_corners = 4;
+    pool.pair_hotspots = 4;
+    pool.seed = 1;
+    coyote.splitting.iterations = 300;
+  }
+};
+
+/// One failure scenario's verdict.
+struct FailureOutcome {
+  std::string label;
+  /// (s,t) pairs with base demand the surviving *graph* cannot connect.
+  /// Positive means no scheme can serve the demand: the scenario is
+  /// reported but not ratio-evaluated.
+  int disconnected_pairs = 0;
+  bool evaluated = false;
+  /// Post-failure performance ratio per scheme; valid when routable.
+  std::array<double, kSchemeCount> ratio{};
+  /// False when the scheme's repaired DAGs strand a demanded node even
+  /// though the graph stays connected (static schemes only; reconverged
+  /// ECMP is always routable on a connected graph).
+  std::array<bool, kSchemeCount> routable{};
+};
+
+/// Distribution summary of one scheme's ratios over evaluated failures.
+struct SchemeFailureStats {
+  double worst = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;       ///< nearest-rank 95th percentile
+  int evaluated = 0;      ///< failures contributing to the stats
+  int unroutable = 0;     ///< failures this scheme could not serve
+};
+
+struct FailureSweepResult {
+  std::vector<FailureOutcome> outcomes;  ///< one per input scenario, in order
+  int evaluated = 0;
+  int disconnecting = 0;
+  int disconnected_pairs = 0;  ///< summed over disconnecting scenarios
+  std::array<SchemeFailureStats, kSchemeCount> schemes;
+};
+
+/// Computes the intact schemes once, then sweeps failure sets against
+/// them. One evaluator may run several sweeps (e.g. -fail1 and -srlg).
+class FailureEvaluator {
+ public:
+  FailureEvaluator(const Graph& g, std::shared_ptr<const DagSet> dags,
+                   const tm::TrafficMatrix& base_tm, FailureEvalOptions opt);
+
+  [[nodiscard]] FailureSweepResult evaluate(
+      const std::vector<FailureScenario>& failures) const;
+
+  /// Failures per warm-chain chunk in evaluate(). Fixed (not derived from
+  /// the thread count) so results never depend on parallelism.
+  static constexpr int kFailureChunk = 4;
+
+  [[nodiscard]] int poolSize() const { return static_cast<int>(pool_.size()); }
+  [[nodiscard]] const routing::RoutingConfig& intactRouting(Scheme s) const;
+
+ private:
+  [[nodiscard]] FailureOutcome evaluateOne(const FailureScenario& f,
+                                           routing::OptuEngine& engine) const;
+
+  const Graph& g_;
+  std::shared_ptr<const DagSet> dags_;
+  tm::TrafficMatrix base_;
+  FailureEvalOptions opt_;
+  std::vector<tm::TrafficMatrix> pool_;  ///< raw box corners (unnormalized)
+  routing::RoutingConfig base_routing_;
+  routing::RoutingConfig oblivious_;
+  routing::RoutingConfig partial_;
+  std::unique_ptr<util::ThreadPool> own_pool_;
+};
+
+}  // namespace coyote::failure

@@ -1,0 +1,115 @@
+#include "failure/scenario.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace coyote::failure {
+
+std::vector<EdgeId> physicalLinks(const Graph& g) {
+  std::vector<EdgeId> links;
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (ed.reverse != kInvalidEdge && ed.reverse < e) continue;  // visit once
+    links.push_back(e);
+  }
+  return links;
+}
+
+std::vector<EdgeId> directedEdges(const Graph& g, const FailureScenario& f) {
+  std::vector<EdgeId> edges;
+  edges.reserve(2 * f.links.size());
+  for (const EdgeId link : f.links) {
+    require(link >= 0 && link < g.numEdges(), "failure link out of range");
+    edges.push_back(link);
+    const EdgeId rev = g.edge(link).reverse;
+    if (rev != kInvalidEdge) edges.push_back(rev);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::string linkLabel(const Graph& g, EdgeId link) {
+  const Edge& ed = g.edge(link);
+  return g.nodeName(ed.src) + "-" + g.nodeName(ed.dst);
+}
+
+std::vector<FailureScenario> singleLinkFailures(const Graph& g) {
+  std::vector<FailureScenario> out;
+  for (const EdgeId link : physicalLinks(g)) {
+    out.push_back({linkLabel(g, link), {link}});
+  }
+  return out;
+}
+
+std::vector<FailureScenario> sampledDoubleLinkFailures(const Graph& g,
+                                                       int count,
+                                                       std::uint64_t seed) {
+  require(count >= 0, "negative sample count");
+  const std::vector<EdgeId> links = physicalLinks(g);
+  const std::size_t n = links.size();
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  if (static_cast<std::size_t>(count) < pairs.size()) {
+    // Deterministic partial Fisher-Yates: the first `count` entries are a
+    // uniform sample without replacement; re-sorted so the scenario order
+    // is stable and readable regardless of the draw order.
+    std::mt19937_64 rng(seed);
+    for (std::size_t k = 0; k < static_cast<std::size_t>(count); ++k) {
+      std::uniform_int_distribution<std::size_t> pick(k, pairs.size() - 1);
+      std::swap(pairs[k], pairs[pick(rng)]);
+    }
+    pairs.resize(static_cast<std::size_t>(count));
+    std::sort(pairs.begin(), pairs.end());
+  }
+  std::vector<FailureScenario> out;
+  out.reserve(pairs.size());
+  for (const auto& [i, j] : pairs) {
+    FailureScenario f;
+    f.label = linkLabel(g, links[i]) + "+" + linkLabel(g, links[j]);
+    f.links = {links[i], links[j]};
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<FailureScenario> srlgFailures(const Graph& g,
+                                          const std::vector<Srlg>& groups) {
+  std::vector<FailureScenario> out;
+  for (const Srlg& srlg : groups) {
+    if (srlg.links.empty()) continue;
+    FailureScenario f;
+    f.label = "srlg:" + srlg.name;
+    f.links = srlg.links;
+    for (const EdgeId link : f.links) {
+      require(link >= 0 && link < g.numEdges(), "SRLG link out of range");
+    }
+    std::sort(f.links.begin(), f.links.end());
+    f.links.erase(std::unique(f.links.begin(), f.links.end()),
+                  f.links.end());
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Srlg> derivedSrlgs(const Graph& g) {
+  // Physical degree and the incident canonical links per node.
+  std::vector<std::vector<EdgeId>> incident(g.numNodes());
+  for (const EdgeId link : physicalLinks(g)) {
+    const Edge& ed = g.edge(link);
+    incident[ed.src].push_back(link);
+    incident[ed.dst].push_back(link);
+  }
+  std::vector<Srlg> out;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    auto& links = incident[v];
+    if (links.size() < 3) continue;  // degree-2 pairs always isolate v
+    std::sort(links.begin(), links.end());
+    out.push_back({g.nodeName(v), {links[0], links[1]}});
+  }
+  return out;
+}
+
+}  // namespace coyote::failure

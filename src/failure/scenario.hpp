@@ -1,0 +1,74 @@
+// Failure-scenario enumeration (the link-failure workload class).
+//
+// The paper evaluates COYOTE on intact topologies only, but a
+// (semi-)oblivious TE scheme's selling point is robustness to conditions
+// the operator did not plan for -- Kulfi-style evaluations make link
+// failures a first-class axis. A FailureScenario names a set of physical
+// links that fail together; this header enumerates the standard families:
+//
+//  * every single-link failure,
+//  * deterministically sampled double-link failures, and
+//  * SRLG (shared-risk link group) failures: links that share a conduit
+//    or line card and therefore fail together. Real SRLG databases are
+//    operator data; derivedSrlgs() synthesizes the classic stand-in (the
+//    two first links leaving every >=3-degree POP share a conduit).
+//
+// The derived per-failure network (capacity zeroing, DAG repair, OSPF
+// reconvergence) lives in degrade.hpp; the four-scheme evaluation over a
+// failure set lives in evaluate.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace coyote::failure {
+
+/// One failure scenario: the physical links that go down together. Links
+/// are named by their canonical directed edge id (the lower id of the two
+/// directions); the reverse directions fail implicitly.
+struct FailureScenario {
+  std::string label;           ///< "A-B" or "srlg:POP" -- stable, printable
+  std::vector<EdgeId> links;   ///< canonical edge ids, strictly ascending
+};
+
+/// A named shared-risk link group.
+struct Srlg {
+  std::string name;
+  std::vector<EdgeId> links;  ///< canonical edge ids
+};
+
+/// Canonical edge ids of every physical link: unidirectional edges and the
+/// lower-id direction of every bidirectional pair, ascending.
+[[nodiscard]] std::vector<EdgeId> physicalLinks(const Graph& g);
+
+/// Both directions of a failure's links (the edge set to actually zero).
+[[nodiscard]] std::vector<EdgeId> directedEdges(const Graph& g,
+                                                const FailureScenario& f);
+
+/// "A-B" from the canonical edge's endpoint names.
+[[nodiscard]] std::string linkLabel(const Graph& g, EdgeId link);
+
+/// Every single-link failure, in canonical link order.
+[[nodiscard]] std::vector<FailureScenario> singleLinkFailures(const Graph& g);
+
+/// `count` double-link failures sampled without replacement from all
+/// unordered link pairs. Deterministic in (g, count, seed); when the graph
+/// has at most `count` pairs, all of them are returned in order.
+[[nodiscard]] std::vector<FailureScenario> sampledDoubleLinkFailures(
+    const Graph& g, int count, std::uint64_t seed);
+
+/// One failure scenario per SRLG (groups with no links are skipped).
+[[nodiscard]] std::vector<FailureScenario> srlgFailures(
+    const Graph& g, const std::vector<Srlg>& groups);
+
+/// Synthetic SRLG database when no operator data exists: for every node of
+/// degree >= 3, its two lowest-id incident physical links are assumed to
+/// leave the POP through one conduit ("srlg:<node>"). Degree-2 nodes are
+/// excluded -- their pair failing always isolates the node, which would
+/// make every SRLG scenario trivially disconnecting.
+[[nodiscard]] std::vector<Srlg> derivedSrlgs(const Graph& g);
+
+}  // namespace coyote::failure

@@ -24,6 +24,7 @@ ShortestPathsToDest reverseDijkstra(const Graph& g, NodeId dest,
     if (d > sp.dist[v]) continue;  // stale entry
     for (const EdgeId e : g.inEdges(v)) {
       const Edge& ed = g.edge(e);
+      if (ed.capacity <= 0.0) continue;  // failed link: withdrawn from SPF
       const double w = unit_weights ? 1.0 : ed.weight;
       const double nd = d + w;
       if (nd < sp.dist[ed.src]) {
@@ -51,6 +52,7 @@ std::vector<EdgeId> shortestPathDagEdges(const Graph& g,
   std::vector<EdgeId> dag;
   for (EdgeId e = 0; e < g.numEdges(); ++e) {
     const Edge& ed = g.edge(e);
+    if (ed.capacity <= 0.0) continue;  // failed link
     if (sp.dist[ed.src] == kInf || sp.dist[ed.dst] == kInf) continue;
     if (std::abs(sp.dist[ed.src] - (ed.weight + sp.dist[ed.dst])) <= eps) {
       dag.push_back(e);
@@ -65,6 +67,7 @@ std::vector<EdgeId> ecmpNextHops(const Graph& g, const ShortestPathsToDest& sp,
   if (u == sp.dest || sp.dist[u] == kInf) return hops;
   for (const EdgeId e : g.outEdges(u)) {
     const Edge& ed = g.edge(e);
+    if (ed.capacity <= 0.0) continue;  // failed link
     if (sp.dist[ed.dst] == kInf) continue;
     if (std::abs(sp.dist[u] - (ed.weight + sp.dist[ed.dst])) <= eps) {
       hops.push_back(e);

@@ -1,5 +1,11 @@
 // Shortest-path machinery: distances toward a destination, shortest-path
 // DAGs (the substrate of OSPF routing) and ECMP next-hop sets.
+//
+// Failed links are modeled as zero-capacity edges (see src/failure/): a
+// down link is withdrawn from the link-state database, so every routine
+// here skips edges with non-positive capacity. Intact topologies always
+// carry positive capacities, making this a no-op outside failure
+// scenarios.
 #pragma once
 
 #include <vector>

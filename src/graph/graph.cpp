@@ -60,7 +60,10 @@ void Graph::setWeight(EdgeId e, double w) {
 }
 
 void Graph::setCapacity(EdgeId e, double c) {
-  require(c > 0.0, "edge capacity must be positive");
+  // Zero is legal and means "failed link" (withdrawn from SPF/connectivity
+  // and unable to carry traffic; see src/failure/). Construction still
+  // rejects non-positive capacities: a link is born up.
+  require(c >= 0.0, "edge capacity must be non-negative");
   edges_[checkEdge(e)].capacity = c;
 }
 
@@ -95,6 +98,7 @@ bool Graph::stronglyConnected() const {
       stack.pop_back();
       const auto& adj = forward ? out_[u] : in_[u];
       for (const EdgeId e : adj) {
+        if (edges_[e].capacity <= 0.0) continue;  // failed link
         const NodeId w = forward ? edges_[e].dst : edges_[e].src;
         if (!seen[w]) {
           seen[w] = 1;

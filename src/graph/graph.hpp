@@ -81,6 +81,8 @@ class Graph {
   [[nodiscard]] std::optional<EdgeId> findEdge(NodeId src, NodeId dst) const;
 
   /// Mutators for capacities/weights (used by weight-search heuristics).
+  /// setCapacity accepts 0, the repo-wide "failed link" encoding: SPF,
+  /// ECMP and stronglyConnected() skip zero-capacity edges (src/failure/).
   void setWeight(EdgeId e, double w);
   void setCapacity(EdgeId e, double c);
 
@@ -95,7 +97,9 @@ class Graph {
   /// All edges as a span-like accessor.
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
 
-  /// True if every node can reach every other node along directed edges.
+  /// True if every node can reach every other node along directed edges
+  /// with positive capacity (zero-capacity edges model failed links and
+  /// are ignored; see src/failure/).
   [[nodiscard]] bool stronglyConnected() const;
 
  private:

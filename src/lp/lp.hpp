@@ -71,6 +71,21 @@ class LpProblem {
 
   void setObjective(int var, double coef);
 
+  /// Mutates a variable's bounds in place (lb finite, ub >= lb; ub may be
+  /// kInfinity). Used by engines that keep a problem skeleton and derive
+  /// variants from it -- e.g. pinning a failed edge's flow variables to
+  /// zero -- so sessions cloned later inherit the mutation.
+  void setVarBounds(int var, double lb, double ub);
+
+  /// Mutates a constraint's right-hand side in place (e.g. zeroing a failed
+  /// edge's capacity row in a retained worst-case template).
+  void setConstraintRhs(int row, double rhs);
+
+  [[nodiscard]] double rowRhs(int row) const {
+    require(row >= 0 && row < numRows(), "rowRhs: bad row");
+    return rhs_[row];
+  }
+
   [[nodiscard]] Sense sense() const { return sense_; }
   [[nodiscard]] int numVars() const { return static_cast<int>(obj_.size()); }
   [[nodiscard]] int numRows() const { return static_cast<int>(rhs_.size()); }

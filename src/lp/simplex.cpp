@@ -47,6 +47,20 @@ void LpProblem::setObjective(int var, double coef) {
   obj_[var] = coef;
 }
 
+void LpProblem::setVarBounds(int var, double lb, double ub) {
+  require(var >= 0 && var < numVars(), "setVarBounds: bad var");
+  require(std::isfinite(lb), "variable lower bound must be finite");
+  require(ub >= lb, "variable upper bound below lower bound");
+  lb_[var] = lb;
+  ub_[var] = ub;
+}
+
+void LpProblem::setConstraintRhs(int row, double rhs) {
+  require(row >= 0 && row < numRows(), "setConstraintRhs: bad row");
+  require(std::isfinite(rhs), "setConstraintRhs: non-finite rhs");
+  rhs_[row] = rhs;
+}
+
 namespace {
 
 /// Merges duplicate variables of a row into sorted (var, coef) nonzeros.

@@ -107,6 +107,7 @@ OptuEngine::Template& OptuEngine::templateFor(const std::vector<char>& active) {
     t.problem.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
   }
   t.serial = std::make_unique<lp::SimplexSolver>(t.problem, opt_);
+  applyFailures(t);  // templates built mid-failure inherit the failed set
   return *cache_.emplace(std::move(key), std::move(tpl)).first->second;
 }
 
@@ -137,6 +138,54 @@ double OptuEngine::solveAlpha(lp::SimplexSolver& solver, const Template& t) {
                              lp::toString(res.status));
   }
   return res.x[t.alpha];
+}
+
+void OptuEngine::applyFailures(Template& t) const {
+  if (failed_.empty()) return;
+  for (NodeId dest = 0; dest < g_.numNodes(); ++dest) {
+    if (!t.active[dest] || t.var[dest].empty()) continue;
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+      const int var = t.var[dest][e];
+      if (var < 0) continue;
+      const double ub = failed_[e] ? 0.0 : lp::kInfinity;
+      t.problem.setVarBounds(var, 0.0, ub);
+      t.serial->setBounds(var, 0.0, ub);
+    }
+  }
+}
+
+void OptuEngine::setFailedEdges(const std::vector<EdgeId>& edges) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<char> mask;
+  if (!edges.empty()) {
+    mask.assign(g_.numEdges(), 0);
+    for (const EdgeId e : edges) {
+      require(e >= 0 && e < g_.numEdges(), "failed edge out of range");
+      mask[e] = 1;
+    }
+  }
+  if (mask == failed_) return;
+  // Mutate every cached template (skeleton + retained session): clones made
+  // by utilizationBatch and future solves all see the new network, and the
+  // retained bases stay valid warm starts (phase 1 repairs feasibility).
+  const std::vector<char> previous = std::move(failed_);
+  failed_ = std::move(mask);
+  for (auto& [key, tpl] : cache_) {
+    Template& t = *tpl;
+    for (NodeId dest = 0; dest < g_.numNodes(); ++dest) {
+      if (!t.active[dest] || t.var[dest].empty()) continue;
+      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+        const int var = t.var[dest][e];
+        if (var < 0) continue;
+        const bool was = !previous.empty() && previous[e];
+        const bool now = !failed_.empty() && failed_[e];
+        if (was == now) continue;
+        const double ub = now ? 0.0 : lp::kInfinity;
+        t.problem.setVarBounds(var, 0.0, ub);
+        t.serial->setBounds(var, 0.0, ub);
+      }
+    }
+  }
 }
 
 double OptuEngine::utilization(const tm::TrafficMatrix& d) {

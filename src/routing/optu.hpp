@@ -71,6 +71,16 @@ class OptuEngine {
   [[nodiscard]] std::pair<double, std::vector<std::vector<double>>>
   utilizationWithFlows(const tm::TrafficMatrix& d);
 
+  /// Switches the engine to a post-failure network: flow variables on the
+  /// given (directed) edges are pinned to zero by bounds mutations in every
+  /// cached and future template -- the retained sessions keep their bases,
+  /// so the per-failure re-solves warm-start instead of rebuilding the
+  /// constraint matrix. Passing {} restores the intact network. Callers
+  /// must ensure the surviving network still routes their demands (an
+  /// unroutable demand makes utilization() throw std::runtime_error, the
+  /// "LP not optimal: infeasible" case); see failure::disconnectedPairs.
+  void setFailedEdges(const std::vector<EdgeId>& edges);
+
   [[nodiscard]] const Graph& graph() const { return g_; }
 
   /// Matrices per warm-start chain in utilizationBatch. Fixed (not derived
@@ -89,6 +99,8 @@ class OptuEngine {
       const tm::TrafficMatrix& d) const;
   /// Returns the cached template for the signature, building it on demand.
   Template& templateFor(const std::vector<char>& active);
+  /// Applies the current failed-edge set to a template (skeleton + session).
+  void applyFailures(Template& t) const;
   /// Points the session's conservation rhs at d (validates routability).
   void applyDemand(lp::SimplexSolver& solver, const Template& t,
                    const tm::TrafficMatrix& d) const;
@@ -100,6 +112,8 @@ class OptuEngine {
   lp::SimplexOptions opt_;
   std::mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<Template>> cache_;
+  /// Per-edge failed mask (empty = intact network); see setFailedEdges.
+  std::vector<char> failed_;
 };
 
 /// OPTU restricted to the DAG set. Throws std::runtime_error if some demand

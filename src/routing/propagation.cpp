@@ -1,5 +1,7 @@
 #include "routing/propagation.hpp"
 
+#include <limits>
+
 namespace coyote::routing {
 
 void accumulateDestinationLoads(const Graph& g, const RoutingConfig& cfg,
@@ -36,7 +38,14 @@ double maxLinkUtilization(const Graph& g, const LinkLoads& loads) {
   require(static_cast<int>(loads.size()) == g.numEdges(), "bad loads size");
   double mx = 0.0;
   for (EdgeId e = 0; e < g.numEdges(); ++e) {
-    mx = std::max(mx, loads[e] / g.edge(e).capacity);
+    const double cap = g.edge(e).capacity;
+    if (cap <= 0.0) {
+      // Failed link (src/failure/): idle is fine, any load is a routing
+      // that forwards into a dead link -- infinite utilization, not 0/0.
+      if (loads[e] > 0.0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    mx = std::max(mx, loads[e] / cap);
   }
   return mx;
 }

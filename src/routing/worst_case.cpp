@@ -122,6 +122,25 @@ class WorstCaseOracle::Impl {
     return resolveEdge(LoadCoefficients(g_, cfg), edge);
   }
 
+  void setFailedEdges(const std::vector<EdgeId>& edges) {
+    std::vector<char> mask(g_.numEdges(), 0);
+    for (const EdgeId e : edges) {
+      require(e >= 0 && e < g_.numEdges(), "failed edge out of range");
+      mask[e] = 1;
+    }
+    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
+      if (cap_row_[e] < 0) continue;
+      const double rhs = mask[e] ? 0.0 : g_.edge(e).capacity;
+      if (problem_.rowRhs(cap_row_[e]) == rhs) continue;
+      // Template plus every retained session: fresh sessions clone the
+      // template, retained ones keep their bases as warm starts.
+      problem_.setConstraintRhs(cap_row_[e], rhs);
+      for (const auto& session : sessions_) {
+        session->solver.setRhs(cap_row_[e], rhs);
+      }
+    }
+  }
+
  private:
   /// Cold solve of one edge's LP with the demand matrix extracted
   /// (`coef` is reused from the caller's scan -- it costs O(|V|^2) flow
@@ -234,7 +253,8 @@ class WorstCaseOracle::Impl {
       }
     }
 
-    // Capacity of every edge.
+    // Capacity of every edge (row index kept for setFailedEdges).
+    cap_row_.assign(g_.numEdges(), -1);
     for (EdgeId e = 0; e < g_.numEdges(); ++e) {
       std::vector<lp::Term> terms;
       for (NodeId t = 0; t < g_.numNodes(); ++t) {
@@ -243,6 +263,7 @@ class WorstCaseOracle::Impl {
         }
       }
       if (terms.empty()) continue;
+      cap_row_[e] = p.numRows();
       p.addConstraint(std::move(terms), lp::Rel::kLe, g_.edge(e).capacity);
     }
 
@@ -299,6 +320,7 @@ class WorstCaseOracle::Impl {
   std::vector<std::vector<int>> dvar_;  ///< [s][t]
   std::vector<std::vector<int>> gvar_;  ///< [t][e]
   std::vector<std::vector<int>> slot_;  ///< [t][e] -> index in dag edges
+  std::vector<int> cap_row_;            ///< [e] capacity row or -1
   std::vector<std::unique_ptr<Session>> sessions_;  ///< one per edge chunk
 };
 
@@ -316,6 +338,10 @@ WorstCaseResult WorstCaseOracle::find(const RoutingConfig& cfg) {
 WorstCaseResult WorstCaseOracle::findForEdge(const RoutingConfig& cfg,
                                              EdgeId edge) {
   return impl_->findForEdge(cfg, edge);
+}
+
+void WorstCaseOracle::setFailedEdges(const std::vector<EdgeId>& edges) {
+  impl_->setFailedEdges(edges);
 }
 
 WorstCaseResult findWorstCaseDemandForEdge(const Graph& g,

@@ -70,6 +70,16 @@ class WorstCaseOracle {
   [[nodiscard]] WorstCaseResult findForEdge(const RoutingConfig& cfg,
                                             EdgeId edge);
 
+  /// Switches the oracle to a post-failure network: the capacity rows of
+  /// the given (directed) edges get rhs 0, so no witness flow may cross
+  /// them -- the adversary is confined to the surviving network. A
+  /// rhs mutation on the retained template and sessions, not a rebuild:
+  /// subsequent find() calls warm-start from the pre-failure bases.
+  /// Passing {} restores the intact capacities. Routings evaluated under
+  /// failures must place no traffic on the failed edges (ratio 0 there;
+  /// see failure::repairRouting) -- their DAG set stays the oracle's.
+  void setFailedEdges(const std::vector<EdgeId>& edges);
+
   /// Edges per warm-start chain in find(). Fixed (not derived from the
   /// thread count) so results never depend on parallelism.
   static constexpr int kEdgeChunk = 8;

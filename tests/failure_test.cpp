@@ -1,0 +1,537 @@
+// The link-failure robustness subsystem (src/failure/): scenario
+// enumeration, post-failure network derivation (capacity zeroing, DAG
+// repair, OSPF reconvergence), the four-scheme failure evaluator, its
+// warm-started OPTU re-solves, thread-count bit-identity, and the
+// experiment-runner integration (coyote-bench/3 'failures' block).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "core/coyote.hpp"
+#include "core/dag_builder.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "failure/degrade.hpp"
+#include "failure/evaluate.hpp"
+#include "failure/scenario.hpp"
+#include "graph/dijkstra.hpp"
+#include "lp/stats.hpp"
+#include "routing/optu.hpp"
+#include "routing/propagation.hpp"
+#include "routing/worst_case.hpp"
+#include "topo/generator.hpp"
+#include "topo/zoo.hpp"
+
+namespace coyote::failure {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Enumeration.
+// ---------------------------------------------------------------------------
+
+TEST(FailureScenarios, SingleLinkEnumerationOnRunningExample) {
+  const Graph g = topo::runningExample();
+  const auto links = physicalLinks(g);
+  EXPECT_EQ(links.size(), 5u);  // Fig. 1a has five bidirectional links
+  const auto fails = singleLinkFailures(g);
+  ASSERT_EQ(fails.size(), 5u);
+  EXPECT_EQ(fails[0].label, "s1-s2");
+  for (const FailureScenario& f : fails) {
+    ASSERT_EQ(f.links.size(), 1u);
+    // Both directions are failed.
+    EXPECT_EQ(directedEdges(g, f).size(), 2u);
+  }
+}
+
+TEST(FailureScenarios, DoubleLinkSamplingIsDeterministicAndUnique) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto a = sampledDoubleLinkFailures(g, 10, 17);
+  const auto b = sampledDoubleLinkFailures(g, 10, 17);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].links, b[i].links);
+    EXPECT_EQ(a[i].links.size(), 2u);
+    EXPECT_LT(a[i].links[0], a[i].links[1]);
+  }
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_NE(a[i - 1].links, a[i].links);  // sorted + without replacement
+  }
+  // A different seed draws a different sample (overwhelmingly likely).
+  const auto c = sampledDoubleLinkFailures(g, 10, 18);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].links != c[i].links;
+  }
+  EXPECT_TRUE(any_diff);
+  // Requesting more pairs than exist returns all of them.
+  const Graph tri = topo::prototypeTriangle();
+  EXPECT_EQ(sampledDoubleLinkFailures(tri, 100, 1).size(), 3u);
+}
+
+TEST(FailureScenarios, DerivedSrlgsSkipDegreeTwoNodes) {
+  const Graph g = topo::runningExample();
+  const auto srlgs = derivedSrlgs(g);
+  // s1 and t have degree 2; s2 and v have degree 3.
+  ASSERT_EQ(srlgs.size(), 2u);
+  EXPECT_EQ(srlgs[0].name, "s2");
+  EXPECT_EQ(srlgs[1].name, "v");
+  for (const Srlg& s : srlgs) EXPECT_EQ(s.links.size(), 2u);
+  const auto fails = srlgFailures(g, srlgs);
+  ASSERT_EQ(fails.size(), 2u);
+  EXPECT_EQ(fails[0].label, "srlg:s2");
+  // A triangle has no node of degree >= 3: no derived SRLGs.
+  EXPECT_TRUE(derivedSrlgs(topo::prototypeTriangle()).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Degraded network derivation.
+// ---------------------------------------------------------------------------
+
+TEST(Degrade, CapacityZeroingAndSpfWithdrawal) {
+  const Graph g = topo::runningExample();
+  const NodeId s2 = *g.findNode("s2");
+  const NodeId v = *g.findNode("v");
+  const NodeId t = *g.findNode("t");
+  const EdgeId s2t = *g.findEdge(s2, t);
+  const FailureScenario f{"s2-t", {std::min(s2t, g.edge(s2t).reverse)}};
+
+  const Graph degraded = degradedGraph(g, f);
+  EXPECT_EQ(degraded.edge(s2t).capacity, 0.0);
+  EXPECT_EQ(degraded.edge(degraded.edge(s2t).reverse).capacity, 0.0);
+  EXPECT_EQ(degraded.numEdges(), g.numEdges());  // ids preserved
+
+  // SPF treats the zero-capacity link as withdrawn: s2's distance to t
+  // goes from 1 (direct) to 2 (via v), and the direct edge leaves the
+  // next-hop set.
+  EXPECT_DOUBLE_EQ(shortestPathsTo(g, t).dist[s2], 1.0);
+  const ShortestPathsToDest sp = shortestPathsTo(degraded, t);
+  EXPECT_DOUBLE_EQ(sp.dist[s2], 2.0);
+  for (const EdgeId e : ecmpNextHops(degraded, sp, s2)) {
+    EXPECT_NE(e, s2t);
+  }
+  // Still strongly connected; failing v-t too disconnects t.
+  EXPECT_TRUE(degraded.stronglyConnected());
+  const EdgeId vt = *g.findEdge(v, t);
+  FailureScenario both = f;
+  both.links.push_back(std::min(vt, g.edge(vt).reverse));
+  EXPECT_FALSE(degradedGraph(g, both).stronglyConnected());
+}
+
+TEST(Degrade, RepairedDagsAreAcyclicPrunedAndNormalized) {
+  const Graph g = topo::makeZoo("Abilene");
+  const auto dags = core::augmentedDagsShared(g);
+  const auto uniform = routing::RoutingConfig::uniform(g, dags);
+  for (const FailureScenario& f : singleLinkFailures(g)) {
+    const auto failed = failedEdgeMask(g, f);
+    // Dag's constructor rejects cycles, so construction is the acyclicity
+    // check; on top, no failed edge may survive and every surviving edge
+    // must lead to a node that still reaches the destination.
+    const auto repaired = repairDags(g, *dags, failed);
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      const Dag& dag = (*repaired)[t];
+      for (const EdgeId e : dag.edges()) {
+        EXPECT_FALSE(failed[e]) << f.label;
+        EXPECT_TRUE(dag.reachesDest(g.edge(e).dst)) << f.label;
+      }
+    }
+    // Split renormalization: the repaired config is structurally valid
+    // (ratios sum to 1 wherever the repaired DAG still reaches dest) and
+    // places zero traffic on failed edges.
+    const auto cfg = repairRouting(g, uniform, repaired);
+    EXPECT_NO_THROW(cfg.validate(g)) << f.label;
+    const Graph degraded = degradedGraph(g, f);
+    if (degraded.stronglyConnected()) {
+      const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+      const double mxlu = routing::maxLinkUtilization(degraded, cfg, base);
+      EXPECT_TRUE(std::isfinite(mxlu)) << f.label;  // no load on dead links
+    }
+  }
+}
+
+TEST(Degrade, ReconvergedEcmpMatchesPostFailureShortestPaths) {
+  const Graph g = topo::runningExample();
+  const NodeId s1 = *g.findNode("s1");
+  const NodeId s2 = *g.findNode("s2");
+  const NodeId v = *g.findNode("v");
+  const NodeId t = *g.findNode("t");
+  const EdgeId s2t = *g.findEdge(s2, t);
+  const FailureScenario f{"s2-t", {std::min(s2t, g.edge(s2t).reverse)}};
+  const Graph degraded = degradedGraph(g, f);
+
+  const auto ecmp = reconvergedEcmp(degraded);
+  // s2 now reaches t only via v.
+  EXPECT_DOUBLE_EQ(ecmp.ratio(t, *g.findEdge(s2, v)), 1.0);
+  // s1 is equidistant via s2 (1+2) and v (1+1)? No: via v costs 2, via s2
+  // costs 3 -- all of s1's traffic to t goes via v.
+  EXPECT_DOUBLE_EQ(ecmp.ratio(t, *g.findEdge(s1, v)), 1.0);
+  EXPECT_NO_THROW(ecmp.validate(degraded));
+  EXPECT_TRUE(routesAllDemands(ecmp, tm::uniformMatrix(g, 1.0)));
+}
+
+TEST(Degrade, DisconnectedPairsOnAPath) {
+  Graph g;
+  const NodeId a = g.addNode("a");
+  const NodeId b = g.addNode("b");
+  const NodeId c = g.addNode("c");
+  g.addLink(a, b);
+  const EdgeId bc = g.addLink(b, c);
+  tm::TrafficMatrix base(3);
+  base.set(a, c, 1.0);
+  base.set(c, a, 2.0);
+  base.set(a, b, 1.0);
+  const FailureScenario f{"b-c", {bc}};
+  const Graph degraded = degradedGraph(g, f);
+  // a->c and c->a are cut; a->b survives.
+  EXPECT_EQ(disconnectedPairs(degraded, base), 2);
+  EXPECT_EQ(disconnectedPairs(g, base), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Hand-computed post-failure ratio on the running example (Fig. 1a).
+// ---------------------------------------------------------------------------
+
+// Failing link s2-v leaves the uniform in-DAG splitting with MxLU 2 on the
+// (s2 -> t: 2) corner: s2's repaired DAG forwards everything on the direct
+// edge, while the unrestricted optimum re-routes half of it s2->s1->v->t
+// for OPTU_f = 1. The (s1 -> t: 2) corner stays optimal (split 1/1 over
+// two edge-disjoint surviving paths). Post-failure ratio = max(1, 2) = 2.
+TEST(PostFailureRatio, HandComputedOnRunningExample) {
+  const Graph g = topo::runningExample();
+  const NodeId s1 = *g.findNode("s1");
+  const NodeId s2 = *g.findNode("s2");
+  const NodeId v = *g.findNode("v");
+  const NodeId t = *g.findNode("t");
+  const EdgeId s2v = *g.findEdge(s2, v);
+  const FailureScenario f{"s2-v", {std::min(s2v, g.edge(s2v).reverse)}};
+
+  const auto dags = core::augmentedDagsShared(g);
+  auto cfg = routing::RoutingConfig::uniform(g, dags);
+  // Pin the splits the hand computation assumes (uniform() already gives
+  // these; set them explicitly so the test does not depend on DAG shape).
+  cfg.setRatio(t, *g.findEdge(s1, s2), 0.5);
+  cfg.setRatio(t, *g.findEdge(s1, v), 0.5);
+
+  const auto repaired = repairDags(g, *dags, failedEdgeMask(g, f));
+  const auto post = repairRouting(g, cfg, repaired);
+  // s2's only surviving DAG edge toward t is the direct link.
+  EXPECT_DOUBLE_EQ(post.ratio(t, *g.findEdge(s2, t)), 1.0);
+
+  tm::TrafficMatrix d1(g.numNodes()), d2(g.numNodes());
+  d1.set(s1, t, 2.0);
+  d2.set(s2, t, 2.0);
+  const Graph degraded = degradedGraph(g, f);
+  routing::OptuEngine engine(g);  // unrestricted OPTU on the intact graph
+  engine.setFailedEdges(directedEdges(g, f));
+
+  const double optu1 = engine.utilization(d1);
+  const double optu2 = engine.utilization(d2);
+  EXPECT_NEAR(optu1, 1.0, 1e-9);  // s1-s2-t and s1-v-t, one unit each
+  EXPECT_NEAR(optu2, 1.0, 1e-9);  // s2-t direct plus s2-s1-v-t
+  EXPECT_NEAR(routing::maxLinkUtilization(degraded, post, d1), 1.0, 1e-12);
+  EXPECT_NEAR(routing::maxLinkUtilization(degraded, post, d2), 2.0, 1e-12);
+
+  const double ratio =
+      std::max(routing::maxLinkUtilization(degraded, post, d1) / optu1,
+               routing::maxLinkUtilization(degraded, post, d2) / optu2);
+  EXPECT_NEAR(ratio, 2.0, 1e-9);
+
+  // Cross-checks: the warm post-failure engine agrees with a cold solve
+  // on the degraded graph, and restoring the intact network brings the
+  // s2 corner back to optimal 1.0 (two surviving two-edge routes).
+  EXPECT_NEAR(routing::optimalUtilizationUnrestricted(degraded, d2), optu2,
+              1e-9);
+  engine.setFailedEdges({});
+  EXPECT_NEAR(engine.utilization(d2), 1.0, 1e-9);
+  // Failing s1-s2 *and* s2-v leaves s2 only the direct edge: OPTU 2.
+  const EdgeId s1s2 = *g.findEdge(s1, s2);
+  engine.setFailedEdges(
+      directedEdges(g, {"", {std::min(s1s2, g.edge(s1s2).reverse),
+                             std::min(s2v, g.edge(s2v).reverse)}}));
+  EXPECT_NEAR(engine.utilization(d2), 2.0, 1e-9);
+}
+
+TEST(PostFailureRatio, WorstCaseOracleAgreesUnderFailure) {
+  // The exact slave-LP oracle with zeroed capacity rows must agree with a
+  // brute-force check: worst demand for the repaired uniform config on the
+  // running example, within the margin-2 box around the uniform matrix.
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const auto uniform = routing::RoutingConfig::uniform(g, dags);
+  const tm::TrafficMatrix base = tm::uniformMatrix(g, 1.0);
+  const tm::DemandBounds box = tm::marginBounds(base, 2.0);
+
+  const auto fails = singleLinkFailures(g);
+  routing::WorstCaseOracle oracle(g, dags, &box);
+  const routing::WorstCaseResult intact = oracle.find(uniform);
+  EXPECT_GT(intact.ratio, 0.0);
+
+  for (const FailureScenario& f : fails) {
+    if (!degradedGraph(g, f).stronglyConnected()) continue;
+    const auto repaired = repairDags(g, *dags, failedEdgeMask(g, f));
+    // Re-express over the oracle's DAG set: surviving ratios, zero on
+    // failed/pruned edges (repairRouting normalized them already).
+    const auto post = repairRouting(g, uniform, repaired);
+    auto over_original = routing::RoutingConfig(g, dags);
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      for (const EdgeId e : (*repaired)[t].edges()) {
+        over_original.setRatio(t, e, post.ratio(t, e));
+      }
+    }
+    oracle.setFailedEdges(directedEdges(g, f));
+    const routing::WorstCaseResult wc = oracle.find(over_original);
+    // The witness demand must be routable on the survivors and its ratio
+    // reproducible by plain propagation.
+    const Graph degraded = degradedGraph(g, f);
+    const double mxlu =
+        routing::maxLinkUtilization(degraded, over_original, wc.demand);
+    EXPECT_NEAR(mxlu, wc.ratio, 1e-6) << f.label;
+    oracle.setFailedEdges({});
+  }
+  // After restoring, the oracle reproduces its intact answer.
+  const routing::WorstCaseResult again = oracle.find(uniform);
+  EXPECT_NEAR(again.ratio, intact.ratio, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// The four-scheme failure evaluator.
+// ---------------------------------------------------------------------------
+
+FailureEvalOptions quickOptions() {
+  FailureEvalOptions opt;
+  opt.coyote.splitting.iterations = 120;
+  opt.pool.random_corners = 2;
+  opt.pool.pair_hotspots = 2;
+  return opt;
+}
+
+TEST(FailureEvaluator, RunningExampleSweepIsSaneAndNormalized) {
+  const Graph g = topo::runningExample();
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = tm::uniformMatrix(g, 1.0);
+  const FailureEvaluator eval(g, dags, base, quickOptions());
+  const FailureSweepResult res = eval.evaluate(singleLinkFailures(g));
+
+  ASSERT_EQ(res.outcomes.size(), 5u);
+  EXPECT_EQ(res.evaluated, 5);  // no single failure disconnects Fig. 1a
+  EXPECT_EQ(res.disconnecting, 0);
+  for (const FailureOutcome& o : res.outcomes) {
+    ASSERT_TRUE(o.evaluated) << o.label;
+    // OSPF reconvergence always finds a route on a connected graph; the
+    // static schemes may be stranded (e.g. failing v-t leaves v's DAG for
+    // t without out-edges even though the graph stays connected).
+    EXPECT_TRUE(o.routable[static_cast<int>(Scheme::kEcmp)]) << o.label;
+    for (int s = 0; s < kSchemeCount; ++s) {
+      if (!o.routable[s]) continue;
+      // Ratios are normalized by the unrestricted post-failure optimum: a
+      // destination-based routing can never beat it.
+      EXPECT_GE(o.ratio[s], 1.0 - 1e-7) << o.label;
+      EXPECT_LT(o.ratio[s], 50.0) << o.label;
+    }
+  }
+  for (int s = 0; s < kSchemeCount; ++s) {
+    const SchemeFailureStats& st = res.schemes[s];
+    EXPECT_EQ(st.evaluated + st.unroutable, 5);
+    EXPECT_GT(st.evaluated, 0);
+    EXPECT_GE(st.worst, st.p95);
+    EXPECT_GE(st.p95, st.median);
+    EXPECT_GE(st.median, 1.0 - 1e-7);
+  }
+  EXPECT_EQ(res.schemes[static_cast<int>(Scheme::kEcmp)].unroutable, 0);
+}
+
+TEST(FailureEvaluator, DisconnectingFailuresAreReportedNotCrashedOn) {
+  // Every single-link failure of a tree disconnects some demand pair.
+  const Graph g = topo::makeZoo("Gambia");
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const FailureEvaluator eval(g, dags, base, quickOptions());
+  const FailureSweepResult res = eval.evaluate(singleLinkFailures(g));
+  EXPECT_EQ(res.evaluated, 0);
+  EXPECT_EQ(res.disconnecting, static_cast<int>(res.outcomes.size()));
+  EXPECT_GT(res.disconnected_pairs, 0);
+  for (const FailureOutcome& o : res.outcomes) {
+    EXPECT_FALSE(o.evaluated);
+    EXPECT_GT(o.disconnected_pairs, 0) << o.label;
+  }
+  for (int s = 0; s < kSchemeCount; ++s) {
+    EXPECT_EQ(res.schemes[s].evaluated, 0);
+    EXPECT_EQ(res.schemes[s].worst, 0.0);
+  }
+}
+
+TEST(FailureEvaluator, FullSweepIsBitIdenticalAcrossThreadCounts) {
+  const Graph g = topo::grid(3, 3);
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const auto fails = singleLinkFailures(g);
+
+  std::vector<FailureSweepResult> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    FailureEvalOptions opt = quickOptions();
+    opt.threads = threads;
+    const FailureEvaluator eval(g, dags, base, opt);
+    results.push_back(eval.evaluate(fails));
+  }
+  const FailureSweepResult& ref = results.front();
+  ASSERT_EQ(ref.outcomes.size(), fails.size());
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    const FailureSweepResult& other = results[r];
+    ASSERT_EQ(other.outcomes.size(), ref.outcomes.size());
+    for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+      EXPECT_EQ(ref.outcomes[i].evaluated, other.outcomes[i].evaluated);
+      EXPECT_EQ(ref.outcomes[i].disconnected_pairs,
+                other.outcomes[i].disconnected_pairs);
+      for (int s = 0; s < kSchemeCount; ++s) {
+        // Bit-identical, not merely close.
+        EXPECT_EQ(ref.outcomes[i].ratio[s], other.outcomes[i].ratio[s])
+            << "failure " << ref.outcomes[i].label << " scheme " << s
+            << " threads run " << r;
+      }
+    }
+    for (int s = 0; s < kSchemeCount; ++s) {
+      EXPECT_EQ(ref.schemes[s].worst, other.schemes[s].worst);
+      EXPECT_EQ(ref.schemes[s].median, other.schemes[s].median);
+      EXPECT_EQ(ref.schemes[s].p95, other.schemes[s].p95);
+    }
+  }
+}
+
+TEST(FailureEvaluator, WarmStartedResolvesBeatColdOnes) {
+  const Graph g = topo::grid(3, 3);
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = tm::gravityMatrix(g, 1.0);
+  const FailureEvaluator eval(g, dags, base, quickOptions());
+  const auto fails = singleLinkFailures(g);
+
+  const lp::StatsSnapshot before_warm = lp::statsSnapshot();
+  const FailureSweepResult warm = eval.evaluate(fails);
+  const lp::StatsSnapshot warm_delta = lp::statsSnapshot() - before_warm;
+
+  ASSERT_EQ(::setenv("COYOTE_LP_COLD", "1", 1), 0);
+  const lp::StatsSnapshot before_cold = lp::statsSnapshot();
+  const FailureSweepResult cold = eval.evaluate(fails);
+  const lp::StatsSnapshot cold_delta = lp::statsSnapshot() - before_cold;
+  ::unsetenv("COYOTE_LP_COLD");
+
+  // Same verdicts (up to LP vertex choice the ratios agree closely)...
+  ASSERT_EQ(warm.evaluated, cold.evaluated);
+  for (std::size_t i = 0; i < warm.outcomes.size(); ++i) {
+    for (int s = 0; s < kSchemeCount; ++s) {
+      if (warm.outcomes[i].routable[s]) {
+        EXPECT_NEAR(warm.outcomes[i].ratio[s], cold.outcomes[i].ratio[s],
+                    1e-7 * (1.0 + cold.outcomes[i].ratio[s]));
+      }
+    }
+  }
+  // ...but the warm sweep reuses bases: same solve count, far fewer
+  // pivots. The acceptance bar for the GEANT bench sweep is 1.5x; the
+  // 3x3 grid already clears it.
+  EXPECT_EQ(warm_delta.solves, cold_delta.solves);
+  EXPECT_LT(warm_delta.iterations * 3, cold_delta.iterations * 2)
+      << "warm pivots " << warm_delta.iterations << " vs cold "
+      << cold_delta.iterations;
+}
+
+// ---------------------------------------------------------------------------
+// Registry + runner integration.
+// ---------------------------------------------------------------------------
+
+TEST(FailureScenarioRegistry, SmokeAndFigureScenariosHaveFailureVariants) {
+  const exp::ScenarioRegistry& reg = exp::ScenarioRegistry::global();
+  for (const exp::Scenario& s : reg.all()) {
+    if (s.kind == exp::ScenarioKind::kFailure) continue;
+    if (!(s.hasTag("smoke") || s.hasTag("figure"))) continue;
+    const bool single_topology = s.kind == exp::ScenarioKind::kSchemes ||
+                                 s.kind == exp::ScenarioKind::kLocalSearch ||
+                                 s.kind == exp::ScenarioKind::kQuantization ||
+                                 s.kind == exp::ScenarioKind::kPrototype;
+    if (!single_topology) continue;  // fig11/table1 sweep network lists
+    const exp::Scenario* fail1 = reg.find(s.id + "-fail1");
+    ASSERT_NE(fail1, nullptr) << s.id;
+    EXPECT_EQ(fail1->kind, exp::ScenarioKind::kFailure);
+    EXPECT_TRUE(fail1->hasTag("failure"));
+    EXPECT_EQ(fail1->failure.model, exp::FailureSpec::Model::kSingleLink);
+    EXPECT_NE(reg.find(s.id + "-srlg"), nullptr) << s.id;
+  }
+  // The CI smoke gate runs exactly one failure scenario.
+  int smoke_failures = 0;
+  for (const exp::Scenario* s : reg.match("smoke")) {
+    smoke_failures += s->kind == exp::ScenarioKind::kFailure;
+  }
+  EXPECT_EQ(smoke_failures, 1);
+  ASSERT_NE(reg.find("running-example-fail1"), nullptr);
+  EXPECT_TRUE(reg.find("running-example-fail1")->hasTag("smoke"));
+  // Double-link variants exist where registered.
+  EXPECT_NE(reg.find("running-example-fail2"), nullptr);
+  EXPECT_NE(reg.find("fig06-fail2"), nullptr);
+  EXPECT_EQ(reg.find("fig11-fail1"), nullptr);
+  EXPECT_EQ(reg.find("table1-fail1"), nullptr);
+}
+
+TEST(FailureRunner, EmitsSchemaThreeFailuresBlock) {
+  const exp::Scenario* s =
+      exp::ScenarioRegistry::global().find("running-example-fail1");
+  ASSERT_NE(s, nullptr);
+  exp::RunOptions opt;
+  opt.print = false;
+  const exp::ExperimentRunner runner(opt);
+  const exp::ScenarioResult result = runner.run(*s);
+  EXPECT_TRUE(result.ok);
+
+  const util::json::Value& doc = result.document;
+  EXPECT_EQ(doc.stringOr("schema", ""), "coyote-bench/3");
+  EXPECT_EQ(doc.stringOr("kind", ""), "failure");
+  EXPECT_EQ(doc.stringOr("failure_model", ""), "single-link");
+  const util::json::Value* rows = doc.find("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->asArray().size(), 5u);
+  const util::json::Value* block = doc.find("failures");
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->stringOr("model", ""), "single-link");
+  EXPECT_EQ(block->numberOr("scenarios", -1.0), 5.0);
+  EXPECT_EQ(block->numberOr("evaluated", -1.0), 5.0);
+  EXPECT_EQ(block->numberOr("disconnecting", -1.0), 0.0);
+  const util::json::Value* schemes = block->find("schemes");
+  ASSERT_NE(schemes, nullptr);
+  for (const char* key : {"ecmp", "base", "oblivious", "partial"}) {
+    const util::json::Value* st = schemes->find(key);
+    ASSERT_NE(st, nullptr) << key;
+    EXPECT_GE(st->numberOr("worst", -1.0), 1.0 - 1e-7) << key;
+    EXPECT_GE(st->numberOr("worst", -1.0), st->numberOr("p95", 1e9)) << key;
+  }
+}
+
+TEST(FailureRunner, EverySmokeFailureVariantRunsGreen) {
+  // The acceptance bar: every smoke scenario's -fail1 variant runs green
+  // end to end (the srlg/fail2 variants of the running example ride
+  // along; the remaining variants are exercised by the COYOTE_FULL
+  // integration sweep).
+  const exp::ScenarioRegistry& reg = exp::ScenarioRegistry::global();
+  std::vector<std::string> ids;
+  for (const exp::Scenario* s : reg.match("smoke")) {
+    if (s->kind != exp::ScenarioKind::kFailure &&
+        reg.find(s->id + "-fail1") != nullptr) {
+      ids.push_back(s->id + "-fail1");
+    }
+  }
+  ids.emplace_back("running-example-srlg");
+  ids.emplace_back("running-example-fail2");
+  exp::RunOptions opt;
+  opt.print = false;
+  const exp::ExperimentRunner runner(opt);
+  for (const std::string& id : ids) {
+    const exp::Scenario* s = reg.find(id);
+    ASSERT_NE(s, nullptr) << id;
+    const exp::ScenarioResult result = runner.run(*s);
+    EXPECT_TRUE(result.ok) << id;
+    const util::json::Value* block = result.document.find("failures");
+    ASSERT_NE(block, nullptr) << id;
+    EXPECT_GE(block->numberOr("scenarios", -1.0), 0.0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace coyote::failure

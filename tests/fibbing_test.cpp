@@ -2,8 +2,11 @@
 
 #include <numeric>
 
+#include <algorithm>
+
 #include "core/coyote.hpp"
 #include "core/dag_builder.hpp"
+#include "exp/scenario.hpp"
 #include "fibbing/lie_synthesis.hpp"
 #include "fibbing/ospf_model.hpp"
 #include "routing/ecmp.hpp"
@@ -258,6 +261,67 @@ TEST(LieSynthesis, OptimizedRunningExampleVerifies) {
   applyPlan(model, plan);
   EXPECT_TRUE(verifyRealization(model, res.routing, t, 0, 10));
   EXPECT_TRUE(model.forwardingIsLoopFree(0));
+}
+
+// Round trip over every smoke scenario: optimize a COYOTE config on the
+// scenario's topology, synthesize the lies, re-run the OSPF model's
+// shortest paths on the lied-to topology, and assert the *induced
+// forwarding DAG* -- the FIB edges the reconverged routers install --
+// matches the requested (apportioned) DAG edge for edge. The hand-built
+// cases above check chosen nodes; this closes the loop on whole networks.
+TEST(LieSynthesis, SmokeScenarioConfigsRoundTripThroughOspf) {
+  constexpr int kBudget = 6;
+  for (const exp::Scenario* s :
+       exp::ScenarioRegistry::global().match("smoke")) {
+    if (s->hasTag("failure")) continue;  // same topologies as their parents
+    const bool single_topology =
+        s->kind == exp::ScenarioKind::kSchemes ||
+        s->kind == exp::ScenarioKind::kPrototype;
+    if (!single_topology) continue;
+    SCOPED_TRACE(s->id);
+    const Graph g = s->topology.build();
+    const auto dags = core::augmentedDagsShared(g);
+    core::CoyoteOptions copt;
+    copt.splitting.iterations = 120;  // enough for non-trivial splits
+    const routing::RoutingConfig cfg =
+        core::coyoteOblivious(g, dags, copt).routing;
+
+    OspfModel model(g);
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      model.advertisePrefix(t, t);
+      const LiePlan plan = synthesizeLies(g, cfg, t, t, kBudget);
+      applyPlan(model, plan);
+      EXPECT_TRUE(verifyRealization(model, cfg, t, t, kBudget))
+          << "dest " << g.nodeName(t);
+      EXPECT_TRUE(model.forwardingIsLoopFree(t)) << "dest " << g.nodeName(t);
+
+      // The induced forwarding DAG == the requested DAG: per router, the
+      // FIB's edge set must equal the DAG out-edges whose apportioned
+      // multiplicity is positive.
+      const auto fibs = model.computeFibs(t);
+      for (NodeId u = 0; u < g.numNodes(); ++u) {
+        if (u == t) continue;
+        const auto& out = (*dags)[t].outEdges(u);
+        ASSERT_FALSE(out.empty());
+        std::vector<double> ratios;
+        ratios.reserve(out.size());
+        for (const EdgeId e : out) ratios.push_back(cfg.ratio(t, e));
+        const std::vector<int> mult = apportionSplits(ratios, kBudget);
+        std::vector<EdgeId> requested;
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          if (mult[k] > 0) requested.push_back(out[k]);
+        }
+        std::vector<EdgeId> induced;
+        for (const auto& hop : fibs[u].next_hops) {
+          if (hop.multiplicity > 0) induced.push_back(hop.edge);
+        }
+        std::sort(requested.begin(), requested.end());
+        std::sort(induced.begin(), induced.end());
+        EXPECT_EQ(induced, requested)
+            << "dest " << g.nodeName(t) << " router " << g.nodeName(u);
+      }
+    }
+  }
 }
 
 TEST(LieSynthesis, FakeNodeCountGrowsWithPrecision) {

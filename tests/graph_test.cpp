@@ -334,19 +334,28 @@ TEST(GraphEdgeCases, EmptyGraphShortestPathsThrow) {
   EXPECT_THROW(shortestPathsTo(g, 0), std::invalid_argument);
 }
 
-TEST(GraphEdgeCases, ZeroCapacityAndWeightMutatorsThrow) {
+TEST(GraphEdgeCases, CapacityAndWeightMutatorPreconditions) {
   Graph g;
   const NodeId a = g.addNode();
   const NodeId b = g.addNode();
   const EdgeId e = g.addLink(a, b, 2.0);
-  EXPECT_THROW(g.setCapacity(e, 0.0), std::invalid_argument);
   EXPECT_THROW(g.setCapacity(e, -1.0), std::invalid_argument);
   EXPECT_THROW(g.setWeight(e, 0.0), std::invalid_argument);
   EXPECT_THROW(g.setWeight(e, -0.5), std::invalid_argument);
   // A failed mutation leaves the edge untouched.
   EXPECT_DOUBLE_EQ(g.edge(e).capacity, 2.0);
   EXPECT_DOUBLE_EQ(g.edge(e).weight, 1.0);
+  // Links are born up: construction rejects non-positive capacities...
+  EXPECT_THROW(g.addLink(a, b, 0.0), std::invalid_argument);
   EXPECT_THROW(g.addLink(a, b, 1.0, 0.0), std::invalid_argument);
+  // ...but setCapacity(e, 0) marks a failed link (src/failure/), which
+  // SPF and connectivity then skip.
+  EXPECT_TRUE(g.stronglyConnected());
+  g.setCapacity(e, 0.0);
+  g.setCapacity(g.edge(e).reverse, 0.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 0.0);
+  EXPECT_FALSE(g.stronglyConnected());
+  EXPECT_TRUE(std::isinf(shortestPathsTo(g, b).dist[a]));
 }
 
 TEST(GraphEdgeCases, DagRejectsOutOfRangeDestOnEmptyGraph) {

@@ -68,7 +68,11 @@ TEST(ScenarioRegistry, FindAndMatch) {
   const auto figures = reg().match("figure");
   EXPECT_GE(figures.size(), 7u);
   for (const Scenario* s : figures) EXPECT_TRUE(s->hasTag("figure"));
-  EXPECT_EQ(reg().match("fig06").size(), 1u);
+  // Substring semantics: "fig06" also selects its failure variants
+  // (fig06-fail1, fig06-srlg, fig06-fail2).
+  EXPECT_EQ(reg().match("fig06").size(), 4u);
+  EXPECT_EQ(reg().match("fig07").size(), 3u);
+  EXPECT_EQ(reg().match("fig06-fail1").size(), 1u);
   EXPECT_TRUE(reg().match("zzz-no-hit").empty());
 
   // The CI smoke selection: small scenarios that finish in seconds.
@@ -156,6 +160,18 @@ TEST(ScenarioRegistry, ExplicitConstructionRejectsDuplicates) {
   EXPECT_EQ(two.all().size(), 2u);
   EXPECT_NE(two.find("a"), nullptr);
   EXPECT_NE(two.find("b"), nullptr);
+}
+
+TEST(ScenarioRegistry, RegistrationRejectsUnsafeIds) {
+  // Ids name BENCH_<id>.json files and travel through shells; the safe
+  // charset is enforced at registration time (require() in add()), not
+  // just asserted over the global grid by this suite.
+  for (const char* bad : {"has space", "slash/y", "dot.json", "semi;rm"}) {
+    Scenario s;
+    s.id = bad;
+    s.description = "bad id";
+    EXPECT_THROW(ScenarioRegistry({s}), std::invalid_argument) << bad;
+  }
 }
 
 TEST(TopologySpec, SyntheticBuildersMatchTheirLabels) {
