@@ -155,15 +155,19 @@ int cmdLies(const std::string& spec, double margin, int virtual_links) {
 
 int cmdEval(const std::string& spec, double margin) {
   Pipeline p(spec, margin);
-  // The same four-scheme margin sweep the experiment harness runs
-  // (exp::NetworkSweep); coyote_experiments sweeps whole margin grids.
+  // The same scheme margin sweep the experiment harness runs
+  // (exp::NetworkSweep over every registered te::Scheme);
+  // coyote_experiments sweeps whole margin grids.
   exp::SweepOptions opt;
   opt.coyote = p.options();
-  const exp::NetworkSweep sweep(p.g, p.dags, p.base, opt);
+  const exp::NetworkSweep sweep(p.g, p.dags, p.base, opt,
+                                te::SchemeRegistry::builtin().all());
   const exp::SchemeRow row = sweep.run(margin);
-  std::printf(
-      "margin %.2f  ECMP %.3f  Base-opt %.3f  COYOTE-obl %.3f  COYOTE %.3f\n",
-      margin, row.ecmp, row.base, row.oblivious, row.partial);
+  std::printf("margin %.2f", margin);
+  for (std::size_t i = 0; i < sweep.schemes().size(); ++i) {
+    std::printf("  %s %.3f", sweep.schemes()[i]->display(), row.ratio[i]);
+  }
+  std::printf("\n");
   return 0;
 }
 

@@ -11,6 +11,8 @@ namespace coyote::exp {
 
 namespace json = util::json;
 
+bool isRunMetadata(const std::string& key);  // defined below
+
 namespace {
 
 void addFinding(CompareReport* report, CompareFinding::Kind kind,
@@ -25,10 +27,34 @@ bool numbersDiffer(double a, double b, double rel_tol) {
   return std::fabs(a - b) / scale > rel_tol;
 }
 
-/// Solver-work telemetry (schema coyote-bench/2): deterministic for one
-/// binary but sensitive to toolchain/libm differences, so it is reported
-/// informationally instead of gated as drift.
+/// Solver-work telemetry (schema coyote-bench/2; since coyote-bench/4 this
+/// also covers the per-scheme lp_scheme_solves/lp_scheme_pivots row
+/// objects): deterministic for one binary but sensitive to toolchain/libm
+/// differences, so it is reported informationally instead of gated as
+/// drift.
 bool isLpTelemetry(const std::string& key) { return key.rfind("lp_", 0) == 0; }
+
+/// Candidate-only keys -- e.g. the rows of a scheme the baseline never
+/// swept (schema coyote-bench/4 rows are dynamic over the scheme list) or
+/// fields a newer schema added -- are surfaced as [INFO], never gated:
+/// the drift walk is baseline-driven. `skip_metadata` additionally mutes
+/// run-metadata keys (the top-level walk; metadata differs freely).
+void reportCandidateOnly(const json::Value& base, const json::Value& cand,
+                         const std::string& path, const std::string& scenario,
+                         bool skip_metadata, CompareReport* report) {
+  if (!base.isObject() || !cand.isObject()) return;
+  for (const auto& [key, value] : cand.asObject()) {
+    (void)value;
+    if (isLpTelemetry(key)) continue;
+    if (skip_metadata && isRunMetadata(key)) continue;
+    if (base.find(key) == nullptr) {
+      addFinding(report, CompareFinding::Kind::kInfo, scenario,
+                 path.empty() ? key + ": candidate-only (not gated)"
+                              : path + "." + key +
+                                    ": candidate-only (not gated)");
+    }
+  }
+}
 
 /// Recursively compares numeric leaves of the row trees; `path` names the
 /// offending field in findings.
@@ -76,6 +102,8 @@ void compareValues(const json::Value& base, const json::Value& cand,
         }
         compareValues(value, *other, path + "." + key, scenario, opt, report);
       }
+      reportCandidateOnly(base, cand, path, scenario,
+                          /*skip_metadata=*/false, report);
       return;
     }
     default:
@@ -93,15 +121,16 @@ void compareValues(const json::Value& base, const json::Value& cand,
 // same source tree: provenance, machine, options, and prose. Everything
 // else (rows, ok, and the kind-specific summary fields like 'verified',
 // 'fake_nodes', 'ecmp_gap_percent') is deterministic and gated --
-// except `lp_*` solver telemetry (see isLpTelemetry) and keys unknown to
-// this binary, which future schema revisions may add: the baseline-driven
-// walk simply never visits candidate-only keys, so newer candidates stay
-// forward-compatible.
+// except `lp_*` solver telemetry (see isLpTelemetry) and candidate-only
+// keys, which future schema revisions or extra --schemes selections may
+// add: the drift walk is baseline-driven, so those are surfaced as
+// non-failing [INFO] findings (reportCandidateOnly) and newer candidates
+// stay forward-compatible.
 bool isRunMetadata(const std::string& key) {
   static const char* const kKeys[] = {
       "schema", "scenario", "kind",    "description", "tags",
       "git",    "threads",  "timing",  "network",     "networks",
-      "demand_model",       "full",    "exact",
+      "demand_model",       "full",    "exact",       "schemes",
   };
   for (const char* k : kKeys) {
     if (key == k) return true;
@@ -131,6 +160,8 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
       }
       compareValues(value, *other, key, scenario, opt, report);
     }
+    reportCandidateOnly(baseline, cand, /*path=*/"", scenario,
+                        /*skip_metadata=*/true, report);
   }
 
   // Informational lp_pivots delta (never gated): the warm-start engine's

@@ -16,8 +16,10 @@
 #include "fibbing/ospf_model.hpp"
 #include "hardness/gadgets.hpp"
 #include "lp/stats.hpp"
+#include "routing/ecmp.hpp"
 #include "routing/propagation.hpp"
 #include "routing/stretch.hpp"
+#include "scheme/registry.hpp"
 #include "sim/fluid.hpp"
 #include "topo/generator.hpp"
 #include "topo/zoo.hpp"
@@ -40,17 +42,40 @@ struct KindOutput {
   bool ok = true;
 };
 
-json::Value schemeRowJson(const SchemeRow& r) {
+/// The scheme list a scheme-comparison scenario sweeps: the --schemes
+/// selection, or the registry defaults (the paper's four). The CLI
+/// validated the keys already; re-resolving here keeps library callers
+/// honest (unknown keys throw, naming the key).
+std::vector<const te::Scheme*> selectedSchemes(const RunOptions& opt) {
+  return te::SchemeRegistry::builtin().resolve(opt.schemes);
+}
+
+std::string formatMargin(double margin) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", margin);
+  return buf;
+}
+
+json::Value schemeRowJson(const std::vector<const te::Scheme*>& schemes,
+                          const SchemeRow& r) {
   json::Value row = json::Value::object();
   row["margin"] = r.margin;
-  row["ecmp"] = r.ecmp;
-  row["base"] = r.base;
-  row["oblivious"] = r.oblivious;
-  row["partial"] = r.partial;
-  // Solver-work telemetry; `lp_`-prefixed fields are exempt from the
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    row[schemes[i]->key()] = r.ratio[i];
+  }
+  // Solver-work telemetry; `lp_`-prefixed fields (the per-margin totals
+  // and the per-scheme breakdown objects) are exempt from the
   // bench_compare drift gate (pivot counts are toolchain-sensitive).
   row["lp_solves"] = static_cast<double>(r.lp_solves);
   row["lp_pivots"] = static_cast<double>(r.lp_pivots);
+  json::Value solves = json::Value::object();
+  json::Value pivots = json::Value::object();
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    solves[schemes[i]->key()] = static_cast<double>(r.scheme_lp_solves[i]);
+    pivots[schemes[i]->key()] = static_cast<double>(r.scheme_lp_pivots[i]);
+  }
+  row["lp_scheme_solves"] = std::move(solves);
+  row["lp_scheme_pivots"] = std::move(pivots);
   return row;
 }
 
@@ -61,20 +86,25 @@ KindOutput runSchemes(const Scenario& s, const RunOptions& opt, bool print) {
   const Graph g = s.topology.build();
   const auto dags = core::augmentedDagsShared(g);
   const tm::TrafficMatrix base = s.demand.build(g);
+  const std::vector<const te::Scheme*> schemes = selectedSchemes(opt);
 
   SweepOptions sopt = s.sweep;
   sopt.exact_oracle = sopt.exact_oracle || opt.exact;
   if (opt.exact && s.exact_env_upgrades_eval) sopt.exact_eval = true;
 
-  if (print) printSchemeHeader(s.topology.label().c_str(), s.demand.name());
-  const NetworkSweep sweep(g, dags, base, sopt);
+  const SchemeTable table(schemes, {{"margin", 8}});
+  if (print) {
+    printSweepPreamble(s.topology.label().c_str(), s.demand.name());
+    table.printHeader();
+  }
+  const NetworkSweep sweep(g, dags, base, sopt, schemes);
   for (const double margin : s.grid(opt.full)) {
     const SchemeRow r = sweep.run(margin);
     if (print) {
-      printSchemeRow(r);
+      table.printRow({formatMargin(r.margin)}, r.ratio);
       std::fflush(stdout);
     }
-    out.rows.push_back(schemeRowJson(r));
+    out.rows.push_back(schemeRowJson(schemes, r));
   }
   return out;
 }
@@ -84,14 +114,15 @@ KindOutput runSchemes(const Scenario& s, const RunOptions& opt, bool print) {
 KindOutput runTable(const Scenario& s, const RunOptions& opt, bool print) {
   KindOutput out;
   const std::vector<double>& margins = s.grid(opt.full);
+  const std::vector<const te::Scheme*> schemes = selectedSchemes(opt);
+  const SchemeTable table(schemes, {{"network", 14}, {"margin", 8}});
   if (print) {
     std::printf("# Table I: gravity base model, margins");
     for (const double m : margins) std::printf(" %.1f", m);
     std::printf("\n# networks with <= %d nodes use the exact slave-LP "
                 "adversary ('+'); larger ones the corner pool\n",
                 s.exact_node_limit);
-    std::printf("%-14s %-8s %-8s %-8s %-12s %-12s\n", "network", "margin",
-                "ECMP", "Base", "COYOTE-obl", "COYOTE-pk");
+    table.printHeader();
   }
 
   for (const std::string& name : s.networkList(opt.full)) {
@@ -105,17 +136,15 @@ KindOutput runTable(const Scenario& s, const RunOptions& opt, bool print) {
         (opt.exact && s.exact_env_upgrades_eval);
     sopt.exact_oracle = sopt.exact_eval || opt.exact;
 
-    const NetworkSweep sweep(g, dags, base, sopt);
+    const NetworkSweep sweep(g, dags, base, sopt, schemes);
     const std::string label = name + (sopt.exact_eval ? "+" : "");
     for (const double margin : margins) {
       const SchemeRow r = sweep.run(margin);
       if (print) {
-        std::printf("%-14s %-8.1f %-8.2f %-8.2f %-12.2f %-12.2f\n",
-                    label.c_str(), r.margin, r.ecmp, r.base, r.oblivious,
-                    r.partial);
+        table.printRow({label, formatMargin(r.margin)}, r.ratio);
         std::fflush(stdout);
       }
-      json::Value row = schemeRowJson(r);
+      json::Value row = schemeRowJson(schemes, r);
       row["network"] = name;
       row["exact"] = sopt.exact_eval;
       out.rows.push_back(std::move(row));
@@ -649,11 +678,12 @@ KindOutput runHardness(const Scenario&, const RunOptions&, bool print) {
 
 // --- kFailure (src/failure/: post-failure four-scheme sweep) ----------
 
-KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
+KindOutput runFailure(const Scenario& s, const RunOptions& opt, bool print) {
   KindOutput out;
   const Graph g = s.topology.build();
   const auto dags = core::augmentedDagsShared(g);
   const tm::TrafficMatrix base = s.demand.build(g);
+  const std::vector<const te::Scheme*> schemes = selectedSchemes(opt);
 
   std::vector<failure::FailureScenario> fails;
   switch (s.failure.model) {
@@ -672,9 +702,12 @@ KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
   failure::FailureEvalOptions fopt;
   fopt.margin = s.fixed_margin;
   fopt.coyote = s.sweep.coyote;
+  fopt.schemes = schemes;
   const failure::FailureEvaluator eval(g, dags, base, fopt);
   const failure::FailureSweepResult res = eval.evaluate(fails);
 
+  const int n = static_cast<int>(schemes.size());
+  const SchemeTable table(schemes, {{"failed", 24}});
   if (print) {
     std::printf("# %s, %s base matrix -- %s failure sweep, margin %.1f\n",
                 s.topology.label().c_str(), s.demand.name(),
@@ -682,38 +715,31 @@ KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
     std::printf("# post-failure ratios: worst over the corner pool, "
                 "normalized by the unrestricted optimum on the surviving "
                 "network\n");
-    std::printf("%-24s %-8s %-8s %-12s %-12s\n", "failed", "ECMP", "Base",
-                "COYOTE-obl", "COYOTE-pk");
+    table.printHeader();
   }
 
-  using failure::kSchemeCount;
-  using failure::Scheme;
   for (const failure::FailureOutcome& o : res.outcomes) {
     json::Value row = json::Value::object();
     row["label"] = o.label;
     row["evaluated"] = o.evaluated;
     row["disconnected_pairs"] = o.disconnected_pairs;
-    if (print) std::printf("%-24s ", o.label.c_str());
     if (!o.evaluated) {
       if (print) {
-        std::printf("(disconnects %d demand pair(s))\n",
-                    o.disconnected_pairs);
+        std::printf("%-24s (disconnects %d demand pair(s))\n",
+                    o.label.c_str(), o.disconnected_pairs);
       }
     } else {
       json::Value unroutable = json::Value::array();
-      for (int i = 0; i < kSchemeCount; ++i) {
-        const char* key = failure::schemeKey(static_cast<Scheme>(i));
-        const int width = i < 2 ? 8 : 12;
+      for (int i = 0; i < n; ++i) {
+        const char* key = schemes[i]->key();
         if (o.routable[i]) {
           row[key] = o.ratio[i];
-          if (print) std::printf("%-*.2f ", width, o.ratio[i]);
         } else {
           unroutable.push_back(key);
-          if (print) std::printf("%-*s ", width, "n/a");
         }
       }
       row["unroutable"] = std::move(unroutable);
-      if (print) std::printf("\n");
+      if (print) table.printRow({o.label}, o.ratio, &o.routable);
     }
     if (print) std::fflush(stdout);
     out.rows.push_back(std::move(row));
@@ -727,18 +753,17 @@ KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
   block["disconnecting"] = res.disconnecting;
   block["disconnected_pairs"] = res.disconnected_pairs;
   block["pool_size"] = eval.poolSize();
-  json::Value schemes = json::Value::object();
-  for (int i = 0; i < kSchemeCount; ++i) {
-    const failure::SchemeFailureStats& st = res.schemes[i];
+  json::Value per_scheme = json::Value::object();
+  for (const auto& [key, st] : res.schemes) {
     json::Value v = json::Value::object();
     v["worst"] = st.worst;
     v["median"] = st.median;
     v["p95"] = st.p95;
     v["evaluated"] = st.evaluated;
     v["unroutable"] = st.unroutable;
-    schemes[failure::schemeKey(static_cast<Scheme>(i))] = std::move(v);
+    per_scheme[key] = std::move(v);
   }
-  block["schemes"] = std::move(schemes);
+  block["schemes"] = std::move(per_scheme);
   out.extra["failures"] = std::move(block);
 
   if (print) {
@@ -747,11 +772,9 @@ KindOutput runFailure(const Scenario& s, const RunOptions&, bool print) {
                 res.outcomes.size(), res.evaluated, res.disconnecting,
                 res.disconnected_pairs);
     std::printf("# worst/median/p95:");
-    for (int i = 0; i < kSchemeCount; ++i) {
-      const failure::SchemeFailureStats& st = res.schemes[i];
-      std::printf("  %s %.2f/%.2f/%.2f",
-                  failure::schemeKey(static_cast<Scheme>(i)), st.worst,
-                  st.median, st.p95);
+    for (const auto& [key, st] : res.schemes) {
+      std::printf("  %s %.2f/%.2f/%.2f", key.c_str(), st.worst, st.median,
+                  st.p95);
     }
     std::printf("\n");
   }
@@ -874,7 +897,7 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   }
 
   json::Value doc = json::Value::object();
-  doc["schema"] = "coyote-bench/3";
+  doc["schema"] = "coyote-bench/4";
   doc["scenario"] = s.id;
   doc["kind"] = kindName(s.kind);
   doc["description"] = s.description;
@@ -885,6 +908,22 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   doc["threads"] = static_cast<int>(util::ThreadPool::defaultThreads());
   doc["full"] = opt_.full;
   doc["exact"] = opt_.exact;
+  // The scheme list the scheme-comparison kinds swept (run metadata, like
+  // full/exact: it names the selection, the rows carry the values).
+  switch (s.kind) {
+    case ScenarioKind::kSchemes:
+    case ScenarioKind::kTable:
+    case ScenarioKind::kFailure: {
+      json::Value keys = json::Value::array();
+      for (const te::Scheme* sch : selectedSchemes(opt_)) {
+        keys.push_back(std::string(sch->key()));
+      }
+      doc["schemes"] = std::move(keys);
+      break;
+    }
+    default:
+      break;
+  }
   switch (s.kind) {
     case ScenarioKind::kSchemes:
     case ScenarioKind::kLocalSearch:

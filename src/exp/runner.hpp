@@ -16,6 +16,10 @@ namespace coyote::exp {
 struct RunOptions {
   bool full = false;     ///< full margin grids / network corpora
   bool exact = false;    ///< exact slave-LP cutting planes / evaluation
+  /// Scheme keys (te::SchemeRegistry::builtin()) the scheme-comparison
+  /// kinds (schemes/table/failure) sweep; empty = the paper's four.
+  /// Unknown keys are a hard error (the CLI validates before running).
+  std::vector<std::string> schemes;
   int repeat = 1;        ///< timed repetitions per scenario (>= 1)
   /// Untimed repetitions before the timed ones. Rows print during the
   /// very first repetition only, so with warmup >= 1 the timed reps are

@@ -1,58 +1,102 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lp/stats.hpp"
+#include "util/require.hpp"
 
 namespace coyote::exp {
 
 NetworkSweep::NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
-                           const tm::TrafficMatrix& base_tm, SweepOptions opt)
+                           const tm::TrafficMatrix& base_tm, SweepOptions opt,
+                           std::vector<const te::Scheme*> schemes)
     : g_(g),
       dags_(std::move(dags)),
       base_tm_(base_tm),
       opt_(std::move(opt)),
+      schemes_(schemes.empty() ? te::SchemeRegistry::builtin().defaults()
+                               : std::move(schemes)),
       optu_engine_(std::make_shared<routing::OptuEngine>(g, dags_,
-                                                         opt_.coyote.lp)),
-      ecmp_(routing::ecmpConfig(g, dags_)),
-      base_routing_(
-          routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
-              .routing),
-      oblivious_([&] {
-        core::CoyoteOptions copt = opt_.coyote;
-        copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
-        return core::coyoteOblivious(g, dags_, copt).routing;
-      }()) {}
+                                                         opt_.coyote.lp)) {
+  require(!schemes_.empty(), "empty scheme list");
+  // Margin-independent schemes are computed once, in list order (each
+  // scheme's LP/optimizer work is a self-contained stage, so the sequence
+  // -- and thus every lp_pivots count -- is independent of the margin grid
+  // and of which other schemes ride along). The sweep's exact_oracle flag
+  // decides the schemes' cutting-plane rounds (the pre-registry behavior:
+  // forced, in either direction).
+  core::CoyoteOptions copt = opt_.coyote;
+  copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
+  const te::SchemeContext ctx{g_, dags_, base_tm_, copt, nullptr, nullptr};
+  intact_.reserve(schemes_.size());
+  for (const te::Scheme* s : schemes_) {
+    if (s->marginDependent()) {
+      intact_.emplace_back(std::nullopt);
+    } else {
+      intact_.emplace_back(s->compute(ctx));
+    }
+  }
+}
+
+const routing::RoutingConfig& NetworkSweep::intactRouting(int i) const {
+  require(i >= 0 && i < static_cast<int>(intact_.size()),
+          "scheme index out of range");
+  require(intact_[i].has_value(),
+          "margin-dependent scheme has no cached intact routing");
+  return *intact_[i];
+}
 
 SchemeRow NetworkSweep::run(double margin) const {
+  const int n = static_cast<int>(schemes_.size());
   SchemeRow row;
   row.margin = margin;
+  row.ratio.assign(n, 0.0);
+  row.scheme_lp_solves.assign(n, 0);
+  row.scheme_lp_pivots.assign(n, 0);
+
   const lp::StatsSnapshot lp_before = lp::statsSnapshot();
   const tm::DemandBounds box = tm::marginBounds(base_tm_, margin);
   routing::PerformanceEvaluator pool(g_, dags_, opt_.coyote.lp,
                                      routing::Normalization::kWithinDags,
                                      optu_engine_);
+  if (opt_.threads != 0) pool.setThreads(opt_.threads);
   pool.addPool(tm::cornerPool(box, opt_.pool));
 
   core::CoyoteOptions copt = opt_.coyote;
   copt.oracle_rounds = opt_.exact_oracle ? 2 : 0;
-  const core::CoyoteResult pk = core::optimizeAgainstPool(g_, pool, &box, copt);
+  const te::SchemeContext ctx{g_, dags_, base_tm_, copt, &box, &pool};
 
-  if (opt_.exact_eval) {
-    const auto exact = [&](const routing::RoutingConfig& cfg) {
-      return routing::findWorstCaseDemand(g_, cfg, &box, opt_.coyote.lp)
-          .ratio;
-    };
-    row.ecmp = exact(ecmp_);
-    row.base = exact(base_routing_);
-    row.oblivious = exact(oblivious_);
-    row.partial = exact(pk.routing);
-  } else {
-    row.ecmp = pool.ratioFor(ecmp_);
-    row.base = pool.ratioFor(base_routing_);
-    row.oblivious = pool.ratioFor(oblivious_);
-    row.partial = pool.ratioFor(pk.routing);
+  // Attributes the LP work of one scheme stage to its per-scheme counters.
+  const auto attributed = [&row](int i, const auto& stage) {
+    const lp::StatsSnapshot before = lp::statsSnapshot();
+    stage();
+    const lp::StatsSnapshot delta = lp::statsSnapshot() - before;
+    row.scheme_lp_solves[i] += delta.solves;
+    row.scheme_lp_pivots[i] += delta.iterations;
+  };
+
+  // Margin-dependent schemes are (re-)optimized first: their optimizer may
+  // grow the shared pool with oracle cutting planes, and every scheme is
+  // evaluated against the final pool (the pre-registry order of events).
+  std::vector<std::optional<routing::RoutingConfig>> per_margin(n);
+  for (int i = 0; i < n; ++i) {
+    if (!schemes_[i]->marginDependent()) continue;
+    attributed(i, [&] { per_margin[i] = schemes_[i]->compute(ctx); });
   }
+
+  for (int i = 0; i < n; ++i) {
+    const routing::RoutingConfig& cfg =
+        per_margin[i].has_value() ? *per_margin[i] : *intact_[i];
+    attributed(i, [&] {
+      row.ratio[i] =
+          opt_.exact_eval
+              ? routing::findWorstCaseDemand(g_, cfg, &box, opt_.coyote.lp)
+                    .ratio
+              : pool.ratioFor(cfg);
+    });
+  }
+
   const lp::StatsSnapshot lp_delta = lp::statsSnapshot() - lp_before;
   row.lp_solves = lp_delta.solves;
   row.lp_pivots = lp_delta.iterations;
@@ -60,24 +104,67 @@ SchemeRow NetworkSweep::run(double margin) const {
 }
 
 std::vector<double> marginGrid(double max_margin, bool full) {
+  // Margins scale an uncertainty box around the base matrix; < 1 is
+  // meaningless (same precondition as FailureEvalOptions::margin).
+  require(max_margin >= 1.0, "max_margin must be >= 1");
+  // Integer-step generation: `m += 0.5` accumulation can land the last
+  // margin at max_margin + epsilon and silently drop it.
+  const int steps_per_unit = full ? 2 : 1;
+  const int last = static_cast<int>((max_margin - 1.0) * steps_per_unit +
+                                    1e-9);
   std::vector<double> out;
-  for (double m = 1.0; m <= max_margin + 1e-9; m += full ? 0.5 : 1.0) {
-    out.push_back(m);
+  out.reserve(last + 1);
+  for (int i = 0; i <= last; ++i) {
+    out.push_back(1.0 + static_cast<double>(i) / steps_per_unit);
   }
   return out;
 }
 
-void printSchemeHeader(const char* network, const char* model) {
+SchemeTable::SchemeTable(std::vector<const te::Scheme*> schemes,
+                         std::vector<LeadingColumn> leading)
+    : schemes_(std::move(schemes)), leading_(std::move(leading)) {
+  widths_.reserve(schemes_.size());
+  for (const te::Scheme* s : schemes_) {
+    // Wide enough for the display name plus one separating space, never
+    // narrower than the classic 8-character ratio column.
+    widths_.push_back(
+        std::max<int>(8, static_cast<int>(std::string(s->display()).size()) +
+                             2));
+  }
+}
+
+void SchemeTable::printHeader() const {
+  for (const LeadingColumn& c : leading_) {
+    std::printf("%-*s ", c.width, c.title.c_str());
+  }
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    std::printf("%-*s ", widths_[i], schemes_[i]->display());
+  }
+  std::printf("\n");
+}
+
+void SchemeTable::printRow(const std::vector<std::string>& leading,
+                           const std::vector<double>& values,
+                           const std::vector<char>* routable) const {
+  require(leading.size() == leading_.size(), "leading cell count mismatch");
+  require(values.size() == schemes_.size(), "value count mismatch");
+  for (std::size_t i = 0; i < leading.size(); ++i) {
+    std::printf("%-*s ", leading_[i].width, leading[i].c_str());
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (routable != nullptr && !(*routable)[i]) {
+      std::printf("%-*s ", widths_[i], "n/a");
+    } else {
+      std::printf("%-*.2f ", widths_[i], values[i]);
+    }
+  }
+  std::printf("\n");
+}
+
+void printSweepPreamble(const char* network, const char* model) {
   std::printf("# %s, %s base matrix\n", network, model);
   std::printf("# ratios are worst-case link utilization relative to the\n");
   std::printf("# demands-aware optimum within the same augmented DAGs\n");
-  std::printf("%-8s %-8s %-8s %-12s %-12s\n", "margin", "ECMP", "Base",
-              "COYOTE-obl", "COYOTE-pk");
-}
-
-void printSchemeRow(const SchemeRow& r) {
-  std::printf("%-8.1f %-8.2f %-8.2f %-12.2f %-12.2f\n", r.margin, r.ecmp,
-              r.base, r.oblivious, r.partial);
 }
 
 }  // namespace coyote::exp

@@ -1,7 +1,9 @@
-// The four-scheme margin sweep at the heart of the paper's evaluation
+// The scheme margin sweep at the heart of the paper's evaluation
 // (Figs. 6-9, Table I), factored out of the per-figure bench binaries so
 // the scenario registry (scenario.hpp) and the experiment runner
-// (runner.hpp) can drive it uniformly.
+// (runner.hpp) can drive it uniformly. Since the te::Scheme redesign the
+// sweep is generic over a scheme list (default: the paper's four, from
+// te::SchemeRegistry::builtin()).
 //
 // Every sweep prints/records the same rows the paper reports, normalized --
 // like the paper's figures -- by the demands-aware optimum *within the same
@@ -15,29 +17,35 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/coyote.hpp"
 #include "core/dag_builder.hpp"
-#include "routing/ecmp.hpp"
 #include "routing/evaluator.hpp"
 #include "routing/optu.hpp"
 #include "routing/worst_case.hpp"
+#include "scheme/registry.hpp"
 #include "tm/uncertainty.hpp"
 
 namespace coyote::exp {
 
-/// One row of the Fig. 6-9 / Table I comparison.
+/// One row of the Fig. 6-9 / Table I comparison: one ratio per scheme of
+/// the sweep's scheme list (NetworkSweep::schemes(), same order).
 struct SchemeRow {
   double margin = 1.0;
-  double ecmp = 0.0;        ///< traditional TE with ECMP
-  double base = 0.0;        ///< demands-aware optimum for the base matrix
-  double oblivious = 0.0;   ///< COYOTE, no demand knowledge
-  double partial = 0.0;     ///< COYOTE, optimized for the uncertainty box
-  /// LP work this margin point cost (pool normalization, optimizer
-  /// re-solves, slave LPs): deltas of lp::statsSnapshot() around run().
+  std::vector<double> ratio;
+  /// LP work this margin point cost in total (pool normalization,
+  /// optimizer re-solves, slave LPs): deltas of lp::statsSnapshot()
+  /// around run().
   std::int64_t lp_solves = 0;
   std::int64_t lp_pivots = 0;
+  /// The per-scheme share of that work (margin-dependent re-optimization
+  /// plus the scheme's own evaluation; the shared pool normalization is
+  /// not attributed). Parallel to `ratio`.
+  std::vector<std::int64_t> scheme_lp_solves;
+  std::vector<std::int64_t> scheme_lp_pivots;
 };
 
 struct SweepOptions {
@@ -45,11 +53,15 @@ struct SweepOptions {
   tm::PoolOptions pool;
   core::CoyoteOptions coyote;
   bool exact_oracle = false;  ///< add slave-LP cutting planes (small nets)
-  /// Evaluate the four schemes with the exact slave-LP adversary over the
+  /// Evaluate the schemes with the exact slave-LP adversary over the
   /// whole box (one LP per edge per scheme) instead of the corner pool.
   /// This is what exposes how quickly the base-optimal routing degrades
   /// under uncertainty; affordable up to ~15-node networks.
   bool exact_eval = false;
+  /// 0 = the process-wide util::ThreadPool; otherwise the per-margin pool
+  /// evaluator runs on a private pool of exactly that many threads.
+  /// Results are bit-identical either way (tests sweep this knob).
+  unsigned threads = 0;
 
   SweepOptions() {
     pool.random_corners = 6;
@@ -60,47 +72,87 @@ struct SweepOptions {
   }
 };
 
-/// Margin-sweep harness for one network. The margin-independent schemes
-/// (ECMP, the base-matrix optimum, COYOTE-oblivious) are computed once and
-/// re-evaluated under every margin's pool; COYOTE-partial-knowledge is
-/// re-optimized per margin. All heavy stages (pool normalization, PERF
-/// evaluation, the optimizer's forward pass, the slave LPs) run on the
-/// shared util::ThreadPool; results are bit-identical for any thread count.
+/// Margin-sweep harness for one network, generic over a scheme list.
+/// Margin-independent schemes are computed once (in list order) and
+/// re-evaluated under every margin's pool; margin-dependent ones
+/// (COYOTE-pk) are re-optimized per margin. All heavy stages (pool
+/// normalization, PERF evaluation, the optimizer's forward pass, the slave
+/// LPs) run on the shared util::ThreadPool; results are bit-identical for
+/// any thread count.
 ///
 /// One routing::OptuEngine is shared by every margin point's evaluator:
 /// the OPTU constraint matrix is built once per (graph, DAG-set,
 /// active-destination signature) and each margin's pool normalizations
-/// re-solve it by mutating the conservation rhs from a warm basis.
+/// re-solve it by mutating the conservation rhs from a warm basis. The
+/// warm chains and thread-chunking are per scheme-independent stage, so
+/// adding or removing schemes never perturbs another scheme's pivots.
 class NetworkSweep {
  public:
+  /// `schemes` empty selects te::SchemeRegistry::builtin().defaults()
+  /// (the paper's four-scheme comparison).
   NetworkSweep(const Graph& g, std::shared_ptr<const DagSet> dags,
-               const tm::TrafficMatrix& base_tm, SweepOptions opt);
+               const tm::TrafficMatrix& base_tm, SweepOptions opt,
+               std::vector<const te::Scheme*> schemes = {});
 
   [[nodiscard]] SchemeRow run(double margin) const;
 
-  [[nodiscard]] const routing::RoutingConfig& ecmpRouting() const {
-    return ecmp_;
+  [[nodiscard]] const std::vector<const te::Scheme*>& schemes() const {
+    return schemes_;
   }
-  [[nodiscard]] const routing::RoutingConfig& obliviousRouting() const {
-    return oblivious_;
-  }
+
+  /// Intact routing of scheme `i` (margin-independent schemes only;
+  /// margin-dependent ones are recomputed inside run()).
+  [[nodiscard]] const routing::RoutingConfig& intactRouting(int i) const;
 
  private:
   const Graph& g_;
   std::shared_ptr<const DagSet> dags_;
   const tm::TrafficMatrix& base_tm_;
   SweepOptions opt_;
+  std::vector<const te::Scheme*> schemes_;
   std::shared_ptr<routing::OptuEngine> optu_engine_;
-  routing::RoutingConfig ecmp_;
-  routing::RoutingConfig base_routing_;
-  routing::RoutingConfig oblivious_;
+  /// Parallel to schemes_; disengaged for margin-dependent schemes.
+  std::vector<std::optional<routing::RoutingConfig>> intact_;
 };
 
 /// Margins used by the sweeps: the paper uses 1..3 (figures) and 1..5
-/// (Table I) in 0.5 steps; the quick default thins them out.
+/// (Table I) in 0.5 steps; the quick default thins them out. Generated
+/// from integer step counts (not floating-point accumulation), so the last
+/// margin is never lost to round-off drift.
 [[nodiscard]] std::vector<double> marginGrid(double max_margin, bool full);
 
-void printSchemeHeader(const char* network, const char* model);
-void printSchemeRow(const SchemeRow& r);
+/// Column-width-computed text table for scheme rows: any number of
+/// caller-formatted leading columns followed by one column per scheme,
+/// each sized to its display name. Replaces the hardcoded
+/// printSchemeHeader/printSchemeRow printf pair.
+class SchemeTable {
+ public:
+  struct LeadingColumn {
+    std::string title;
+    int width = 8;
+  };
+
+  SchemeTable(std::vector<const te::Scheme*> schemes,
+              std::vector<LeadingColumn> leading);
+
+  /// Prints the column-title line.
+  void printHeader() const;
+
+  /// Prints one row: the leading cells (caller-formatted, e.g. "2.5" or a
+  /// failure label) then `values[i]` at two decimals per scheme --
+  /// "n/a" where `routable` (when given) is false.
+  void printRow(const std::vector<std::string>& leading,
+                const std::vector<double>& values,
+                const std::vector<char>* routable = nullptr) const;
+
+ private:
+  std::vector<const te::Scheme*> schemes_;
+  std::vector<LeadingColumn> leading_;
+  std::vector<int> widths_;  ///< per-scheme column width
+};
+
+/// The two-line normalization preamble the margin sweeps print above their
+/// table ("# <network>, <model> base matrix" + the ruler description).
+void printSweepPreamble(const char* network, const char* model);
 
 }  // namespace coyote::exp

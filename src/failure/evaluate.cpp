@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "routing/evaluator.hpp"
 #include "routing/optu.hpp"
@@ -9,20 +10,6 @@
 #include "util/require.hpp"
 
 namespace coyote::failure {
-
-const char* schemeKey(Scheme s) {
-  switch (s) {
-    case Scheme::kEcmp:
-      return "ecmp";
-    case Scheme::kBase:
-      return "base";
-    case Scheme::kOblivious:
-      return "oblivious";
-    case Scheme::kPartial:
-      return "partial";
-  }
-  return "unknown";
-}
 
 namespace {
 
@@ -51,64 +38,94 @@ FailureEvaluator::FailureEvaluator(const Graph& g,
       dags_(std::move(dags)),
       base_(base_tm),
       opt_(std::move(opt)),
+      schemes_(opt_.schemes.empty()
+                   ? te::SchemeRegistry::builtin().defaults()
+                   : opt_.schemes),
       pool_(tm::cornerPool(tm::marginBounds(base_tm, opt_.margin),
-                           opt_.pool)),
-      base_routing_(
-          routing::optimalRoutingForDemand(g, dags_, base_tm, opt_.coyote.lp)
-              .routing),
-      oblivious_(core::coyoteOblivious(g, dags_, opt_.coyote).routing),
-      partial_([&] {
-        // COYOTE with the operator's uncertainty box, optimized on the
-        // intact network (the offline configuration the failure hits),
-        // against the same corner pool the sweep evaluates with.
-        const tm::DemandBounds box = tm::marginBounds(base_tm, opt_.margin);
-        routing::PerformanceEvaluator eval(g, dags_, opt_.coyote.lp);
-        eval.addPool(pool_);
-        return core::optimizeAgainstPool(g, eval, &box, opt_.coyote).routing;
-      }()) {
+                           opt_.pool)) {
   require(dags_ != nullptr, "null dag set");
   require(opt_.margin >= 1.0, "margin must be >= 1");
+  require(!schemes_.empty(), "empty scheme list");
+
+  // The intact (offline) configuration of every kRepairDags scheme, in
+  // list order, with the caller's optimizer options passed through
+  // unmodified (including any oracle_rounds request). Margin-dependent
+  // schemes are optimized against the operator's uncertainty box over the
+  // same corner pool the sweep evaluates with. kReconverge schemes carry
+  // no intact config here: their post-failure routing is recomputed from
+  // the degraded graph alone (Scheme::reconverge), so computing one would
+  // be pure startup waste (invcap-ecmp's would rebuild a whole augmented
+  // DAG set).
+  const tm::DemandBounds box = tm::marginBounds(base_tm, opt_.margin);
+  intact_.reserve(schemes_.size());
+  for (const te::Scheme* s : schemes_) {
+    if (s->reaction() == te::FailureReaction::kReconverge) {
+      intact_.emplace_back(std::nullopt);
+    } else if (s->marginDependent()) {
+      routing::PerformanceEvaluator eval(g_, dags_, opt_.coyote.lp);
+      eval.addPool(pool_);
+      const te::SchemeContext ctx{g_, dags_, base_, opt_.coyote, &box,
+                                  &eval};
+      intact_.emplace_back(s->compute(ctx));
+    } else {
+      const te::SchemeContext ctx{g_,      dags_,  base_, opt_.coyote,
+                                  nullptr, nullptr};
+      intact_.emplace_back(s->compute(ctx));
+    }
+  }
   if (opt_.threads != 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(opt_.threads);
   }
 }
 
-const routing::RoutingConfig& FailureEvaluator::intactRouting(Scheme s) const {
-  switch (s) {
-    case Scheme::kBase:
-      return base_routing_;
-    case Scheme::kOblivious:
-      return oblivious_;
-    case Scheme::kPartial:
-      return partial_;
-    default:
-      break;
+const routing::RoutingConfig& FailureEvaluator::intactRouting(
+    const std::string& key) const {
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    if (key != schemes_[i]->key()) continue;
+    if (!intact_[i].has_value()) {
+      throw std::invalid_argument("scheme '" + key +
+                                  "' reconverges; it keeps no intact "
+                                  "config here");
+    }
+    return *intact_[i];
   }
-  throw std::invalid_argument("no intact config for this scheme");
+  throw std::invalid_argument("scheme '" + key +
+                              "' is not in this evaluator's list");
 }
 
 FailureOutcome FailureEvaluator::evaluateOne(
     const FailureScenario& f, routing::OptuEngine& engine) const {
+  const int n = static_cast<int>(schemes_.size());
   FailureOutcome out;
   out.label = f.label;
+  out.ratio.assign(n, 0.0);
+  out.routable.assign(n, 0);
 
   const Graph degraded = degradedGraph(g_, f);
   out.disconnected_pairs = disconnectedPairs(degraded, base_);
   if (out.disconnected_pairs > 0) return out;  // reported, not evaluated
   out.evaluated = true;
 
-  // The surviving routings: OSPF reconvergence for ECMP, DAG repair with
-  // split renormalization for the static schemes.
-  const std::vector<char> failed = failedEdgeMask(g_, f);
+  // The surviving routings: each scheme reacts per its FailureReaction --
+  // OSPF reconvergence, or DAG repair with split renormalization. The
+  // repaired DAG set is shared by every kRepairDags scheme (and skipped
+  // entirely when the selection is all-reconverge).
+  bool any_repair = false;
+  for (const te::Scheme* s : schemes_) {
+    any_repair |= s->reaction() == te::FailureReaction::kRepairDags;
+  }
   const std::shared_ptr<const DagSet> repaired =
-      repairDags(g_, *dags_, failed);
-  std::array<routing::RoutingConfig, kSchemeCount> cfgs = {
-      reconvergedEcmp(degraded),
-      repairRouting(g_, base_routing_, repaired),
-      repairRouting(g_, oblivious_, repaired),
-      repairRouting(g_, partial_, repaired),
-  };
-  for (int s = 0; s < kSchemeCount; ++s) {
+      any_repair ? repairDags(g_, *dags_, failedEdgeMask(g_, f)) : nullptr;
+  std::vector<routing::RoutingConfig> cfgs;
+  cfgs.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    if (schemes_[s]->reaction() == te::FailureReaction::kReconverge) {
+      cfgs.push_back(schemes_[s]->reconverge(degraded));
+    } else {
+      cfgs.push_back(repairRouting(g_, *intact_[s], repaired));
+    }
+  }
+  for (int s = 0; s < n; ++s) {
     out.routable[s] = routesAllDemands(cfgs[s], base_);
   }
 
@@ -123,7 +140,7 @@ FailureOutcome FailureEvaluator::evaluateOne(
 
   for (std::size_t j = 0; j < pool_.size(); ++j) {
     if (optu[j] <= 0.0) continue;  // zero matrix
-    for (int s = 0; s < kSchemeCount; ++s) {
+    for (int s = 0; s < n; ++s) {
       if (!out.routable[s]) continue;
       const double mxlu =
           routing::maxLinkUtilization(degraded, cfgs[s], pool_[j]);
@@ -135,8 +152,13 @@ FailureOutcome FailureEvaluator::evaluateOne(
 
 FailureSweepResult FailureEvaluator::evaluate(
     const std::vector<FailureScenario>& failures) const {
+  const int n = static_cast<int>(schemes_.size());
   FailureSweepResult result;
   result.outcomes.resize(failures.size());
+  result.schemes.reserve(n);
+  for (const te::Scheme* s : schemes_) {
+    result.schemes.emplace_back(s->key(), SchemeFailureStats{});
+  }
 
   // Fixed-size chunks of the failure list: each chunk owns one OptuEngine
   // whose sessions stay warm across the chunk's failures x pool matrices.
@@ -156,7 +178,7 @@ FailureSweepResult FailureEvaluator::evaluate(
   });
 
   // Serial reduction in scenario order.
-  std::array<std::vector<double>, kSchemeCount> ratios;
+  std::vector<std::vector<double>> ratios(n);
   for (const FailureOutcome& out : result.outcomes) {
     if (!out.evaluated) {
       ++result.disconnecting;
@@ -164,18 +186,18 @@ FailureSweepResult FailureEvaluator::evaluate(
       continue;
     }
     ++result.evaluated;
-    for (int s = 0; s < kSchemeCount; ++s) {
+    for (int s = 0; s < n; ++s) {
       if (out.routable[s]) {
         ratios[s].push_back(out.ratio[s]);
       } else {
-        ++result.schemes[s].unroutable;
+        ++result.schemes[s].second.unroutable;
       }
     }
   }
-  for (int s = 0; s < kSchemeCount; ++s) {
+  for (int s = 0; s < n; ++s) {
     std::vector<double>& r = ratios[s];
     std::sort(r.begin(), r.end());
-    SchemeFailureStats& stats = result.schemes[s];
+    SchemeFailureStats& stats = result.schemes[s].second;
     stats.evaluated = static_cast<int>(r.size());
     if (!r.empty()) {
       stats.worst = r.back();

@@ -1,15 +1,18 @@
-// Four-scheme evaluation over a set of failure scenarios.
+// Scheme evaluation over a set of failure scenarios, generic over a
+// te::Scheme list (default: the paper's four, from
+// te::SchemeRegistry::builtin()).
 //
-// For each failure the surviving network is derived (degrade.hpp) and the
-// schemes react the way they would in deployment: ECMP reconverges via
-// OSPF, the three static DAG schemes (Base, COYOTE-oblivious,
-// COYOTE-partial-knowledge) repair their precomputed DAGs locally. Each
-// scheme's post-failure performance ratio is
+// For each failure the surviving network is derived (degrade.hpp) and each
+// scheme reacts the way its te::FailureReaction says it would in
+// deployment: kReconverge schemes re-run OSPF SPF on the survivors
+// (Scheme::reconverge, over the scheme's substrate weights), kRepairDags
+// schemes repair their precomputed DAGs locally. Each scheme's
+// post-failure performance ratio is
 //
 //     max over the corner pool D of  MxLU(repaired cfg, D) / OPTU_f(D)
 //
 // where OPTU_f is the *unrestricted* demands-aware optimum on the
-// surviving network -- the common ruler all four schemes (whose DAG sets
+// surviving network -- the common ruler all schemes (whose DAG sets
 // now differ) are measured against. Note this is a stricter normalization
 // than the intact sweeps' within-DAG optimum, so post-failure ratios are
 // not directly comparable to the intact rows of the same scenario.
@@ -23,24 +26,21 @@
 // own warm chain -- so results are bit-identical for any COYOTE_THREADS.
 #pragma once
 
-#include <array>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/coyote.hpp"
 #include "failure/degrade.hpp"
 #include "failure/scenario.hpp"
 #include "routing/config.hpp"
+#include "scheme/registry.hpp"
 #include "tm/uncertainty.hpp"
 #include "util/thread_pool.hpp"
 
 namespace coyote::failure {
-
-/// The four schemes of the paper's comparison, in row order.
-inline constexpr int kSchemeCount = 4;
-enum class Scheme { kEcmp = 0, kBase = 1, kOblivious = 2, kPartial = 3 };
-[[nodiscard]] const char* schemeKey(Scheme s);  ///< "ecmp", "base", ...
 
 struct FailureEvalOptions {
   /// Uncertainty margin of the evaluation box around the base matrix.
@@ -53,6 +53,9 @@ struct FailureEvalOptions {
   /// 0 = the process-wide util::ThreadPool; otherwise a private pool of
   /// exactly that many threads. Results are identical either way.
   unsigned threads = 0;
+  /// Schemes to sweep, in row order; empty selects
+  /// te::SchemeRegistry::builtin().defaults() (the paper's four).
+  std::vector<const te::Scheme*> schemes;
 
   FailureEvalOptions() {
     pool.source_hotspots = false;
@@ -64,7 +67,8 @@ struct FailureEvalOptions {
   }
 };
 
-/// One failure scenario's verdict.
+/// One failure scenario's verdict. The per-scheme vectors are parallel to
+/// the evaluator's scheme list (FailureEvaluator::schemes(), same order).
 struct FailureOutcome {
   std::string label;
   /// (s,t) pairs with base demand the surviving *graph* cannot connect.
@@ -73,11 +77,11 @@ struct FailureOutcome {
   int disconnected_pairs = 0;
   bool evaluated = false;
   /// Post-failure performance ratio per scheme; valid when routable.
-  std::array<double, kSchemeCount> ratio{};
+  std::vector<double> ratio;
   /// False when the scheme's repaired DAGs strand a demanded node even
-  /// though the graph stays connected (static schemes only; reconverged
-  /// ECMP is always routable on a connected graph).
-  std::array<bool, kSchemeCount> routable{};
+  /// though the graph stays connected (kRepairDags schemes only; a
+  /// reconverged scheme is always routable on a connected graph).
+  std::vector<char> routable;
 };
 
 /// Distribution summary of one scheme's ratios over evaluated failures.
@@ -94,7 +98,9 @@ struct FailureSweepResult {
   int evaluated = 0;
   int disconnecting = 0;
   int disconnected_pairs = 0;  ///< summed over disconnecting scenarios
-  std::array<SchemeFailureStats, kSchemeCount> schemes;
+  /// Per-scheme stats, keyed by scheme key, in the evaluator's scheme
+  /// order (the registry keys replace the old fixed Scheme enum).
+  std::vector<std::pair<std::string, SchemeFailureStats>> schemes;
 };
 
 /// Computes the intact schemes once, then sweeps failure sets against
@@ -112,7 +118,15 @@ class FailureEvaluator {
   static constexpr int kFailureChunk = 4;
 
   [[nodiscard]] int poolSize() const { return static_cast<int>(pool_.size()); }
-  [[nodiscard]] const routing::RoutingConfig& intactRouting(Scheme s) const;
+  [[nodiscard]] const std::vector<const te::Scheme*>& schemes() const {
+    return schemes_;
+  }
+  /// Intact routing of the scheme with this registry key; throws
+  /// std::invalid_argument for a key outside the evaluator's scheme list
+  /// or for a kReconverge scheme (those recompute their post-failure
+  /// routing from the degraded graph alone and keep no intact config).
+  [[nodiscard]] const routing::RoutingConfig& intactRouting(
+      const std::string& key) const;
 
  private:
   [[nodiscard]] FailureOutcome evaluateOne(const FailureScenario& f,
@@ -122,10 +136,10 @@ class FailureEvaluator {
   std::shared_ptr<const DagSet> dags_;
   tm::TrafficMatrix base_;
   FailureEvalOptions opt_;
+  std::vector<const te::Scheme*> schemes_;
   std::vector<tm::TrafficMatrix> pool_;  ///< raw box corners (unnormalized)
-  routing::RoutingConfig base_routing_;
-  routing::RoutingConfig oblivious_;
-  routing::RoutingConfig partial_;
+  /// Parallel to schemes_; disengaged for kReconverge schemes.
+  std::vector<std::optional<routing::RoutingConfig>> intact_;
   std::unique_ptr<util::ThreadPool> own_pool_;
 };
 

@@ -1,0 +1,126 @@
+#include "scheme/registry.hpp"
+
+#include <stdexcept>
+
+namespace coyote::te {
+
+namespace {
+
+bool safeKey(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// BENCH row fields the runner emits next to the per-scheme ratios; a
+/// scheme keyed like one of these would silently overwrite that field in
+/// the JSON (lp_* cannot collide: keys have no '_').
+bool reservedKey(const std::string& key) {
+  static const char* const kReserved[] = {
+      "margin", "network", "exact", "label", "evaluated", "unroutable",
+      "moves", "ideal", "quantized",
+  };
+  for (const char* r : kReserved) {
+    if (key == r) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const SchemeRegistry& SchemeRegistry::builtin() {
+  static const SchemeRegistry* const kRegistry = [] {
+    auto* reg = new SchemeRegistry();
+    // The paper's comparison, in row order.
+    reg->add(makeEcmpScheme(), /*default_scheme=*/true);
+    reg->add(makeBaseScheme(), /*default_scheme=*/true);
+    reg->add(makeObliviousScheme(), /*default_scheme=*/true);
+    reg->add(makePartialScheme(), /*default_scheme=*/true);
+    // Extension schemes: selected via --schemes, never part of defaults().
+    reg->add(makeInvCapEcmpScheme());
+    reg->add(makeSemiObliviousScheme());
+    return reg;
+  }();
+  return *kRegistry;
+}
+
+void SchemeRegistry::add(std::unique_ptr<const Scheme> scheme,
+                         bool default_scheme) {
+  if (scheme == nullptr) throw std::invalid_argument("null scheme");
+  const std::string key = scheme->key();
+  if (!safeKey(key)) {
+    throw std::invalid_argument("unsafe scheme key '" + key +
+                                "' (want lowercase [a-z0-9-])");
+  }
+  if (reservedKey(key)) {
+    throw std::invalid_argument("reserved scheme key '" + key +
+                                "' (collides with a BENCH row field)");
+  }
+  if (find(key) != nullptr) {
+    throw std::invalid_argument("duplicate scheme key '" + key + "'");
+  }
+  all_.push_back(scheme.get());
+  if (default_scheme) defaults_.push_back(scheme.get());
+  owned_.push_back(std::move(scheme));
+}
+
+const Scheme* SchemeRegistry::find(const std::string& key) const {
+  for (const Scheme* s : all_) {
+    if (key == s->key()) return s;
+  }
+  return nullptr;
+}
+
+std::vector<const Scheme*> SchemeRegistry::resolve(
+    const std::vector<std::string>& keys) const {
+  if (keys.empty()) return defaults_;
+  std::vector<const Scheme*> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) {
+    const Scheme* s = find(key);
+    if (s == nullptr) {
+      throw std::invalid_argument("unknown scheme '" + key +
+                                  "' (see --list-schemes)");
+    }
+    for (const Scheme* have : out) {
+      if (have == s) {
+        // A repeated key would compute the scheme twice and emit
+        // duplicate JSON row fields -- reject like every other bad key.
+        throw std::invalid_argument("duplicate scheme '" + key +
+                                    "' in selection");
+      }
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<const Scheme*> SchemeRegistry::parseList(
+    const std::string& csv) const {
+  // Tokens are trimmed, not space-stripped: "ecm p" must stay the unknown
+  // key "ecm p" (a hard error naming it), never silently become "ecmp".
+  std::vector<std::string> keys;
+  std::string cur;
+  const auto flush = [&] {
+    const std::size_t begin = cur.find_first_not_of(' ');
+    if (begin != std::string::npos) {
+      keys.push_back(cur.substr(begin, cur.find_last_not_of(' ') - begin + 1));
+    }
+    cur.clear();
+  };
+  for (const char c : csv) {
+    if (c == ',') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  return resolve(keys);
+}
+
+}  // namespace coyote::te

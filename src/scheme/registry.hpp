@@ -1,0 +1,61 @@
+// Registry of TE schemes (scheme.hpp): the built-in corpus the experiment
+// layers draw from, plus an explicit-construction form for tests.
+//
+// Keys are the contract: BENCH JSON row fields, `--schemes` selectors, and
+// failure-stats map keys are all registry keys, and bench_compare matches
+// rows across runs by them. Registration rejects duplicate or unsafe keys;
+// lookups of unknown keys in resolve()/parseList() throw with the
+// offending key named, so a CLI typo is a hard error, never a silently
+// empty sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheme/scheme.hpp"
+
+namespace coyote::te {
+
+class SchemeRegistry {
+ public:
+  /// Empty registry (tests register their own schemes).
+  SchemeRegistry() = default;
+
+  /// The process-wide registry: the four paper schemes (in the paper's row
+  /// order, flagged as the default sweep set) plus the extension schemes
+  /// invcap-ecmp and semi-oblivious.
+  static const SchemeRegistry& builtin();
+
+  /// Registers a scheme. Throws std::invalid_argument on a duplicate or
+  /// unsafe key (keys are lowercase [a-z0-9-]: they become JSON fields and
+  /// CLI selectors). `default_scheme` adds it to defaults().
+  void add(std::unique_ptr<const Scheme> scheme, bool default_scheme = false);
+
+  [[nodiscard]] const Scheme* find(const std::string& key) const;
+
+  /// Every registered scheme, in registration order.
+  [[nodiscard]] const std::vector<const Scheme*>& all() const { return all_; }
+
+  /// The default sweep set (the paper's four-scheme comparison).
+  [[nodiscard]] const std::vector<const Scheme*>& defaults() const {
+    return defaults_;
+  }
+
+  /// Resolves keys to schemes, preserving order; an empty list resolves to
+  /// defaults(). Throws std::invalid_argument naming the first unknown key.
+  [[nodiscard]] std::vector<const Scheme*> resolve(
+      const std::vector<std::string>& keys) const;
+
+  /// resolve() over a comma-separated list ("ecmp,partial"); empty input
+  /// resolves to defaults(). Throws like resolve().
+  [[nodiscard]] std::vector<const Scheme*> parseList(
+      const std::string& csv) const;
+
+ private:
+  std::vector<std::unique_ptr<const Scheme>> owned_;
+  std::vector<const Scheme*> all_;
+  std::vector<const Scheme*> defaults_;
+};
+
+}  // namespace coyote::te

@@ -1,0 +1,185 @@
+#include "scheme/scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/dag_builder.hpp"
+#include "core/splitting_optimizer.hpp"
+#include "failure/degrade.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/optu.hpp"
+#include "util/require.hpp"
+
+namespace coyote::te {
+
+const char* reactionName(FailureReaction r) {
+  switch (r) {
+    case FailureReaction::kReconverge:
+      return "reconverge";
+    case FailureReaction::kRepairDags:
+      return "repair-dags";
+  }
+  return "unknown";
+}
+
+Graph Scheme::ospfSubstrate(const Graph& g) const { return g; }
+
+routing::RoutingConfig Scheme::reconverge(const Graph& degraded) const {
+  if (reaction() != FailureReaction::kReconverge) {
+    throw std::logic_error(std::string("scheme '") + key() +
+                           "' repairs its DAGs; it does not reconverge");
+  }
+  // OSPF SPF re-run on the survivors, over the scheme's substrate weights.
+  return failure::reconvergedEcmp(ospfSubstrate(degraded));
+}
+
+Graph inverseCapacityReweighted(const Graph& g) {
+  Graph out = g;
+  double max_cap = 0.0;
+  for (const Edge& e : out.edges()) max_cap = std::max(max_cap, e.capacity);
+  if (max_cap <= 0.0) return out;
+  for (EdgeId e = 0; e < out.numEdges(); ++e) {
+    const double cap = out.edge(e).capacity;
+    if (cap > 0.0) out.setWeight(e, max_cap / cap);
+  }
+  return out;
+}
+
+namespace {
+
+// --- the paper's four schemes -----------------------------------------
+
+class EcmpScheme final : public Scheme {
+ public:
+  const char* key() const override { return "ecmp"; }
+  const char* display() const override { return "ECMP"; }
+  const char* describe() const override {
+    return "traditional TE: equal splitting over shortest paths of the "
+           "configured link weights";
+  }
+  FailureReaction reaction() const override {
+    return FailureReaction::kReconverge;
+  }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    return routing::ecmpConfig(ctx.g, ctx.dags);
+  }
+};
+
+class BaseScheme final : public Scheme {
+ public:
+  const char* key() const override { return "base"; }
+  const char* display() const override { return "Base"; }
+  const char* describe() const override {
+    return "demands-aware optimum (within the augmented DAGs) for the base "
+           "matrix only";
+  }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    return routing::optimalRoutingForDemand(ctx.g, ctx.dags, ctx.base_tm,
+                                            ctx.coyote.lp)
+        .routing;
+  }
+};
+
+class ObliviousScheme final : public Scheme {
+ public:
+  const char* key() const override { return "oblivious"; }
+  const char* display() const override { return "COYOTE-obl"; }
+  const char* describe() const override {
+    return "COYOTE with no demand knowledge: optimized against a pool "
+           "standing in for all matrices";
+  }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    return core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote).routing;
+  }
+};
+
+class PartialScheme final : public Scheme {
+ public:
+  const char* key() const override { return "partial"; }
+  const char* display() const override { return "COYOTE-pk"; }
+  const char* describe() const override {
+    return "COYOTE partial knowledge: re-optimized per margin against the "
+           "uncertainty box's corner pool";
+  }
+  bool marginDependent() const override { return true; }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    require(ctx.pool != nullptr && ctx.box != nullptr,
+            "margin-dependent scheme needs the margin's box and pool");
+    return core::optimizeAgainstPool(ctx.g, *ctx.pool, ctx.box, ctx.coyote)
+        .routing;
+  }
+};
+
+// --- extension schemes (beyond the paper's comparison) ----------------
+
+class InvCapEcmpScheme final : public Scheme {
+ public:
+  const char* key() const override { return "invcap-ecmp"; }
+  const char* display() const override { return "invcap-ECMP"; }
+  const char* describe() const override {
+    return "ECMP over inverse-capacity OSPF weights (the classic operator "
+           "default), whatever weights the topology carries";
+  }
+  FailureReaction reaction() const override {
+    return FailureReaction::kReconverge;
+  }
+  Graph ospfSubstrate(const Graph& g) const override {
+    return inverseCapacityReweighted(g);
+  }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    // The config lives over the substrate's own augmented DAGs (Dags hold
+    // ids only, so it evaluates directly on the original graph). On
+    // topologies already carrying inverse-capacity weights this reproduces
+    // plain ECMP exactly.
+    const Graph reweighted = inverseCapacityReweighted(ctx.g);
+    return routing::ecmpConfig(reweighted,
+                               core::augmentedDagsShared(reweighted));
+  }
+};
+
+class SemiObliviousScheme final : public Scheme {
+ public:
+  const char* key() const override { return "semi-oblivious"; }
+  const char* display() const override { return "COYOTE-semi"; }
+  const char* describe() const override {
+    return "Kulfi-style semi-oblivious: COYOTE-oblivious DAG structure, "
+           "splits re-optimized for the base matrix only";
+  }
+  routing::RoutingConfig compute(const SchemeContext& ctx) const override {
+    // Start from the demand-oblivious optimum (same options as the
+    // 'oblivious' scheme, so both rows share one structure in one run),
+    // then re-tune the splitting ratios for the base matrix alone -- a
+    // middle point between 'base' (fully demand-aware) and 'partial'
+    // (box-aware): the structure is oblivious, only the rates adapt, and
+    // nothing depends on the margin.
+    const routing::RoutingConfig oblivious =
+        core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote).routing;
+    routing::PerformanceEvaluator eval(ctx.g, ctx.dags, ctx.coyote.lp);
+    eval.addMatrix(ctx.base_tm);
+    return core::optimizeSplitting(ctx.g, eval, oblivious,
+                                   ctx.coyote.splitting);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<const Scheme> makeEcmpScheme() {
+  return std::make_unique<EcmpScheme>();
+}
+std::unique_ptr<const Scheme> makeBaseScheme() {
+  return std::make_unique<BaseScheme>();
+}
+std::unique_ptr<const Scheme> makeObliviousScheme() {
+  return std::make_unique<ObliviousScheme>();
+}
+std::unique_ptr<const Scheme> makePartialScheme() {
+  return std::make_unique<PartialScheme>();
+}
+std::unique_ptr<const Scheme> makeInvCapEcmpScheme() {
+  return std::make_unique<InvCapEcmpScheme>();
+}
+std::unique_ptr<const Scheme> makeSemiObliviousScheme() {
+  return std::make_unique<SemiObliviousScheme>();
+}
+
+}  // namespace coyote::te

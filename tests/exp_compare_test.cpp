@@ -160,6 +160,92 @@ TEST(CompareDocuments, LpTelemetryIsExemptFromDriftAndReportedAsInfo) {
       << report.text();
 }
 
+TEST(CompareDocuments, PerSchemeLpTelemetryInDynamicRowsIsExempt) {
+  // Schema coyote-bench/4 rows carry a per-scheme LP breakdown under
+  // lp_scheme_solves/lp_scheme_pivots. Tamper test: the candidate's
+  // per-scheme pivot counts differ wildly, and the gate must not care --
+  // the lp_ prefix exempts the whole subtree, exactly as schema-2 did for
+  // the flat lp_* fields.
+  const auto docWithSchemeLp = [](double ecmp_pivots) {
+    json::Value doc = benchDoc("s", 1.5, 1.0);
+    json::Value row = json::Value::object();
+    row["margin"] = 2.0;
+    row["ecmp"] = 1.5;
+    row["partial"] = 1.1;
+    json::Value pivots = json::Value::object();
+    pivots["ecmp"] = ecmp_pivots;
+    pivots["partial"] = 2.0 * ecmp_pivots;
+    row["lp_scheme_pivots"] = std::move(pivots);
+    json::Value solves = json::Value::object();
+    solves["ecmp"] = ecmp_pivots / 10.0;
+    row["lp_scheme_solves"] = std::move(solves);
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    doc["rows"] = std::move(rows);
+    return doc;
+  };
+  CompareReport report;
+  compareDocuments(docWithSchemeLp(1000.0), docWithSchemeLp(7.0),
+                   CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  EXPECT_FALSE(hasKind(report, CompareFinding::Kind::kDrift));
+}
+
+TEST(CompareDocuments, CandidateOnlySchemeRowsAreInfoNotDrift) {
+  // Dynamic rows (coyote-bench/4): a candidate swept with extra --schemes
+  // carries row fields the baseline never had. Those are surfaced as
+  // [INFO] and never gate; a scheme the *baseline* recorded going missing
+  // in the candidate stays hard drift.
+  const json::Value baseline = benchDoc("s", 1.5, 1.0);
+  json::Value candidate = benchDoc("s", 1.5, 1.0);
+  {
+    json::Value row = json::Value::object();
+    row["margin"] = 2.0;
+    row["ecmp"] = 1.5;
+    row["partial"] = 1.1;
+    row["semi-oblivious"] = 1.3;  // candidate-only scheme
+    json::Value rows = json::Value::array();
+    rows.push_back(std::move(row));
+    candidate["rows"] = std::move(rows);
+  }
+
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kInfo));
+  EXPECT_NE(report.text().find("semi-oblivious"), std::string::npos)
+      << report.text();
+
+  // The reverse direction -- baseline row field absent from the candidate
+  // -- is result drift, not forward compatibility.
+  json::Value pruned = benchDoc("s", 1.5, 1.0);
+  json::Value row = json::Value::object();
+  row["margin"] = 2.0;
+  row["ecmp"] = 1.5;  // 'partial' dropped
+  json::Value rows = json::Value::array();
+  rows.push_back(std::move(row));
+  pruned["rows"] = std::move(rows);
+  CompareReport missing;
+  compareDocuments(baseline, pruned, CompareOptions{}, &missing);
+  EXPECT_FALSE(missing.pass());
+  EXPECT_TRUE(hasKind(missing, CompareFinding::Kind::kDrift));
+  EXPECT_NE(missing.text().find("partial"), std::string::npos);
+}
+
+TEST(CompareDocuments, SchemesSelectionListIsRunMetadata) {
+  // The top-level "schemes" array names the sweep selection; like
+  // full/exact it is run metadata, so a baseline regenerated at schema 4
+  // diffs cleanly against a pre-schemes candidate and vice versa.
+  json::Value baseline = benchDoc("s", 1.5, 1.0);
+  json::Value schemes = json::Value::array();
+  schemes.push_back(std::string("ecmp"));
+  baseline["schemes"] = std::move(schemes);
+  const json::Value candidate = benchDoc("s", 1.5, 1.0);
+  CompareReport report;
+  compareDocuments(baseline, candidate, CompareOptions{}, &report);
+  EXPECT_TRUE(report.pass()) << report.text();
+}
+
 TEST(CompareDocuments, UnknownCandidateFieldsAreIgnoredForwardCompat) {
   // A candidate produced by a newer schema may add summary fields the
   // baseline lacks; the baseline-driven walk must not flag them.

@@ -1,8 +1,9 @@
 // The link-failure robustness subsystem (src/failure/): scenario
 // enumeration, post-failure network derivation (capacity zeroing, DAG
-// repair, OSPF reconvergence), the four-scheme failure evaluator, its
-// warm-started OPTU re-solves, thread-count bit-identity, and the
-// experiment-runner integration (coyote-bench/3 'failures' block).
+// repair, OSPF reconvergence), the scheme failure evaluator (generic over
+// te::Scheme lists; the paper's four by default), its warm-started OPTU
+// re-solves, thread-count bit-identity, and the experiment-runner
+// integration (coyote-bench/4 'failures' block).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -317,13 +318,17 @@ TEST(FailureEvaluator, RunningExampleSweepIsSaneAndNormalized) {
   ASSERT_EQ(res.outcomes.size(), 5u);
   EXPECT_EQ(res.evaluated, 5);  // no single failure disconnects Fig. 1a
   EXPECT_EQ(res.disconnecting, 0);
+  // Default scheme list: the paper's four, keyed by registry key.
+  ASSERT_EQ(res.schemes.size(), 4u);
+  EXPECT_EQ(res.schemes[0].first, "ecmp");
+  EXPECT_EQ(res.schemes[3].first, "partial");
   for (const FailureOutcome& o : res.outcomes) {
     ASSERT_TRUE(o.evaluated) << o.label;
     // OSPF reconvergence always finds a route on a connected graph; the
     // static schemes may be stranded (e.g. failing v-t leaves v's DAG for
     // t without out-edges even though the graph stays connected).
-    EXPECT_TRUE(o.routable[static_cast<int>(Scheme::kEcmp)]) << o.label;
-    for (int s = 0; s < kSchemeCount; ++s) {
+    EXPECT_TRUE(o.routable[0]) << o.label;  // [0] == "ecmp"
+    for (std::size_t s = 0; s < o.ratio.size(); ++s) {
       if (!o.routable[s]) continue;
       // Ratios are normalized by the unrestricted post-failure optimum: a
       // destination-based routing can never beat it.
@@ -331,15 +336,14 @@ TEST(FailureEvaluator, RunningExampleSweepIsSaneAndNormalized) {
       EXPECT_LT(o.ratio[s], 50.0) << o.label;
     }
   }
-  for (int s = 0; s < kSchemeCount; ++s) {
-    const SchemeFailureStats& st = res.schemes[s];
-    EXPECT_EQ(st.evaluated + st.unroutable, 5);
-    EXPECT_GT(st.evaluated, 0);
-    EXPECT_GE(st.worst, st.p95);
-    EXPECT_GE(st.p95, st.median);
-    EXPECT_GE(st.median, 1.0 - 1e-7);
+  for (const auto& [key, st] : res.schemes) {
+    EXPECT_EQ(st.evaluated + st.unroutable, 5) << key;
+    EXPECT_GT(st.evaluated, 0) << key;
+    EXPECT_GE(st.worst, st.p95) << key;
+    EXPECT_GE(st.p95, st.median) << key;
+    EXPECT_GE(st.median, 1.0 - 1e-7) << key;
   }
-  EXPECT_EQ(res.schemes[static_cast<int>(Scheme::kEcmp)].unroutable, 0);
+  EXPECT_EQ(res.schemes[0].second.unroutable, 0);  // reconverged ECMP
 }
 
 TEST(FailureEvaluator, DisconnectingFailuresAreReportedNotCrashedOn) {
@@ -356,9 +360,9 @@ TEST(FailureEvaluator, DisconnectingFailuresAreReportedNotCrashedOn) {
     EXPECT_FALSE(o.evaluated);
     EXPECT_GT(o.disconnected_pairs, 0) << o.label;
   }
-  for (int s = 0; s < kSchemeCount; ++s) {
-    EXPECT_EQ(res.schemes[s].evaluated, 0);
-    EXPECT_EQ(res.schemes[s].worst, 0.0);
+  for (const auto& [key, st] : res.schemes) {
+    EXPECT_EQ(st.evaluated, 0) << key;
+    EXPECT_EQ(st.worst, 0.0) << key;
   }
 }
 
@@ -384,17 +388,18 @@ TEST(FailureEvaluator, FullSweepIsBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(ref.outcomes[i].evaluated, other.outcomes[i].evaluated);
       EXPECT_EQ(ref.outcomes[i].disconnected_pairs,
                 other.outcomes[i].disconnected_pairs);
-      for (int s = 0; s < kSchemeCount; ++s) {
+      for (std::size_t s = 0; s < ref.outcomes[i].ratio.size(); ++s) {
         // Bit-identical, not merely close.
         EXPECT_EQ(ref.outcomes[i].ratio[s], other.outcomes[i].ratio[s])
             << "failure " << ref.outcomes[i].label << " scheme " << s
             << " threads run " << r;
       }
     }
-    for (int s = 0; s < kSchemeCount; ++s) {
-      EXPECT_EQ(ref.schemes[s].worst, other.schemes[s].worst);
-      EXPECT_EQ(ref.schemes[s].median, other.schemes[s].median);
-      EXPECT_EQ(ref.schemes[s].p95, other.schemes[s].p95);
+    for (std::size_t s = 0; s < ref.schemes.size(); ++s) {
+      EXPECT_EQ(ref.schemes[s].second.worst, other.schemes[s].second.worst);
+      EXPECT_EQ(ref.schemes[s].second.median,
+                other.schemes[s].second.median);
+      EXPECT_EQ(ref.schemes[s].second.p95, other.schemes[s].second.p95);
     }
   }
 }
@@ -419,7 +424,7 @@ TEST(FailureEvaluator, WarmStartedResolvesBeatColdOnes) {
   // Same verdicts (up to LP vertex choice the ratios agree closely)...
   ASSERT_EQ(warm.evaluated, cold.evaluated);
   for (std::size_t i = 0; i < warm.outcomes.size(); ++i) {
-    for (int s = 0; s < kSchemeCount; ++s) {
+    for (std::size_t s = 0; s < warm.outcomes[i].ratio.size(); ++s) {
       if (warm.outcomes[i].routable[s]) {
         EXPECT_NEAR(warm.outcomes[i].ratio[s], cold.outcomes[i].ratio[s],
                     1e-7 * (1.0 + cold.outcomes[i].ratio[s]));
@@ -471,7 +476,7 @@ TEST(FailureScenarioRegistry, SmokeAndFigureScenariosHaveFailureVariants) {
   EXPECT_EQ(reg.find("table1-fail1"), nullptr);
 }
 
-TEST(FailureRunner, EmitsSchemaThreeFailuresBlock) {
+TEST(FailureRunner, EmitsSchemaFourFailuresBlock) {
   const exp::Scenario* s =
       exp::ScenarioRegistry::global().find("running-example-fail1");
   ASSERT_NE(s, nullptr);
@@ -482,7 +487,7 @@ TEST(FailureRunner, EmitsSchemaThreeFailuresBlock) {
   EXPECT_TRUE(result.ok);
 
   const util::json::Value& doc = result.document;
-  EXPECT_EQ(doc.stringOr("schema", ""), "coyote-bench/3");
+  EXPECT_EQ(doc.stringOr("schema", ""), "coyote-bench/4");
   EXPECT_EQ(doc.stringOr("kind", ""), "failure");
   EXPECT_EQ(doc.stringOr("failure_model", ""), "single-link");
   const util::json::Value* rows = doc.find("rows");

@@ -4,11 +4,13 @@
 // (bench_compare). See EXPERIMENTS.md.
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "scheme/registry.hpp"
 #include "util/env.hpp"
 
 namespace {
@@ -33,6 +35,12 @@ int usage(const char* argv0, int code) {
                "  --repeat <n>       timed repetitions per scenario "
                "(default 1)\n"
                "  --warmup <n>       untimed repetitions first (default 0)\n"
+               "  --schemes <a,b,c>  scheme keys the schemes/table/failure "
+               "kinds sweep\n"
+               "                     (default: the paper's four; unknown "
+               "keys are an error)\n"
+               "  --list-schemes     list the registered TE schemes and "
+               "exit\n"
                "  --quick | --full   thinned vs full margin grids/corpora\n"
                "                     (default quick; COYOTE_FULL=1 implies "
                "--full)\n"
@@ -56,6 +64,22 @@ void listScenarios(const std::vector<const exp::Scenario*>& scenarios) {
                 s->description.c_str());
   }
   std::printf("# %zu scenario(s)\n", scenarios.size());
+}
+
+void listSchemes() {
+  const te::SchemeRegistry& reg = te::SchemeRegistry::builtin();
+  std::printf("%-16s %-13s %-8s %-12s %s\n", "key", "display", "margin",
+              "on-failure", "description");
+  for (const te::Scheme* s : reg.all()) {
+    bool is_default = false;
+    for (const te::Scheme* d : reg.defaults()) is_default |= d == s;
+    std::printf("%-16s %-13s %-8s %-12s %s%s\n", s->key(), s->display(),
+                s->marginDependent() ? "per" : "once",
+                te::reactionName(s->reaction()), s->describe(),
+                is_default ? " [default]" : "");
+  }
+  std::printf("# %zu scheme(s); default sweep: the paper's four\n",
+              reg.all().size());
 }
 
 }  // namespace
@@ -83,6 +107,32 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") return usage(argv[0], 0);
     if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-schemes") {
+      listSchemes();
+      return 0;
+    } else if (arg == "--schemes") {
+      const std::string csv = next();
+      // Reject a blank selection up front: parseList("") falls back to
+      // the defaults, which would silently sweep the paper's four when
+      // the caller's $SELECTION variable was accidentally empty.
+      if (csv.find_first_not_of(", ") == std::string::npos) {
+        std::fprintf(stderr, "--schemes: empty scheme list\n");
+        return 2;
+      }
+      try {
+        // Validate now -- an unknown or repeated key is a hard error
+        // naming the key, not a silently empty or defaulted sweep. A
+        // second --schemes flag replaces the first (last one wins), so
+        // the accumulated list stays duplicate-free too.
+        opt.schemes.clear();
+        for (const te::Scheme* s :
+             te::SchemeRegistry::builtin().parseList(csv)) {
+          opt.schemes.emplace_back(s->key());
+        }
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "--schemes: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--all") {
       all = true;
     } else if (arg == "--filter") {
