@@ -208,6 +208,43 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
     addFinding(report, CompareFinding::Kind::kRegression, scenario,
                msg.str());
   }
+
+  // Serve-daemon gates (kServe scenarios publish events_per_second and
+  // event_p99_ms under "timing"). Silent when either side lacks the keys
+  // so pre-serve baselines keep comparing cleanly; timing is run
+  // metadata, so these fields are never drift-gated.
+  const double base_p99 = base_timing->numberOr("event_p99_ms", -1.0);
+  const double cand_p99 = cand_timing->numberOr("event_p99_ms", -1.0);
+  if (base_p99 >= 0.0 && cand_p99 >= 0.0) {
+    // Floor the gate like median_seconds: sub-floor latencies are noise.
+    const double gate_p99 = std::max(base_p99, 1000.0 * opt.min_gate_seconds);
+    if (gate_p99 > 0.0 && cand_p99 > gate_p99 * (1.0 + opt.max_regression)) {
+      std::ostringstream msg;
+      msg.precision(3);
+      msg << "event p99 " << base_p99 << "ms -> " << cand_p99 << "ms (+"
+          << 100.0 * (cand_p99 / gate_p99 - 1.0) << "% over the gated "
+          << gate_p99 << "ms, limit +" << 100.0 * opt.max_regression << "%)";
+      addFinding(report, CompareFinding::Kind::kRegression, scenario,
+                 msg.str());
+    }
+  }
+  const double base_eps = base_timing->numberOr("events_per_second", -1.0);
+  const double cand_eps = cand_timing->numberOr("events_per_second", -1.0);
+  if (base_eps > 0.0 && cand_eps >= 0.0) {
+    // Throughputs above 1/min_gate_seconds mean sub-floor per-event cost;
+    // cap the gate there so noise-level traces cannot fail the gate.
+    const double gate_eps = std::min(base_eps, 1.0 / opt.min_gate_seconds);
+    if (cand_eps < gate_eps / (1.0 + opt.max_regression)) {
+      std::ostringstream msg;
+      msg.precision(3);
+      msg << "throughput " << base_eps << " -> " << cand_eps
+          << " events/s (-" << 100.0 * (1.0 - cand_eps / gate_eps)
+          << "% under the gated " << gate_eps << " events/s, limit -"
+          << 100.0 * (1.0 - 1.0 / (1.0 + opt.max_regression)) << "%)";
+      addFinding(report, CompareFinding::Kind::kRegression, scenario,
+                 msg.str());
+    }
+  }
 }
 
 CompareReport compareBenchDirs(const std::string& baseline_dir,
@@ -258,6 +295,10 @@ CompareReport compareBenchDirs(const std::string& baseline_dir,
   for (const auto& [name, base_path] : baseline_files) {
     const auto it = candidate_files.find(name);
     if (it == candidate_files.end()) {
+      // A baseline scenario the candidate never produced is a hard
+      // failure under require_all (the default): a run that silently
+      // drops a gated scenario -- a deregistered serve replay, a
+      // filter typo -- must not pass as "no regressions found".
       if (opt.require_all) {
         addFinding(&report, CompareFinding::Kind::kMissing, name,
                    "present in baseline but not in candidate");
@@ -267,6 +308,18 @@ CompareReport compareBenchDirs(const std::string& baseline_dir,
     json::Value base, cand;
     if (!load(base_path, &base) || !load(it->second, &cand)) continue;
     compareDocuments(base, cand, opt, &report);
+  }
+  // Candidate-only scenario files are informational, mirroring the
+  // candidate-only *field* policy: the walk is baseline-driven, so a
+  // newly registered scenario shows up here (and stays visible in the
+  // report) until its baseline is committed.
+  for (const auto& [name, path] : candidate_files) {
+    (void)path;
+    if (baseline_files.find(name) == baseline_files.end()) {
+      addFinding(&report, CompareFinding::Kind::kInfo, name,
+                 "candidate-only scenario (not gated; commit a baseline "
+                 "to start gating it)");
+    }
   }
   return report;
 }

@@ -20,6 +20,8 @@
 #include "routing/propagation.hpp"
 #include "routing/stretch.hpp"
 #include "scheme/registry.hpp"
+#include "serve/service.hpp"
+#include "serve/trace.hpp"
 #include "sim/fluid.hpp"
 #include "topo/generator.hpp"
 #include "topo/zoo.hpp"
@@ -39,6 +41,10 @@ namespace {
 struct KindOutput {
   json::Value rows = json::Value::array();
   json::Value extra = json::Value::object();
+  /// Members merged into the machine-dependent "timing" block (exempt
+  /// from the bench_compare drift gate; kServe puts throughput and
+  /// latency percentiles here, where they are regression-gated instead).
+  json::Value timing_extra = json::Value::object();
   bool ok = true;
 };
 
@@ -781,6 +787,164 @@ KindOutput runFailure(const Scenario& s, const RunOptions& opt, bool print) {
   return out;
 }
 
+// --- kServe (online TE daemon trace replay, src/serve/) ---------------
+
+/// Nearest-rank percentile of an unsorted sample (q in [0,1]).
+double percentileMs(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const std::size_t n = sample.size();
+  const double rank = std::ceil(q * static_cast<double>(n));
+  const std::size_t idx =
+      rank < 1.0 ? 0 : std::min(n - 1, static_cast<std::size_t>(rank) - 1);
+  return sample[idx];
+}
+
+KindOutput runServe(const Scenario& s, const RunOptions& opt, bool print) {
+  KindOutput out;
+  const Graph g = s.topology.build();
+  const tm::TrafficMatrix base = s.demand.build(g);
+
+  serve::TraceOptions topt;
+  topt.events = s.serve_events;
+  topt.seed = s.serve_seed;
+  const std::vector<std::string> trace = serve::generateTrace(g, base, topt);
+
+  serve::ServeOptions sopt;
+  sopt.margin = s.fixed_margin;
+  sopt.pool = s.sweep.pool;
+  sopt.coyote = s.sweep.coyote;
+  sopt.schemes = selectedSchemes(opt);
+  serve::TeService service(g, base, sopt);
+
+  if (print) {
+    std::printf("# %s, %s base matrix -- online TE daemon replay: %zu "
+                "events, margin %.1f, pool %d\n",
+                s.topology.label().c_str(), s.demand.name(), trace.size(),
+                s.fixed_margin, service.poolSize());
+  }
+
+  const auto opOf = [](const std::string& line) -> std::string {
+    try {
+      return json::parse(line).stringOr("op", "");
+    } catch (const std::exception&) {
+      return "";
+    }
+  };
+
+  // Replay in handleScript-shaped groups: maximal runs of consecutive
+  // what-if queries batch over the thread pool, every other event is its
+  // own serial group. Each event in a group is attributed the group's
+  // mean latency (the batch answers them together).
+  std::vector<double> latency_ms;
+  latency_ms.reserve(trace.size());
+  std::vector<std::string> responses;
+  responses.reserve(trace.size());
+  const util::Timer replay_timer;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    std::size_t j = i + 1;
+    if (opOf(trace[i]) == "what-if") {
+      while (j < trace.size() && opOf(trace[j]) == "what-if") ++j;
+    }
+    const std::vector<std::string> group(trace.begin() + i, trace.begin() + j);
+    const util::Timer timer;
+    std::vector<std::string> resp = service.handleScript(group);
+    const double per_event_ms =
+        1000.0 * timer.elapsedSeconds() / static_cast<double>(group.size());
+    for (std::string& r : resp) {
+      latency_ms.push_back(per_event_ms);
+      responses.push_back(std::move(r));
+    }
+    i = j;
+  }
+  const double replay_seconds = replay_timer.elapsedSeconds();
+
+  // Per-op event counts (deterministic for a trace seed, so the rows are
+  // drift-gated) and the error total (any ok:false response fails the
+  // scenario: the generator only emits well-formed requests).
+  static constexpr const char* kOps[] = {"state",  "demand",  "link",
+                                         "margin", "what-if", "reoptimize"};
+  constexpr int kNumOps = static_cast<int>(std::size(kOps));
+  int counts[kNumOps] = {};
+  for (const std::string& line : trace) {
+    const std::string op = opOf(line);
+    for (int k = 0; k < kNumOps; ++k) {
+      if (op == kOps[k]) ++counts[k];
+    }
+  }
+  int errors = 0;
+  for (const std::string& r : responses) {
+    try {
+      const json::Value resp = json::parse(r);
+      const json::Value* ok = resp.find("ok");
+      if (ok == nullptr || !ok->isBool() || !ok->asBool()) ++errors;
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+  out.ok = errors == 0;
+
+  for (int k = 0; k < kNumOps; ++k) {
+    json::Value row = json::Value::object();
+    row["op"] = kOps[k];
+    row["events"] = counts[k];
+    out.rows.push_back(std::move(row));
+  }
+
+  // Post-replay ground truth: a no-failure what-if snapshots the final
+  // service state (deterministic; drift-gated like any scheme ratio).
+  json::Value probe = json::Value::object();
+  probe["op"] = "what-if";
+  probe["links"] = json::Value::array();
+  const json::Value final_state = service.handle(probe);
+
+  json::Value block = json::Value::object();
+  block["events"] = static_cast<int>(trace.size());
+  block["trace_seed"] = static_cast<double>(s.serve_seed);
+  block["pool_size"] = service.poolSize();
+  block["errors"] = errors;
+  block["final_margin"] = service.margin();
+  block["final_failed_links"] =
+      static_cast<int>(service.failedLinks().size());
+  for (const char* key : {"disconnected_pairs", "evaluated", "ratios",
+                          "unroutable", "failed"}) {
+    if (const json::Value* v = final_state.find(key)) {
+      block[std::string("final_") + key] = *v;
+    }
+  }
+  out.extra["serve"] = std::move(block);
+
+  const double events_per_second =
+      replay_seconds > 0.0 ? static_cast<double>(trace.size()) / replay_seconds
+                           : 0.0;
+  out.timing_extra["replay_seconds"] = replay_seconds;
+  out.timing_extra["events_per_second"] = events_per_second;
+  out.timing_extra["event_p50_ms"] = percentileMs(latency_ms, 0.50);
+  out.timing_extra["event_p99_ms"] = percentileMs(latency_ms, 0.99);
+
+  if (print) {
+    std::printf("# events:");
+    for (int k = 0; k < kNumOps; ++k) {
+      std::printf(" %s %d", kOps[k], counts[k]);
+    }
+    std::printf("  (errors %d)\n", errors);
+    std::printf("# throughput: %.1f events/s, latency p50 %.2f ms, "
+                "p99 %.2f ms\n",
+                events_per_second, percentileMs(latency_ms, 0.50),
+                percentileMs(latency_ms, 0.99));
+    if (const json::Value* ratios = final_state.find("ratios")) {
+      std::printf("# final ratios:");
+      for (const auto& [key, v] : ratios->asObject()) {
+        std::printf("  %s %.2f", key.c_str(), v.asNumber());
+      }
+      std::printf("\n");
+    }
+    std::fflush(stdout);
+  }
+  return out;
+}
+
 KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
   switch (s.kind) {
     case ScenarioKind::kSchemes:
@@ -803,6 +967,8 @@ KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
       return runHardness(s, opt, print);
     case ScenarioKind::kFailure:
       return runFailure(s, opt, print);
+    case ScenarioKind::kServe:
+      return runServe(s, opt, print);
   }
   require(false, "unknown scenario kind");
   return {};  // unreachable
@@ -897,7 +1063,7 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   }
 
   json::Value doc = json::Value::object();
-  doc["schema"] = "coyote-bench/4";
+  doc["schema"] = "coyote-bench/5";
   doc["scenario"] = s.id;
   doc["kind"] = kindName(s.kind);
   doc["description"] = s.description;
@@ -913,7 +1079,8 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   switch (s.kind) {
     case ScenarioKind::kSchemes:
     case ScenarioKind::kTable:
-    case ScenarioKind::kFailure: {
+    case ScenarioKind::kFailure:
+    case ScenarioKind::kServe: {
       json::Value keys = json::Value::array();
       for (const te::Scheme* sch : selectedSchemes(opt_)) {
         keys.push_back(std::string(sch->key()));
@@ -928,6 +1095,7 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
     case ScenarioKind::kSchemes:
     case ScenarioKind::kLocalSearch:
     case ScenarioKind::kQuantization:
+    case ScenarioKind::kServe:
       doc["network"] = s.topology.label();
       doc["demand_model"] = s.demand.name();
       break;
@@ -977,6 +1145,12 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   timing["lp_time_frac"] =
       last_elapsed > 0.0 ? std::max(0.0, lp_delta.seconds / last_elapsed)
                          : 0.0;
+  // Kind-specific timing (kServe: events/sec and latency percentiles);
+  // lives here with the other machine-dependent data so the drift gate
+  // skips it, while bench_compare applies explicit regression gates.
+  for (const auto& [key, value] : output.timing_extra.asObject()) {
+    timing[key] = value;
+  }
   doc["timing"] = std::move(timing);
   result.document = std::move(doc);
   return result;

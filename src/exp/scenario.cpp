@@ -32,6 +32,8 @@ const char* kindName(ScenarioKind kind) {
       return "hardness";
     case ScenarioKind::kFailure:
       return "failure";
+    case ScenarioKind::kServe:
+      return "serve";
   }
   return "unknown";
 }
@@ -545,6 +547,50 @@ ScenarioRegistry::ScenarioRegistry() {
       }
     }
   }
+
+  // --- Online TE daemon (src/serve/): seeded event-trace replays -----
+  const auto serveScenario = [&](const std::string& id, TopologySpec topo_spec,
+                                 DemandSpec::Model model, int events,
+                                 bool smoke) {
+    Scenario s;
+    s.id = id;
+    s.description = topo_spec.label() + std::string(", ") +
+                    demandModel(model).name() +
+                    " base model -- online TE daemon replay: " +
+                    std::to_string(events) +
+                    " demand/link/margin/what-if events over the resident "
+                    "warm-LP service (margin 2.0)";
+    s.tags = {"serve"};
+    if (topo_spec.kind == TopologySpec::Kind::kZoo) s.tags.emplace_back("zoo");
+    if (smoke) {
+      s.tags.emplace_back("small");
+      s.tags.emplace_back("smoke");
+    }
+    s.kind = ScenarioKind::kServe;
+    s.topology = std::move(topo_spec);
+    s.demand = demandModel(model, 23);
+    s.fixed_margin = 2.0;
+    s.serve_events = events;
+    s.serve_seed = 1;
+    // The daemon's evaluation pool is small by design: every event costs
+    // one warm OPTU re-solve per pool matrix.
+    s.sweep.pool.source_hotspots = false;
+    s.sweep.pool.max_hotspots = 8;
+    s.sweep.pool.random_corners = 4;
+    s.sweep.pool.pair_hotspots = 4;
+    s.sweep.coyote.splitting.iterations = 150;
+    add(std::move(s));
+  };
+  {
+    TopologySpec re;
+    re.kind = TopologySpec::Kind::kRunningExample;
+    // The CI bench-smoke gate replays this one (events/sec + p50/p99
+    // land in the BENCH timing block, gated by bench_compare).
+    serveScenario("serve-running-example", re, DemandSpec::Model::kUniform,
+                  200, /*smoke=*/true);
+  }
+  serveScenario("serve-geant-500", TopologySpec::zoo("Geant"),
+                DemandSpec::Model::kGravity, 500, /*smoke=*/false);
 }
 
 }  // namespace coyote::exp

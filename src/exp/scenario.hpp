@@ -33,6 +33,7 @@ enum class ScenarioKind {
   kOptimizer,     ///< inner-optimizer ablation (GP vs mirror descent)
   kHardness,      ///< Sec. IV constructions, numerically
   kFailure,       ///< post-failure four-scheme sweep (src/failure/)
+  kServe,         ///< online TE daemon trace replay (src/serve/)
 };
 
 [[nodiscard]] const char* kindName(ScenarioKind kind);
@@ -116,6 +117,11 @@ struct Scenario {
   double fixed_margin = 2.5;  ///< kStretch / kDagAug / kFailure margin
 
   FailureSpec failure;  ///< kFailure: which failure family to sweep
+
+  /// kServe: seeded event-trace replay (serve::generateTrace); the
+  /// daemon's margin comes from fixed_margin.
+  int serve_events = 200;
+  std::uint64_t serve_seed = 1;
 
   core::LocalSearchOptions local_search;  ///< kLocalSearch
   int ls_full_moves = 24;  ///< max_moves_per_round under --full

@@ -1,0 +1,441 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/dag_builder.hpp"
+#include "failure/degrade.hpp"
+#include "failure/scenario.hpp"
+#include "routing/evaluator.hpp"
+#include "routing/propagation.hpp"
+#include "util/require.hpp"
+
+namespace coyote::serve {
+
+namespace json = util::json;
+
+namespace {
+
+json::Value envelope(long long seq, const json::Value& request) {
+  json::Value resp = json::Value::object();
+  resp["seq"] = static_cast<long>(seq);
+  if (request.isObject()) {
+    if (const json::Value* id = request.find("id")) resp["id"] = *id;
+    if (const json::Value* op = request.find("op")) {
+      if (op->isString()) resp["op"] = op->asString();
+    }
+  }
+  return resp;
+}
+
+json::Value errorResponse(long long seq, const json::Value& request,
+                          const std::string& what) {
+  json::Value resp = envelope(seq, request);
+  resp["ok"] = false;
+  resp["error"] = what;
+  return resp;
+}
+
+/// The request's member, or a thrown client-facing error.
+const json::Value& member(const json::Value& request, const char* key) {
+  const json::Value* v = request.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument(std::string("missing '") + key + "' member");
+  }
+  return *v;
+}
+
+}  // namespace
+
+TeService::TeService(Graph g, tm::TrafficMatrix base_tm, ServeOptions opt)
+    : g_(std::move(g)),
+      dags_(core::augmentedDagsShared(g_)),
+      base_(std::move(base_tm)),
+      opt_(std::move(opt)),
+      margin_(opt_.margin),
+      schemes_(opt_.schemes.empty()
+                   ? te::SchemeRegistry::builtin().defaults()
+                   : opt_.schemes) {
+  require(margin_ >= 1.0, "margin must be >= 1");
+  require(!schemes_.empty(), "empty scheme list");
+  require(base_.numNodes() == g_.numNodes(),
+          "base matrix / graph node count mismatch");
+  rebuildPool();
+  computeSchemes();
+  engine_ = std::make_unique<routing::OptuEngine>(g_, opt_.coyote.lp);
+  if (opt_.threads != 0) {
+    own_pool_ = std::make_unique<util::ThreadPool>(opt_.threads);
+  }
+}
+
+TeService::~TeService() = default;
+
+void TeService::rebuildPool() {
+  box_.emplace(tm::marginBounds(base_, margin_));
+  pool_ = tm::cornerPool(*box_, opt_.pool);
+}
+
+void TeService::computeSchemes() {
+  // The failure evaluator's startup, kept warm-restartable: margin-
+  // dependent schemes are optimized against the current box over the
+  // same corner pool events are evaluated with; kReconverge schemes
+  // keep no intact config (their post-event routing is recomputed from
+  // the degraded graph alone).
+  intact_.clear();
+  intact_.reserve(schemes_.size());
+  for (const te::Scheme* s : schemes_) {
+    if (s->reaction() == te::FailureReaction::kReconverge) {
+      intact_.emplace_back(std::nullopt);
+    } else if (s->marginDependent()) {
+      routing::PerformanceEvaluator eval(g_, dags_, opt_.coyote.lp);
+      eval.addPool(pool_);
+      const te::SchemeContext ctx{g_,           dags_, base_,
+                                  opt_.coyote, &*box_, &eval};
+      intact_.emplace_back(s->compute(ctx));
+    } else {
+      const te::SchemeContext ctx{g_,      dags_,  base_, opt_.coyote,
+                                  nullptr, nullptr};
+      intact_.emplace_back(s->compute(ctx));
+    }
+  }
+}
+
+std::vector<std::string> TeService::failedLinks() const {
+  std::vector<std::string> out;
+  out.reserve(failed_.size());
+  for (const EdgeId link : failed_) {
+    out.push_back(failure::linkLabel(g_, link));
+  }
+  return out;
+}
+
+TeService::EvalResult TeService::evaluateLinks(
+    const std::vector<EdgeId>& links, routing::OptuEngine& engine) const {
+  const int n = static_cast<int>(schemes_.size());
+  EvalResult out;
+  out.ratio.assign(n, 0.0);
+  out.routable.assign(n, 0);
+
+  failure::FailureScenario f;
+  f.links = links;
+  const Graph degraded = failure::degradedGraph(g_, f);
+  out.disconnected_pairs = failure::disconnectedPairs(degraded, base_);
+  if (out.disconnected_pairs > 0) return out;  // reported, not evaluated
+  out.evaluated = true;
+
+  bool any_repair = false;
+  for (const te::Scheme* s : schemes_) {
+    any_repair |= s->reaction() == te::FailureReaction::kRepairDags;
+  }
+  const std::shared_ptr<const DagSet> repaired =
+      any_repair ? failure::repairDags(g_, *dags_,
+                                       failure::failedEdgeMask(g_, f))
+                 : nullptr;
+  std::vector<routing::RoutingConfig> cfgs;
+  cfgs.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    if (schemes_[s]->reaction() == te::FailureReaction::kReconverge) {
+      cfgs.push_back(schemes_[s]->reconverge(degraded));
+    } else {
+      cfgs.push_back(failure::repairRouting(g_, *intact_[s], repaired));
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    out.routable[s] = failure::routesAllDemands(cfgs[s], base_);
+  }
+
+  // The common ruler: unrestricted OPTU on the surviving network, one
+  // warm re-solve per pool matrix (the failure entered the engine as a
+  // bounds mutation; {} restores the intact network).
+  engine.setFailedEdges(failure::directedEdges(g_, f));
+  std::vector<double> optu(pool_.size(), 0.0);
+  for (std::size_t j = 0; j < pool_.size(); ++j) {
+    optu[j] = engine.utilization(pool_[j]);
+  }
+  for (std::size_t j = 0; j < pool_.size(); ++j) {
+    if (optu[j] <= 0.0) continue;  // zero matrix
+    for (int s = 0; s < n; ++s) {
+      if (!out.routable[s]) continue;
+      const double mxlu =
+          routing::maxLinkUtilization(degraded, cfgs[s], pool_[j]);
+      out.ratio[s] = std::max(out.ratio[s], mxlu / optu[j]);
+    }
+  }
+  return out;
+}
+
+void TeService::addEvalPayload(json::Value& response, const EvalResult& ev,
+                               const std::vector<EdgeId>& links) const {
+  response["disconnected_pairs"] = ev.disconnected_pairs;
+  response["evaluated"] = ev.evaluated;
+  json::Value failed = json::Value::array();
+  for (const EdgeId link : links) {
+    failed.push_back(failure::linkLabel(g_, link));
+  }
+  response["failed"] = std::move(failed);
+  if (!ev.evaluated) return;
+  json::Value ratios = json::Value::object();
+  json::Value unroutable = json::Value::array();
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    if (ev.routable[i]) {
+      ratios[schemes_[i]->key()] = ev.ratio[i];
+    } else {
+      unroutable.push_back(schemes_[i]->key());
+    }
+  }
+  response["ratios"] = std::move(ratios);
+  response["unroutable"] = std::move(unroutable);
+}
+
+EdgeId TeService::parseLink(const json::Value& link) const {
+  if (!link.isArray() || link.asArray().size() != 2 ||
+      !link.asArray()[0].isString() || !link.asArray()[1].isString()) {
+    throw std::invalid_argument(
+        "a link is a two-element array of node names: [\"A\",\"B\"]");
+  }
+  const std::string& a = link.asArray()[0].asString();
+  const std::string& b = link.asArray()[1].asString();
+  const std::optional<NodeId> s = g_.findNode(a);
+  const std::optional<NodeId> t = g_.findNode(b);
+  if (!s.has_value()) throw std::invalid_argument("unknown node: " + a);
+  if (!t.has_value()) throw std::invalid_argument("unknown node: " + b);
+  const std::optional<EdgeId> e = g_.findEdge(*s, *t);
+  if (!e.has_value()) {
+    throw std::invalid_argument("no link between " + a + " and " + b);
+  }
+  // Canonical link id: the lower id of the two directions.
+  const EdgeId rev = g_.edge(*e).reverse;
+  return rev != kInvalidEdge && rev < *e ? rev : *e;
+}
+
+json::Value TeService::handleWhatIf(const json::Value& request, long long seq,
+                                    routing::OptuEngine& engine) const {
+  const json::Value& links = member(request, "links");
+  if (!links.isArray()) {
+    throw std::invalid_argument("'links' must be an array of links");
+  }
+  // The hypothetical failure set: current state plus the queried links.
+  std::vector<EdgeId> combined = failed_;
+  for (const json::Value& link : links.asArray()) {
+    combined.push_back(parseLink(link));
+  }
+  std::sort(combined.begin(), combined.end());
+  combined.erase(std::unique(combined.begin(), combined.end()),
+                 combined.end());
+  const EvalResult ev = evaluateLinks(combined, engine);
+  json::Value resp = envelope(seq, request);
+  resp["ok"] = true;
+  addEvalPayload(resp, ev, combined);
+  return resp;
+}
+
+json::Value TeService::dispatch(const json::Value& request, long long seq) {
+  if (!request.isObject()) {
+    throw std::invalid_argument("a request is a JSON object");
+  }
+  const json::Value& op_value = member(request, "op");
+  if (!op_value.isString()) {
+    throw std::invalid_argument("'op' must be a string");
+  }
+  const std::string& op = op_value.asString();
+  json::Value resp = envelope(seq, request);
+
+  if (op == "state") {
+    resp["ok"] = true;
+    resp["nodes"] = g_.numNodes();
+    resp["links"] = static_cast<int>(failure::physicalLinks(g_).size());
+    resp["margin"] = margin_;
+    resp["pool_size"] = poolSize();
+    resp["events"] = static_cast<long>(seq_);
+    json::Value keys = json::Value::array();
+    for (const te::Scheme* s : schemes_) keys.push_back(s->key());
+    resp["schemes"] = std::move(keys);
+    json::Value failed = json::Value::array();
+    for (const std::string& label : failedLinks()) failed.push_back(label);
+    resp["failed"] = std::move(failed);
+    return resp;
+  }
+
+  if (op == "demand") {
+    const json::Value* scale = request.find("scale");
+    const json::Value* set = request.find("set");
+    if (scale == nullptr && set == nullptr) {
+      throw std::invalid_argument("'demand' needs 'scale' and/or 'set'");
+    }
+    // Validate everything before mutating anything: a half-applied
+    // demand update would corrupt the resident state on error.
+    if (scale != nullptr &&
+        (!scale->isNumber() || !(scale->asNumber() > 0.0))) {
+      throw std::invalid_argument("'scale' must be a positive number");
+    }
+    std::vector<std::pair<std::pair<NodeId, NodeId>, double>> entries;
+    if (set != nullptr) {
+      if (!set->isArray()) {
+        throw std::invalid_argument(
+            "'set' must be an array of [src,dst,value] entries");
+      }
+      for (const json::Value& entry : set->asArray()) {
+        if (!entry.isArray() || entry.asArray().size() != 3 ||
+            !entry.asArray()[0].isString() ||
+            !entry.asArray()[1].isString() ||
+            !entry.asArray()[2].isNumber()) {
+          throw std::invalid_argument(
+              "a 'set' entry is [\"src\",\"dst\",value]");
+        }
+        const std::string& a = entry.asArray()[0].asString();
+        const std::string& b = entry.asArray()[1].asString();
+        const double v = entry.asArray()[2].asNumber();
+        const std::optional<NodeId> s = g_.findNode(a);
+        const std::optional<NodeId> t = g_.findNode(b);
+        if (!s.has_value()) throw std::invalid_argument("unknown node: " + a);
+        if (!t.has_value()) throw std::invalid_argument("unknown node: " + b);
+        if (*s == *t) {
+          throw std::invalid_argument("demand src == dst: " + a);
+        }
+        if (!(v >= 0.0)) {
+          throw std::invalid_argument("demand value must be >= 0");
+        }
+        entries.push_back({{*s, *t}, v});
+      }
+    }
+    if (scale != nullptr) base_.scale(scale->asNumber());
+    for (const auto& [pair, v] : entries) {
+      base_.set(pair.first, pair.second, v);
+    }
+    rebuildPool();
+    resp["ok"] = true;
+    addEvalPayload(resp, evaluateLinks(failed_, *engine_), failed_);
+    return resp;
+  }
+
+  if (op == "link") {
+    const EdgeId link = parseLink(member(request, "link"));
+    const json::Value* up = request.find("up");
+    const bool restore = up != nullptr && up->isBool() && up->asBool();
+    const auto it = std::lower_bound(failed_.begin(), failed_.end(), link);
+    const bool already = it != failed_.end() && *it == link;
+    const std::string label = failure::linkLabel(g_, link);
+    if (restore) {
+      if (!already) {
+        throw std::invalid_argument("link " + label + " is not failed");
+      }
+      failed_.erase(it);
+    } else {
+      if (already) {
+        throw std::invalid_argument("link " + label + " is already failed");
+      }
+      failed_.insert(it, link);
+    }
+    resp["ok"] = true;
+    resp["link"] = label;
+    resp["up"] = restore;
+    addEvalPayload(resp, evaluateLinks(failed_, *engine_), failed_);
+    return resp;
+  }
+
+  if (op == "margin") {
+    const json::Value& value = member(request, "value");
+    if (!value.isNumber() || !(value.asNumber() >= 1.0)) {
+      throw std::invalid_argument("'value' must be a number >= 1");
+    }
+    margin_ = value.asNumber();
+    rebuildPool();
+    resp["ok"] = true;
+    resp["margin"] = margin_;
+    addEvalPayload(resp, evaluateLinks(failed_, *engine_), failed_);
+    return resp;
+  }
+
+  if (op == "what-if") {
+    return handleWhatIf(request, seq, *engine_);
+  }
+
+  if (op == "reoptimize") {
+    computeSchemes();
+    resp["ok"] = true;
+    addEvalPayload(resp, evaluateLinks(failed_, *engine_), failed_);
+    return resp;
+  }
+
+  throw std::invalid_argument("unknown op: " + op);
+}
+
+json::Value TeService::handle(const json::Value& request) {
+  const long long seq = ++seq_;
+  try {
+    return dispatch(request, seq);
+  } catch (const std::exception& e) {
+    return errorResponse(seq, request, e.what());
+  }
+}
+
+std::string TeService::handleLine(const std::string& line) {
+  json::Value request;
+  try {
+    request = json::parse(line);
+  } catch (const json::Error& e) {
+    return errorResponse(++seq_, json::Value(), e.what()).dump(0);
+  }
+  return handle(request).dump(0);
+}
+
+std::vector<std::string> TeService::handleScript(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out(lines.size());
+  util::ThreadPool& tp = own_pool_ ? *own_pool_ : util::ThreadPool::global();
+
+  const auto parseWhatIf = [](const std::string& line,
+                              json::Value* request) -> bool {
+    try {
+      *request = json::parse(line);
+    } catch (const json::Error&) {
+      return false;
+    }
+    return request->isObject() && request->stringOr("op", "") == "what-if";
+  };
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    json::Value request;
+    if (!parseWhatIf(lines[i], &request)) {
+      out[i] = handleLine(lines[i]);
+      ++i;
+      continue;
+    }
+    // A maximal run of consecutive read-only what-if queries: the state
+    // cannot change inside it, so the queries fan out in fixed-size
+    // chunks, each chunk one OptuEngine whose sessions stay warm across
+    // the chunk's queries. Responses keep their input-order seq numbers
+    // and slots, so output is bit-identical for any thread count.
+    std::vector<std::pair<std::size_t, json::Value>> run;
+    run.emplace_back(i, std::move(request));
+    ++i;
+    while (i < lines.size() && parseWhatIf(lines[i], &request)) {
+      run.emplace_back(i, std::move(request));
+      ++i;
+    }
+    std::vector<long long> seqs(run.size());
+    for (std::size_t k = 0; k < run.size(); ++k) seqs[k] = ++seq_;
+    const std::size_t chunks =
+        (run.size() + kWhatIfChunk - 1) / kWhatIfChunk;
+    tp.parallelFor(chunks, [&](std::size_t c) {
+      routing::OptuEngine engine(g_, opt_.coyote.lp);
+      const std::size_t begin = c * kWhatIfChunk;
+      const std::size_t end =
+          std::min(run.size(), begin + kWhatIfChunk);
+      for (std::size_t k = begin; k < end; ++k) {
+        json::Value resp;
+        try {
+          resp = handleWhatIf(run[k].second, seqs[k], engine);
+        } catch (const std::exception& e) {
+          resp = errorResponse(seqs[k], run[k].second, e.what());
+        }
+        out[run[k].first] = resp.dump(0);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace coyote::serve

@@ -1,0 +1,189 @@
+// Online TE daemon core: a long-running service over warm LP sessions.
+//
+// Everything else in this repo is one-shot (build network -> optimize ->
+// evaluate -> exit); TeService is the deployment shape -- ROADMAP item 1.
+// One service instance keeps a topology, a scheme set and the retained
+// warm LP sessions resident and answers a stream of events, each as a
+// warm re-solve, never a rebuild:
+//
+//  * demand-matrix updates  -- the corner pool is rebuilt around the new
+//    base matrix; the resident routing::OptuEngine re-solves it by rhs
+//    mutation on its retained simplex sessions;
+//  * link up/down           -- enters the engine via setFailedEdges (a
+//    bounds mutation, the PR-4 machinery), and each scheme reacts per
+//    its te::FailureReaction: kReconverge schemes re-run SPF on the
+//    survivors, kRepairDags schemes repair their precomputed DAGs;
+//  * margin changes         -- the uncertainty box and its corner pool
+//    move; the running configurations stay (see below);
+//  * read-only what-if queries -- hypothetical extra failures evaluated
+//    on top of the current state without mutating it;
+//  * reoptimize             -- the one explicitly heavy event: every
+//    scheme's intact configuration is recomputed from the current base
+//    matrix and margin.
+//
+// The split between evaluation and optimization is deliberate and
+// mirrors deployment: demand/link/margin events re-*evaluate* the
+// resident configurations under the new conditions (cheap, warm), while
+// recomputing the configurations themselves -- re-running the COYOTE
+// optimizer -- only happens when the operator requests "reoptimize".
+// Ratios use the *unrestricted* OPTU on the surviving network as the
+// common ruler (the failure-sweep normalization, stricter than the
+// intact sweeps' within-DAG optimum; see failure/evaluate.hpp).
+//
+// Protocol: line-delimited util::json objects, one request per line, one
+// response line per request, in request order.
+//
+//   {"op":"state"}                                  read-only snapshot
+//   {"op":"demand","scale":1.1}                     scale whole matrix
+//   {"op":"demand","set":[["A","B",1.5],...]}       set entries (after
+//                                                   "scale" when both)
+//   {"op":"link","link":["A","B"],"up":false}       fail / restore
+//   {"op":"margin","value":2.5}                     move the box
+//   {"op":"what-if","links":[["A","B"],...]}        hypothetical failures
+//   {"op":"reoptimize"}                             recompute schemes
+//
+// Every response carries {"seq":N,"op":...,"ok":true|false} plus either
+// an evaluation payload (disconnected_pairs / evaluated / ratios /
+// unroutable / failed) or {"error":...}; a client "id" member is echoed
+// back. Malformed lines produce an error response, never daemon death.
+//
+// Determinism: requests are processed in input order. State-changing
+// events run serially on the resident engine (its warm chain is the
+// event history, independent of any thread count). In batch replays
+// (handleScript) maximal runs of consecutive what-if queries fan out
+// over util::ThreadPool in fixed-size chunks -- each chunk owns an
+// OptuEngine whose sessions stay warm across the chunk's queries, the
+// same PR-4 idiom as failure::FailureEvaluator -- and responses are
+// emitted in input order, so replay output is bit-identical for any
+// COYOTE_THREADS (the contract serve_test pins for 1/2/8).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coyote.hpp"
+#include "graph/graph.hpp"
+#include "routing/config.hpp"
+#include "routing/optu.hpp"
+#include "scheme/registry.hpp"
+#include "tm/traffic_matrix.hpp"
+#include "tm/uncertainty.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace coyote::serve {
+
+struct ServeOptions {
+  /// Uncertainty margin of the initial evaluation box (movable at
+  /// runtime via the "margin" op).
+  double margin = 2.0;
+  /// Corner-pool shape (small, like the failure sweeps: every matrix
+  /// costs one OPTU re-solve per event).
+  tm::PoolOptions pool;
+  /// Optimizer options for computing the schemes' intact configs.
+  core::CoyoteOptions coyote;
+  /// 0 = the process-wide util::ThreadPool; otherwise a private pool of
+  /// exactly that many threads. Responses are identical either way.
+  unsigned threads = 0;
+  /// Schemes kept resident, in response order; empty selects
+  /// te::SchemeRegistry::builtin().defaults() (the paper's four).
+  std::vector<const te::Scheme*> schemes;
+
+  ServeOptions() {
+    pool.source_hotspots = false;
+    pool.max_hotspots = 8;
+    pool.random_corners = 4;
+    pool.pair_hotspots = 4;
+    pool.seed = 1;
+    coyote.splitting.iterations = 300;
+  }
+};
+
+class TeService {
+ public:
+  /// Computes every scheme's intact configuration and builds the
+  /// resident OPTU engine; the service is ready for events afterwards.
+  TeService(Graph g, tm::TrafficMatrix base_tm, ServeOptions opt = {});
+  ~TeService();
+
+  TeService(const TeService&) = delete;
+  TeService& operator=(const TeService&) = delete;
+
+  /// Handles one parsed request; never throws for bad requests (the
+  /// response carries ok:false and an error message instead).
+  [[nodiscard]] util::json::Value handle(const util::json::Value& request);
+
+  /// Handles one protocol line: parse errors become error responses.
+  [[nodiscard]] std::string handleLine(const std::string& line);
+
+  /// Batch replay: every line in input order, one response per line.
+  /// Consecutive what-if queries are evaluated concurrently in
+  /// fixed-size chunks (see file comment); output order and content are
+  /// independent of the thread count.
+  [[nodiscard]] std::vector<std::string> handleScript(
+      const std::vector<std::string>& lines);
+
+  /// What-if queries per warm-chain chunk in handleScript. Fixed (not
+  /// derived from the thread count) so responses never depend on
+  /// parallelism.
+  static constexpr int kWhatIfChunk = 4;
+
+  [[nodiscard]] long long eventsHandled() const { return seq_; }
+  [[nodiscard]] int poolSize() const { return static_cast<int>(pool_.size()); }
+  [[nodiscard]] const std::vector<const te::Scheme*>& schemes() const {
+    return schemes_;
+  }
+  [[nodiscard]] double margin() const { return margin_; }
+  /// Currently failed physical links as "A-B" labels, in canonical order.
+  [[nodiscard]] std::vector<std::string> failedLinks() const;
+
+ private:
+  /// One evaluation verdict (the shape of the failure sweeps').
+  struct EvalResult {
+    int disconnected_pairs = 0;
+    bool evaluated = false;
+    std::vector<double> ratio;    ///< per scheme, schemes_ order
+    std::vector<char> routable;   ///< per scheme
+  };
+
+  /// Evaluates the resident configurations with `links` (canonical ids,
+  /// ascending) failed, on the given engine. Read-only and thread-safe.
+  [[nodiscard]] EvalResult evaluateLinks(const std::vector<EdgeId>& links,
+                                         routing::OptuEngine& engine) const;
+  /// (Re)computes every scheme's intact configuration from the current
+  /// base matrix / margin (kReconverge schemes keep none).
+  void computeSchemes();
+  void rebuildPool();
+
+  [[nodiscard]] util::json::Value dispatch(const util::json::Value& request,
+                                           long long seq);
+  [[nodiscard]] util::json::Value handleWhatIf(const util::json::Value& request,
+                                               long long seq,
+                                               routing::OptuEngine& engine) const;
+  /// Canonical edge id for ["A","B"]; throws std::invalid_argument with
+  /// a client-facing message for unknown nodes or non-adjacent pairs.
+  [[nodiscard]] EdgeId parseLink(const util::json::Value& link) const;
+  void addEvalPayload(util::json::Value& response, const EvalResult& ev,
+                      const std::vector<EdgeId>& links) const;
+
+  Graph g_;
+  std::shared_ptr<const DagSet> dags_;
+  tm::TrafficMatrix base_;
+  ServeOptions opt_;
+  double margin_;
+  std::vector<const te::Scheme*> schemes_;
+  /// Parallel to schemes_; disengaged for kReconverge schemes.
+  std::vector<std::optional<routing::RoutingConfig>> intact_;
+  std::optional<tm::DemandBounds> box_;
+  std::vector<tm::TrafficMatrix> pool_;  ///< corner pool of the current box
+  std::vector<EdgeId> failed_;  ///< failed links (canonical ids, ascending)
+  /// The resident ruler: unrestricted OPTU whose simplex sessions stay
+  /// warm across the whole event stream.
+  std::unique_ptr<routing::OptuEngine> engine_;
+  std::unique_ptr<util::ThreadPool> own_pool_;
+  long long seq_ = 0;
+};
+
+}  // namespace coyote::serve

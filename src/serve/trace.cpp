@@ -1,0 +1,170 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "failure/scenario.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace coyote::serve {
+
+namespace json = util::json;
+
+namespace {
+
+/// splitmix64: the repo-wide portable PRNG (std distributions are not
+/// reproducible across standard libraries).
+std::uint64_t nextU64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int nextInt(std::uint64_t& state, int n) {
+  return static_cast<int>(nextU64(state) % static_cast<std::uint64_t>(n));
+}
+
+double nextUnit(std::uint64_t& state) {
+  return static_cast<double>(nextU64(state) >> 11) * 0x1.0p-53;
+}
+
+json::Value linkValue(const Graph& g, EdgeId link) {
+  json::Value v = json::Value::array();
+  v.push_back(g.nodeName(g.edge(link).src));
+  v.push_back(g.nodeName(g.edge(link).dst));
+  return v;
+}
+
+std::string linkEvent(const Graph& g, EdgeId link, bool up) {
+  json::Value req = json::Value::object();
+  req["op"] = "link";
+  req["link"] = linkValue(g, link);
+  req["up"] = up;
+  return req.dump(0);
+}
+
+}  // namespace
+
+std::vector<std::string> generateTrace(const Graph& g,
+                                       const tm::TrafficMatrix& base,
+                                       const TraceOptions& opt) {
+  const std::vector<EdgeId> links = failure::physicalLinks(g);
+  require(!links.empty(), "trace generation needs at least one physical link");
+  require(opt.events >= 0, "negative event count");
+  require(opt.what_if_pct >= 0 && opt.demand_pct >= 0 && opt.link_pct >= 0 &&
+              opt.margin_pct >= 0,
+          "negative mix percentage");
+  require(opt.what_if_pct + opt.demand_pct + opt.link_pct + opt.margin_pct <=
+              100,
+          "event mix over 100%");
+  require(opt.max_concurrent_failures >= 1, "max_concurrent_failures < 1");
+
+  std::vector<std::pair<NodeId, NodeId>> pairs = base.nonZeroPairs();
+  if (pairs.empty()) {
+    for (NodeId s = 0; s < base.numNodes(); ++s) {
+      for (NodeId t = 0; t < base.numNodes(); ++t) {
+        if (s != t) pairs.emplace_back(s, t);
+      }
+    }
+  }
+  const double mean_demand =
+      pairs.empty() ? 1.0
+                    : std::max(base.total() / static_cast<double>(pairs.size()),
+                               1e-9);
+  static constexpr double kMargins[] = {1.5, 2.0, 2.5, 3.0};
+
+  std::uint64_t state = opt.seed;
+  std::vector<EdgeId> failed;  // mirrors the service's failed-link state
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(opt.events));
+
+  for (int i = 0; i < opt.events; ++i) {
+    const int r = nextInt(state, 100);
+    if (r < opt.what_if_pct) {
+      const int k = std::min(1 + nextInt(state, 2),
+                             static_cast<int>(links.size()));
+      std::vector<EdgeId> chosen;
+      while (static_cast<int>(chosen.size()) < k) {
+        const EdgeId link = links[nextInt(
+            state, static_cast<int>(links.size()))];
+        if (std::find(chosen.begin(), chosen.end(), link) == chosen.end()) {
+          chosen.push_back(link);
+        }
+      }
+      json::Value req = json::Value::object();
+      req["op"] = "what-if";
+      json::Value arr = json::Value::array();
+      for (const EdgeId link : chosen) arr.push_back(linkValue(g, link));
+      req["links"] = std::move(arr);
+      out.push_back(req.dump(0));
+    } else if (r < opt.what_if_pct + opt.demand_pct) {
+      const auto [s, t] = pairs[nextInt(
+          state, static_cast<int>(pairs.size()))];
+      const double current = base.at(s, t);
+      const double anchor = current > 0.0 ? current : mean_demand;
+      const double value = anchor * (0.5 + 1.5 * nextUnit(state));
+      json::Value req = json::Value::object();
+      req["op"] = "demand";
+      json::Value entry = json::Value::array();
+      entry.push_back(g.nodeName(s));
+      entry.push_back(g.nodeName(t));
+      entry.push_back(value);
+      json::Value set = json::Value::array();
+      set.push_back(std::move(entry));
+      req["set"] = std::move(set);
+      out.push_back(req.dump(0));
+    } else if (r < opt.what_if_pct + opt.demand_pct + opt.link_pct) {
+      const bool at_cap =
+          static_cast<int>(failed.size()) >= opt.max_concurrent_failures ||
+          static_cast<int>(failed.size()) >= static_cast<int>(links.size());
+      const bool restore =
+          !failed.empty() && (at_cap || nextInt(state, 2) == 0);
+      if (restore) {
+        const int j = nextInt(state, static_cast<int>(failed.size()));
+        const EdgeId link = failed[static_cast<std::size_t>(j)];
+        failed.erase(failed.begin() + j);
+        out.push_back(linkEvent(g, link, /*up=*/true));
+      } else {
+        EdgeId link = kInvalidEdge;
+        do {
+          link = links[nextInt(state, static_cast<int>(links.size()))];
+        } while (std::find(failed.begin(), failed.end(), link) !=
+                 failed.end());
+        failed.push_back(link);
+        out.push_back(linkEvent(g, link, /*up=*/false));
+      }
+    } else if (r <
+               opt.what_if_pct + opt.demand_pct + opt.link_pct +
+                   opt.margin_pct) {
+      json::Value req = json::Value::object();
+      req["op"] = "margin";
+      req["value"] = kMargins[nextInt(state, 4)];
+      out.push_back(req.dump(0));
+    } else {
+      json::Value req = json::Value::object();
+      req["op"] = "reoptimize";
+      out.push_back(req.dump(0));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> linkFlapTrace(const Graph& g, int flaps) {
+  const std::vector<EdgeId> links = failure::physicalLinks(g);
+  require(!links.empty(), "trace generation needs at least one physical link");
+  require(flaps >= 0, "negative flap count");
+  const int cycle = std::min<int>(3, static_cast<int>(links.size()));
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(flaps) * 2);
+  for (int i = 0; i < flaps; ++i) {
+    const EdgeId link = links[static_cast<std::size_t>(i % cycle)];
+    out.push_back(linkEvent(g, link, /*up=*/false));
+    out.push_back(linkEvent(g, link, /*up=*/true));
+  }
+  return out;
+}
+
+}  // namespace coyote::serve

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace coyote::util::json {
 
@@ -72,14 +73,40 @@ bool operator==(const Value& a, const Value& b) {
 }
 
 std::string formatNumber(double d) {
-  if (!std::isfinite(d)) {
-    // JSON has no Inf/NaN; emit null like most tolerant writers.
-    return "null";
-  }
+  if (const char* tag = nonFiniteTag(d)) return tag;
   char buf[32];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
   if (ec != std::errc()) return "0";
   return std::string(buf, ptr);
+}
+
+const char* nonFiniteTag(double d) {
+  if (std::isfinite(d)) return nullptr;
+  if (std::isnan(d)) return "nan";
+  return d > 0.0 ? "inf" : "-inf";
+}
+
+bool decodeNumber(const Value& v, double* out) {
+  if (v.isNumber()) {
+    *out = v.asNumber();
+    return true;
+  }
+  if (v.isString()) {
+    const std::string& s = v.asString();
+    if (s == "inf") {
+      *out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (s == "-inf") {
+      *out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (s == "nan") {
+      *out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string escapeString(const std::string& s) {
@@ -131,6 +158,15 @@ void Value::writeTo(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       return;
     case Type::kNumber:
+      // Non-finite numbers become tagged strings: JSON has no Inf/NaN
+      // tokens, and dropping them to null would lose the one thing a
+      // +inf failure ratio means (decodeNumber() reads them back).
+      if (const char* tag = nonFiniteTag(num_)) {
+        out.push_back('"');
+        out += tag;
+        out.push_back('"');
+        return;
+      }
       out += formatNumber(num_);
       return;
     case Type::kString:
@@ -248,10 +284,33 @@ class Parser {
         if (!consumeLiteral("false")) fail("bad literal");
         return Value(false);
       case 'n':
-        if (!consumeLiteral("null")) fail("bad literal");
-        return Value(nullptr);
+        if (consumeLiteral("null")) return Value(nullptr);
+        failIfNonFinite();
+        fail("bad literal");
+      case 'i':
+      case 'I':
+      case 'N':
+        failIfNonFinite();
+        fail("bad literal");
       default:
         return parseNumber();
+    }
+  }
+
+  /// Bare Inf/NaN tokens are what tolerant writers emit for non-finite
+  /// doubles; they are not JSON. Reject them by name so the error says
+  /// what went wrong instead of a generic "expected a value" -- this
+  /// writer encodes non-finite numbers as the tagged strings "inf",
+  /// "-inf" and "nan" (see nonFiniteTag).
+  void failIfNonFinite() {
+    for (const char* lit : {"Infinity", "infinity", "inf", "NaN", "nan"}) {
+      std::size_t n = 0;
+      while (lit[n] != '\0') ++n;
+      if (text_.compare(pos_, n, lit) == 0) {
+        fail(std::string("non-finite number token '") + lit +
+             "' is not valid JSON (this writer encodes non-finite doubles "
+             "as tagged strings: \"inf\", \"-inf\", \"nan\")");
+      }
     }
   }
 
@@ -384,7 +443,10 @@ class Parser {
 
   Value parseNumber() {
     const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
+    if (peek() == '-') {
+      ++pos_;
+      failIfNonFinite();  // "-Infinity" / "-inf" / "-nan"
+    }
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
       if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||

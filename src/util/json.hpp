@@ -113,8 +113,24 @@ class Value {
 };
 
 /// Serializes a double exactly as the writer does (shortest round-trip
-/// form; integral values without exponent or trailing ".0").
+/// form; integral values without exponent or trailing ".0"). Non-finite
+/// values return their tag ("inf", "-inf", "nan"); the writer emits the
+/// tag as a JSON *string*, since JSON has no non-finite number tokens.
 [[nodiscard]] std::string formatNumber(double d);
+
+/// The tagged-string encoding of non-finite doubles ("inf", "-inf",
+/// "nan"), or nullptr for finite values. The failure sweeps legitimately
+/// produce +inf ratios (a loaded link with zero surviving capacity), so
+/// the writer encodes them losslessly instead of emitting null or an
+/// invalid bare token; a parsed document holds them as strings.
+[[nodiscard]] const char* nonFiniteTag(double d);
+
+/// Decodes a value written by the number writer: true for real numbers
+/// and for the tagged non-finite strings (writing the decoded double to
+/// *out), false for everything else. This is the read side of the
+/// round-trip: number -> dump -> parse -> decodeNumber recovers the
+/// value, infinities included.
+[[nodiscard]] bool decodeNumber(const Value& v, double* out);
 
 /// Escapes `s` as the contents of a JSON string literal (no quotes).
 [[nodiscard]] std::string escapeString(const std::string& s);

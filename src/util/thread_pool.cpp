@@ -5,8 +5,34 @@
 #include <string>
 
 #include "util/env.hpp"
+#include "util/require.hpp"
 
 namespace coyote::util {
+
+namespace {
+
+/// The pool whose job this thread is currently executing (nullptr
+/// outside parallelFor). Backs the reentrancy guard: a nested
+/// parallelFor on the same pool would deadlock on submit_mutex_, so it
+/// must fail fast instead. A RAII frame (not a bare assignment) keeps
+/// the marker correct when pools nest across *different* instances.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+
+class RunningPoolFrame {
+ public:
+  explicit RunningPoolFrame(const ThreadPool* pool)
+      : previous_(tls_running_pool) {
+    tls_running_pool = pool;
+  }
+  ~RunningPoolFrame() { tls_running_pool = previous_; }
+  RunningPoolFrame(const RunningPoolFrame&) = delete;
+  RunningPoolFrame& operator=(const RunningPoolFrame&) = delete;
+
+ private:
+  const ThreadPool* previous_;
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
     : threads_(std::max(1u, threads == 0 ? defaultThreads() : threads)) {
@@ -27,8 +53,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
+  // Fail-fast reentrancy guard, checked before any early return so the
+  // error is identical at every thread count and job size (the deadlock
+  // it prevents only bites on the multi-threaded path).
+  require(tls_running_pool != this,
+          "ThreadPool::parallelFor called from inside one of this pool's "
+          "own jobs (not reentrant; it would deadlock) -- run the nested "
+          "loop serially or on a different pool");
   if (n == 0) return;
   if (threads_ == 1 || n == 1 || workers_.empty()) {
+    const RunningPoolFrame frame(this);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -73,6 +107,7 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::runIndices(const std::function<void(std::size_t)>& fn,
                             std::size_t n) {
+  const RunningPoolFrame frame(this);
   try {
     for (std::size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
       fn(i);

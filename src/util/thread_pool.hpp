@@ -43,7 +43,12 @@ class ThreadPool {
   /// thrown by any fn(i) is rethrown here (remaining indices may be
   /// skipped). Safe to call from several threads at once (concurrent
   /// jobs are serialized). Not reentrant: fn must not call parallelFor
-  /// on this pool.
+  /// on the *same* pool -- a nested call would block on the outer job's
+  /// submission lock from inside that very job and deadlock. The entry
+  /// guard detects this and throws std::invalid_argument immediately
+  /// (at every thread count, so misuse cannot hide behind
+  /// COYOTE_THREADS=1's inline path). Dispatching into a *different*
+  /// pool from inside a job is fine.
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool, sized by defaultThreads(); lazily built.

@@ -92,6 +92,79 @@ TEST(CompareDocuments, TimingFloorAbsorbsSubMillisecondNoise) {
   EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kRegression));
 }
 
+// kServe scenarios publish events_per_second and event_p99_ms under
+// "timing"; bench_compare applies explicit regression gates to them.
+json::Value serveDoc(const std::string& scenario, double events_per_second,
+                     double event_p99_ms) {
+  json::Value doc = benchDoc(scenario, 1.5, 1.0);
+  doc["timing"]["events_per_second"] = events_per_second;
+  doc["timing"]["event_p99_ms"] = event_p99_ms;
+  return doc;
+}
+
+// Fresh-report comparison verdict (compareDocuments accumulates into
+// its report, so each check needs its own).
+bool servePasses(const json::Value& baseline, const json::Value& cand) {
+  CompareOptions opt;
+  opt.max_regression = 0.25;
+  CompareReport report;
+  compareDocuments(baseline, cand, opt, &report);
+  return report.pass();
+}
+
+TEST(CompareDocuments, ServeP99RegressionFails) {
+  // p99 40ms -> 80ms is +100%: fail, and it is a regression finding.
+  CompareOptions opt;
+  opt.max_regression = 0.25;
+  CompareReport report;
+  compareDocuments(serveDoc("serve", 50.0, 40.0),
+                   serveDoc("serve", 50.0, 80.0), opt, &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kRegression));
+  // Within threshold (and improvements) pass.
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 40.0),
+                          serveDoc("serve", 50.0, 45.0)));
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 40.0),
+                          serveDoc("serve", 50.0, 5.0)));
+  // The min-gate floor (10ms default) absorbs sub-floor latency noise.
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 0.2),
+                          serveDoc("serve", 50.0, 3.0)));
+}
+
+TEST(CompareDocuments, ServeThroughputRegressionFails) {
+  // 50 -> 20 events/s is a -60% throughput collapse: fail.
+  CompareOptions opt;
+  opt.max_regression = 0.25;
+  CompareReport report;
+  compareDocuments(serveDoc("serve", 50.0, 40.0),
+                   serveDoc("serve", 20.0, 40.0), opt, &report);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kRegression));
+  // Within threshold (and speedups) pass.
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 40.0),
+                          serveDoc("serve", 45.0, 40.0)));
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 40.0),
+                          serveDoc("serve", 500.0, 40.0)));
+  // Above 1/min_gate_seconds the per-event cost is sub-floor noise: a
+  // 5000 -> 90 events/s drop still gates against the 100 events/s cap.
+  EXPECT_TRUE(servePasses(serveDoc("serve", 5000.0, 40.0),
+                          serveDoc("serve", 90.0, 40.0)));
+  EXPECT_FALSE(servePasses(serveDoc("serve", 5000.0, 40.0),
+                           serveDoc("serve", 60.0, 40.0)));
+}
+
+TEST(CompareDocuments, ServeGatesAreSilentWhenKeysAbsent) {
+  // Pre-serve baseline vs serve candidate (and vice versa): no gate.
+  EXPECT_TRUE(servePasses(benchDoc("serve", 1.5, 1.0),
+                          serveDoc("serve", 1.0, 1e6)));
+  EXPECT_TRUE(servePasses(serveDoc("serve", 50.0, 40.0),
+                          benchDoc("serve", 1.5, 1.0)));
+  // Serve timing fields are run metadata: never drift-gated, so an
+  // identical document with serve keys compares clean against itself.
+  const json::Value doc = serveDoc("serve", 50.0, 40.0);
+  EXPECT_TRUE(servePasses(doc, doc));
+}
+
 TEST(CompareDocuments, ResultDriftFailsEvenWhenTimingIsFine) {
   CompareReport report;
   compareDocuments(benchDoc("s", 1.5, 1.0), benchDoc("s", 1.5001, 1.0),
@@ -344,12 +417,42 @@ TEST_F(CompareBenchDirsTest, MissingCandidateFile) {
   EXPECT_TRUE(compareBenchDirs(baseline_, candidate_, opt).pass());
 }
 
-TEST_F(CompareBenchDirsTest, ExtraCandidateFilesAreIgnored) {
-  // New scenarios may land before their baseline is refreshed.
+TEST_F(CompareBenchDirsTest, DroppedScenarioIsHardEvenAmongPassingOnes) {
+  // Tamper case: the candidate run quietly lost one gated scenario (a
+  // deregistered serve replay, a filter typo) while everything it did
+  // produce matches. That must stay a hard MISSING failure -- extra
+  // candidate-only files must not mask it.
+  write(baseline_, "a", benchDoc("a", 1.5, 1.0));
+  write(baseline_, "serve", benchDoc("serve", 2.0, 1.0));
+  write(candidate_, "a", benchDoc("a", 1.5, 1.0));
+  write(candidate_, "new", benchDoc("new", 9.9, 9.9));
+  const CompareReport report = compareBenchDirs(baseline_, candidate_);
+  EXPECT_FALSE(report.pass());
+  EXPECT_TRUE(hasKind(report, CompareFinding::Kind::kMissing));
+  bool names_dropped = false;
+  for (const CompareFinding& f : report.findings) {
+    names_dropped |= f.kind == CompareFinding::Kind::kMissing &&
+                     f.scenario == "BENCH_serve.json";
+  }
+  EXPECT_TRUE(names_dropped);
+}
+
+TEST_F(CompareBenchDirsTest, ExtraCandidateFilesAreInfoNotGated) {
+  // New scenarios may land before their baseline is refreshed: they must
+  // not fail the gate, but the walk surfaces them instead of silently
+  // skipping (a scenario nobody gates should be visible in the report).
   write(baseline_, "a", benchDoc("a", 1.5, 1.0));
   write(candidate_, "a", benchDoc("a", 1.5, 1.0));
   write(candidate_, "new", benchDoc("new", 9.9, 9.9));
-  EXPECT_TRUE(compareBenchDirs(baseline_, candidate_).pass());
+  const CompareReport report = compareBenchDirs(baseline_, candidate_);
+  EXPECT_TRUE(report.pass());
+  bool surfaced = false;
+  for (const CompareFinding& f : report.findings) {
+    surfaced |= f.kind == CompareFinding::Kind::kInfo &&
+                f.scenario == "BENCH_new.json" &&
+                f.what.find("candidate-only scenario") != std::string::npos;
+  }
+  EXPECT_TRUE(surfaced);
 }
 
 TEST_F(CompareBenchDirsTest, MalformedInputsAreFindingsNotCrashes) {

@@ -77,6 +77,56 @@ TEST(JsonWriter, NumberFormatting) {
   }
 }
 
+TEST(JsonWriter, NonFiniteNumbersBecomeTaggedStrings) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(formatNumber(inf), "inf");
+  EXPECT_EQ(formatNumber(-inf), "-inf");
+  EXPECT_EQ(formatNumber(nan), "nan");
+  EXPECT_EQ(nonFiniteTag(1.5), nullptr);
+
+  // A failure row with a +inf ratio (loaded dead link) must still emit
+  // valid JSON and survive the round trip losslessly.
+  Value row = Value::object();
+  row["label"] = "A-B";
+  row["ecmp"] = inf;
+  row["coyote"] = 1.25;
+  row["nan_case"] = nan;
+  EXPECT_EQ(row.dump(0),
+            R"({"label":"A-B","ecmp":"inf","coyote":1.25,"nan_case":"nan"})");
+
+  const Value reparsed = parse(row.dump(0));
+  double out = 0.0;
+  ASSERT_TRUE(decodeNumber(*reparsed.find("ecmp"), &out));
+  EXPECT_TRUE(std::isinf(out));
+  EXPECT_GT(out, 0.0);
+  ASSERT_TRUE(decodeNumber(*reparsed.find("coyote"), &out));
+  EXPECT_DOUBLE_EQ(out, 1.25);
+  ASSERT_TRUE(decodeNumber(*reparsed.find("nan_case"), &out));
+  EXPECT_TRUE(std::isnan(out));
+  EXPECT_FALSE(decodeNumber(*reparsed.find("label"), &out));
+  // The second trip is a fixed point: tagged strings dump unchanged.
+  EXPECT_EQ(reparsed.dump(0), row.dump(0));
+
+  double neg = 0.0;
+  ASSERT_TRUE(decodeNumber(parse("\"-inf\""), &neg));
+  EXPECT_TRUE(std::isinf(neg));
+  EXPECT_LT(neg, 0.0);
+}
+
+TEST(JsonParser, BareNonFiniteTokensAreRejectedByName) {
+  for (const char* text : {"Infinity", "-Infinity", "inf", "-inf", "nan",
+                           "NaN", "[1,Infinity]", "{\"r\":NaN}"}) {
+    try {
+      (void)parse(text);
+      FAIL() << "parse accepted: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << text << ": " << e.what();
+    }
+  }
+}
+
 TEST(JsonWriter, NestedPrettyAndCompact) {
   Value doc = Value::object();
   doc["id"] = "fig06";

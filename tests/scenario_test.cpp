@@ -105,6 +105,23 @@ TEST(ScenarioRegistry, MarginGridsAreSane) {
   }
 }
 
+TEST(ScenarioRegistry, ServeScenariosAreRegistered) {
+  const Scenario* smoke = reg().find("serve-running-example");
+  ASSERT_NE(smoke, nullptr);
+  EXPECT_EQ(smoke->kind, ScenarioKind::kServe);
+  EXPECT_TRUE(smoke->hasTag("serve"));
+  EXPECT_TRUE(smoke->hasTag("smoke"));  // the CI bench gate replays it
+  EXPECT_GT(smoke->serve_events, 0);
+
+  const Scenario* geant = reg().find("serve-geant-500");
+  ASSERT_NE(geant, nullptr);
+  EXPECT_EQ(geant->kind, ScenarioKind::kServe);
+  EXPECT_EQ(geant->serve_events, 500);
+  EXPECT_FALSE(geant->hasTag("smoke"));
+
+  EXPECT_STREQ(kindName(ScenarioKind::kServe), "serve");
+}
+
 TEST(ScenarioRegistry, EveryScenarioBuildsGraphMatrixAndPool) {
   for (const Scenario& s : reg().all()) {
     SCOPED_TRACE(s.id);

@@ -91,6 +91,46 @@ TEST(ThreadPool, DefaultThreadsIsPositive) {
   EXPECT_GE(ThreadPool::global().threadCount(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForOnSamePoolFailsFast) {
+  // Undocumented-deadlock regression guard: a nested call used to block
+  // forever on submit_mutex_ (held by the outer job); now it throws a
+  // clear std::invalid_argument, propagated like any job exception, at
+  // every thread count -- including the single-thread inline path where
+  // the deadlock itself never bites.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallelFor(8,
+                                  [&](std::size_t) {
+                                    pool.parallelFor(
+                                        2, [](std::size_t) {});
+                                  }),
+                 std::invalid_argument)
+        << threads << " threads";
+    // The pool survives the failed job and keeps scheduling.
+    std::atomic<int> ok{0};
+    pool.parallelFor(5, [&](std::size_t) { ++ok; });
+    EXPECT_EQ(ok.load(), 5);
+  }
+}
+
+TEST(ThreadPool, NestingAcrossDistinctPoolsIsAllowed) {
+  ThreadPool outer(3);
+  ThreadPool inner(2);
+  std::vector<std::atomic<int>> hits(6 * 4);
+  outer.parallelFor(6, [&](std::size_t i) {
+    inner.parallelFor(4,
+                      [&](std::size_t j) { hits[i * 4 + j].fetch_add(1); });
+  });
+  for (std::size_t k = 0; k < hits.size(); ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << "slot " << k;
+  }
+  // The marker unwinds correctly: both pools accept fresh top-level jobs.
+  std::atomic<int> ok{0};
+  outer.parallelFor(3, [&](std::size_t) { ++ok; });
+  inner.parallelFor(3, [&](std::size_t) { ++ok; });
+  EXPECT_EQ(ok.load(), 6);
+}
+
 TEST(ThreadPool, ResultsIndependentOfThreadCount) {
   // Same indexed-slot pattern the evaluator uses: writes are per-index, so
   // any thread count produces the identical result vector.
