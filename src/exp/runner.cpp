@@ -1127,6 +1127,10 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   doc["lp_phase1_pivots"] = static_cast<double>(lp_delta.phase1_iters);
   doc["lp_refactorizations"] =
       static_cast<double>(lp_delta.refactorizations);
+  doc["lp_pricing_hits"] = static_cast<double>(lp_delta.pricing_hits);
+  doc["lp_degen_rescues"] = static_cast<double>(lp_delta.degen_rescues);
+  doc["lp_lu_updates"] = static_cast<double>(lp_delta.lu_updates);
+  doc["lp_lu_fill"] = static_cast<double>(lp_delta.lu_fill);
   doc["rows"] = std::move(output.rows);
   for (auto& [key, value] : output.extra.asObject()) {
     doc[key] = value;

@@ -1,20 +1,42 @@
-// Product-form (eta-file) representation of the simplex basis inverse.
+// Sparse LU factorization of the simplex basis with Forrest-Tomlin updates.
 //
-// B^{-1} is held as a product of elementary "eta" matrices
-// E_k ... E_2 E_1, each recording one Gauss pivot: applying E (ftran
-// direction) divides the pivot row by the pivot element and eliminates it
-// from the other rows. Refactorization rebuilds the file from the basic
-// columns with sparse elimination in fill-reducing order (sparsest column
-// first, largest available pivot within the column -- the classic
-// Markowitz compromise between sparsity and stability); between
-// refactorizations every simplex pivot appends one eta. ftran solves
-// B z = a (z = E_k(...E_1(a))), btran solves B^T y = c (transposed etas in
-// reverse order). Work is proportional to the stored nonzeros, which for
-// the network-flow LPs in this repository is a few entries per eta -- the
-// dense O(m^2)-per-pivot explicit inverse this replaces did m^2 work no
-// matter how sparse the basis was.
+// B is factorized as L * U by left-looking sparse Gauss elimination: columns
+// arrive one at a time (sparsest first -- the caller orders them), each is
+// ftran'd through the eliminations recorded so far, and a pivot row is chosen
+// by a Markowitz-style compromise -- among the numerically safe entries
+// (|v| >= 0.05 * max|v|), the row with the fewest nonzeros across the basic
+// columns wins, so elimination fill stays near the sparsity pattern's
+// minimum. The eliminations form L^{-1} (a sequence of column ops); U is kept
+// column-wise with an explicit pivot order (row/column permutations are
+// implicit in that order).
+//
+// A simplex pivot replaces one basic column. Instead of appending a
+// product-form eta -- whose file grows by one dense-ish ftran'd column per
+// pivot, forever -- the Forrest-Tomlin update replaces the column of U
+// *inside the factorization*: the spike L^{-1} a_enter takes the leaving
+// column's slot, the leaving pivot's U row is eliminated with one recorded
+// row op, and the pivot order is cyclically shifted so U stays triangular.
+// Storage grows by the (sparse) row op and the spike only, so long
+// warm-start chains -- failure sweeps, serve replays, cutting-plane rounds --
+// no longer pay eta-chain growth between refactorizations.
+//
+// ftran solves B z = a (apply L^{-1} ops forward, back-substitute U in
+// reverse pivot order); btran solves B^T y = c (forward-substitute U^T in
+// pivot order, apply transposed ops backward). The result/input convention
+// matches the simplex solver's basis_ array: slot k's value lives at index
+// pivotRow(k) of the dense vector.
+//
+// Layout note: both the op terms and the U entries live in two flat pools
+// (op_pool_ / u_pool_) instead of per-op and per-column heap vectors.
+// ftran/btran walk the factor once per simplex iteration, so the pool
+// layout -- sequential loads, no pointer chasing -- is what keeps the
+// per-iteration linear algebra cache-resident. An update that replaces a
+// U column appends the new entries at the pool tail and leaks the old
+// range until the next refactorization rebuilds the pool (bounded by the
+// refactorization cadence).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace coyote::lp {
@@ -25,16 +47,22 @@ struct ColNz {
   double val = 0.0;
 };
 
-class EtaFile {
+class LuFactor {
  public:
-  /// Drops all etas (the representation becomes the identity).
-  void clear();
+  /// Starts a fresh factorization of an m x m basis. `row_counts` (optional)
+  /// holds the number of nonzeros per row across the columns about to be
+  /// placed; the Markowitz pivot choice prefers sparse rows. All previous
+  /// state is dropped.
+  void reset(int m, std::vector<int> row_counts = {});
 
-  /// Appends the eta of a pivot on `pivot_row`, where `d` is the dense
-  /// ftran'd entering column and `touched` lists the indices where d may
-  /// be nonzero (a superset is fine; zeros are skipped).
-  void append(int pivot_row, const std::vector<double>& d,
-              const std::vector<int>& touched);
+  /// Factorization step: eliminates `col` against the factor built so far
+  /// and pivots it on a not-yet-pivoted row. Returns the chosen pivot row,
+  /// or -1 when every candidate entry is below `depend_tol` (the column is
+  /// linearly dependent on the ones already placed -- the caller demotes it).
+  int addColumn(const std::vector<ColNz>& col, double depend_tol);
+
+  [[nodiscard]] bool complete() const { return placed_ == m_; }
+  [[nodiscard]] bool rowPivoted(int row) const { return slot_of_row_[row] >= 0; }
 
   /// z <- B^{-1} z, in place (dense vector of size m).
   void ftran(std::vector<double>& z) const;
@@ -42,17 +70,63 @@ class EtaFile {
   /// z <- B^{-T} z, in place (dense vector of size m).
   void btran(std::vector<double>& z) const;
 
-  [[nodiscard]] int size() const { return static_cast<int>(etas_.size()); }
+  /// Forrest-Tomlin update: the basic column pivoted on `leave_row` is
+  /// replaced by `col` (its *original* sparse entries, not the ftran'd
+  /// ones). Returns false -- leaving the factor unusable until the next
+  /// reset() -- when the updated pivot is numerically unsafe; the caller
+  /// must refactorize.
+  [[nodiscard]] bool update(int leave_row, const std::vector<ColNz>& col);
+
+  /// Stored nonzeros (L ops + U), the fill/growth measure.
   [[nodiscard]] std::size_t nonzeros() const { return nonzeros_; }
+  /// nonzeros() right after the last completed factorization.
+  [[nodiscard]] std::size_t freshNonzeros() const { return fresh_nonzeros_; }
+  /// Marks the factorization complete; snapshots freshNonzeros().
+  void sealRefactor();
 
  private:
-  struct Eta {
-    int row = 0;          ///< pivot row
-    double pivot = 0.0;   ///< d[pivot_row]
-    std::vector<ColNz> off;  ///< d's other nonzeros
+  /// One recorded elimination; terms live in op_pool_[begin, end).
+  ///  - column op (factorization):  z[t.row] -= t.val * z[pivot]  for all t
+  ///  - row op (Forrest-Tomlin):    z[pivot] -= sum t.val * z[t.row]
+  struct OpHead {
+    int pivot = 0;
+    int begin = 0;
+    int end = 0;
+    bool row_op = false;
   };
-  std::vector<Eta> etas_;
+
+  /// One column of U; above-diagonal entries live in u_pool_[begin,
+  /// begin+len) and their rows are pivot rows of slots earlier in pos_
+  /// order.
+  struct UCol {
+    int pivot_row = 0;
+    double diag = 0.0;
+    int begin = 0;
+    int len = 0;
+  };
+
+  /// Applies the recorded ops to z, appending every row that may have
+  /// become nonzero to `touched` (a superset; duplicates allowed).
+  void applyOps(std::vector<double>& z, std::vector<int>* touched) const;
+
+  int m_ = 0;
+  int placed_ = 0;
+  std::vector<OpHead> op_heads_;
+  std::vector<ColNz> op_pool_;
+  std::vector<UCol> slots_;        ///< stable storage, one per placed column
+  std::vector<ColNz> u_pool_;      ///< U entries of every slot
+  std::vector<int> pos_;           ///< elimination order: position -> slot
+  std::vector<int> pos_of_;        ///< slot -> position
+  std::vector<int> slot_of_row_;   ///< pivot row -> slot (-1 = unpivoted)
+  std::vector<int> row_counts_;    ///< Markowitz bias (static approximation)
+  /// Superset index: slots whose U column *may* hold an entry at this row
+  /// (stale slots are skipped on use, rebuilt by reset()).
+  std::vector<std::vector<int>> rows_with_;
+  std::vector<double> work_;       ///< dense scratch, kept zeroed
+  std::vector<int> touched_;       ///< scratch: rows work_ may be nonzero at
+  std::vector<double> rowval_;     ///< per-slot scratch for update(), zeroed
   std::size_t nonzeros_ = 0;
+  std::size_t fresh_nonzeros_ = 0;
 };
 
 }  // namespace coyote::lp

@@ -12,14 +12,21 @@
 //  * bounded-variable pivoting -- finite upper bounds are handled natively
 //    by the ratio test (nonbasic variables rest at either bound and may
 //    bound-flip), not by materializing extra rows;
-//  * an eta-file (product-form) basis factorization: refactorization runs
-//    sparse Gauss elimination over the basic columns in fill-reducing
-//    (Markowitz-style, sparsest-column-first) order, and each pivot appends
-//    one eta vector until the next periodic refactorization;
+//  * devex reference-framework pricing with candidate-list partial pricing
+//    (Dantzig full scans remain behind COYOTE_LP_PRICING=dantzig; Bland's
+//    rule is the anti-cycling fallback for both);
+//  * a Harris-style two-pass ratio test with a bounded tolerance-expansion
+//    degeneracy perturbation, and a piecewise-linear long-step variant for
+//    the composite phase 1;
+//  * a sparse LU basis factorization with Markowitz pivot ordering and
+//    Forrest-Tomlin updates (basis.*), so long warm-start chains do not pay
+//    eta-chain growth between refactorizations;
 //  * a composite (artificial-free) phase 1 that minimizes the total bound
 //    violation of the basic variables, which makes any basis -- in
 //    particular a retained basis after setRhs/setBounds/addRow mutations --
 //    a valid warm start.
+//
+// See docs/lp-engine.md for the full design document.
 //
 // The SimplexSolver session API retains the optimal basis between solves:
 // consumers that solve long sequences of near-identical LPs (OPTU across a
@@ -101,14 +108,28 @@ class LpProblem {
   std::vector<double> rhs_;
 };
 
+/// Entering-variable pricing rule. Devex (reference-framework weights with
+/// candidate-list partial pricing) is the default; Dantzig (full most-
+/// negative-reduced-cost scans, the pre-devex behavior) remains as an
+/// escape hatch. Bland's rule is the anti-cycling fallback for both.
+enum class Pricing { kDevex, kDantzig };
+
+/// Pricing selected by the COYOTE_LP_PRICING env knob ("devex" | "dantzig");
+/// devex when unset or unrecognized.
+[[nodiscard]] Pricing defaultPricing();
+
 struct SimplexOptions {
   int max_iterations = 200000;
-  /// Refactorize the eta-file basis representation every this many pivots.
+  /// Refactorize the LU basis factorization after this many Forrest-Tomlin
+  /// updates (it also refactorizes early when the stored fill outgrows the
+  /// fresh factorization by a fixed factor).
   int refactor_every = 128;
   /// Switch to Bland's rule after this many non-improving pivots.
   int stall_limit = 2000;
   double feas_tol = 1e-7;
   double opt_tol = 1e-8;
+  /// Entering rule; defaults from the COYOTE_LP_PRICING env knob.
+  Pricing pricing = defaultPricing();
 };
 
 /// A simplex basis: one status entry per column (structural variables
@@ -127,6 +148,15 @@ struct SolveStats {
   int iterations = 0;        ///< simplex pivots + bound flips, both phases
   int refactorizations = 0;  ///< basis refactorizations performed
   int phase1_iters = 0;      ///< iterations spent restoring feasibility
+  int pricing_hits = 0;      ///< enterings served from the devex candidate
+                             ///< list without any column scan
+  int degen_rescues = 0;     ///< ratio-test degeneracy rescues: Harris picks
+                             ///< that stepped past the textbook minimum-ratio
+                             ///< blocker for a larger pivot, plus bounded-
+                             ///< perturbation (tolerance-expansion) resets
+  int lu_updates = 0;        ///< Forrest-Tomlin basis updates applied
+  std::int64_t lu_fill = 0;  ///< summed nonzeros of fresh LU factorizations
+                             ///< (the factor fill-in measure)
 };
 
 struct LpResult {

@@ -5,6 +5,7 @@
 #include "lp/basis.hpp"
 #include "lp/lp.hpp"
 #include "lp/stats.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 
 namespace coyote::lp {
@@ -18,6 +19,11 @@ std::string toString(Status s) {
   }
   ensure(false, "lp::toString: invalid Status value");
   return {};  // unreachable
+}
+
+Pricing defaultPricing() {
+  return util::envString("COYOTE_LP_PRICING") == "dantzig" ? Pricing::kDantzig
+                                                           : Pricing::kDevex;
 }
 
 int LpProblem::addVar(double obj, double lb, double ub, std::string name) {
@@ -80,6 +86,17 @@ std::vector<Term> mergeTerms(std::vector<Term> terms) {
 
 constexpr double kPivotTol = 1e-9;   ///< min |alpha| to leave the basis on
 constexpr double kDependTol = 1e-11; ///< refactorization singularity cutoff
+constexpr double kDegenStep = 1e-12; ///< a step this small counts degenerate
+/// Refactorize early when the factor's stored fill outgrows the fresh
+/// factorization by this factor (Forrest-Tomlin growth control).
+constexpr double kLuGrowthLimit = 3.0;
+/// Devex reference-framework reset threshold: when the leaving variable's
+/// updated weight would exceed this, the weights have drifted too far from
+/// the reference frame and all are reset to 1.
+constexpr double kDevexReset = 1e7;
+/// Max devex candidate-list size (re-priced each iteration; refilled by
+/// rotating section scans when exhausted).
+constexpr int kCandMax = 128;
 
 }  // namespace
 
@@ -94,6 +111,11 @@ constexpr double kDependTol = 1e-11; ///< refactorization singularity cutoff
 // cold start. Feasibility is restored by a composite phase 1 (minimize the
 // total bound violation of the basic variables), which needs no artificial
 // columns and accepts any retained basis as a warm start.
+//
+// Per iteration: devex candidate-list pricing picks the entering column, a
+// Harris two-pass ratio test (piecewise-linear long-step in phase 1) picks
+// the leaving one, and the LU factorization absorbs the pivot as a
+// Forrest-Tomlin update. See docs/lp-engine.md.
 // ---------------------------------------------------------------------------
 class SimplexSolver::Impl {
  public:
@@ -156,6 +178,7 @@ class SimplexSolver::Impl {
     // The new logical joins the basis: [B 0; C I] stays nonsingular.
     basis_status_.status.insert(
         basis_status_.status.begin() + (n_ + m_ - 1), Basis::kBasic);
+    if (!devex_w_.empty()) devex_w_.push_back(1.0);
     factored_ = false;
     return m_ - 1;
   }
@@ -169,6 +192,7 @@ class SimplexSolver::Impl {
             "setBasis: status size mismatch");
     basis_status_ = basis;
     sanitizeStatuses();
+    resetDevex();
     factored_ = false;
   }
 
@@ -201,6 +225,10 @@ class SimplexSolver::Impl {
     delta.phase1_iters = res.stats.phase1_iters;
     delta.refactorizations = res.stats.refactorizations;
     delta.iter_limit_solves = (res.status == Status::kIterLimit) ? 1 : 0;
+    delta.pricing_hits = res.stats.pricing_hits;
+    delta.degen_rescues = res.stats.degen_rescues;
+    delta.lu_updates = res.stats.lu_updates;
+    delta.lu_fill = res.stats.lu_fill;
     delta.seconds = timer.elapsedSeconds();
     GlobalStats::instance().record(delta);
     return res;
@@ -245,6 +273,7 @@ class SimplexSolver::Impl {
     basis_status_.status.assign(static_cast<std::size_t>(n_) + m_,
                                 Basis::kAtLower);
     for (int i = 0; i < m_; ++i) setStatus(colOfLogical(i), Basis::kBasic);
+    resetDevex();
     factored_ = false;
   }
 
@@ -276,21 +305,26 @@ class SimplexSolver::Impl {
     }
   }
 
+  /// Sparse entries of column `col` of [A | I] (logicals via a scratch).
+  [[nodiscard]] const std::vector<ColNz>& columnRef(int col) {
+    if (!isLogical(col)) return cols_[col];
+    scratch_col_.assign(1, {col - n_, 1.0});
+    return scratch_col_;
+  }
+
   [[nodiscard]] int columnNnz(int col) const {
     return isLogical(col) ? 1 : static_cast<int>(cols_[col].size());
   }
 
-  /// Rebuilds the eta file from the current statuses with sparse Gauss
-  /// elimination (sparsest column first, largest pivot in the column).
-  /// Repairs singular/overcomplete bases by demoting dependent columns and
-  /// completing unpivoted rows with their logicals, then recomputes the
-  /// primal values. This is what makes stale warm-start bases safe.
+  /// Rebuilds the LU factorization from the current statuses: basic columns
+  /// are placed sparsest-first and pivoted with a Markowitz row choice
+  /// (basis.*). Repairs singular/overcomplete bases by demoting dependent
+  /// columns and completing unpivoted rows with their logicals, then
+  /// recomputes the primal values. This is what makes stale warm-start
+  /// bases safe.
   void refactorize(SolveStats& st) {
     ++st.refactorizations;
     updates_since_refactor_ = 0;
-    eta_.clear();
-    basis_.assign(m_, -1);
-    std::vector<char> pivoted(m_, 0);
 
     std::vector<int> basics;
     for (int col = 0; col < n_ + m_; ++col) {
@@ -301,34 +335,23 @@ class SimplexSolver::Impl {
       return na != nb ? na < nb : a < b;
     });
 
-    std::vector<double> d(m_, 0.0);
+    std::vector<int> row_counts(m_, 0);
+    for (const int col : basics) {
+      if (isLogical(col)) {
+        ++row_counts[col - n_];
+      } else {
+        for (const ColNz& nz : cols_[col]) ++row_counts[nz.row];
+      }
+    }
+    lu_.reset(m_, std::move(row_counts));
+    basis_.assign(m_, -1);
+
     int placed = 0;
     const auto tryPlace = [&](int col) -> bool {
-      scatterColumn(col, d);
-      eta_.ftran(d);
-      int piv = -1;
-      double best = kDependTol;
-      for (int i = 0; i < m_; ++i) {
-        if (!pivoted[i] && std::abs(d[i]) > best) {
-          best = std::abs(d[i]);
-          piv = i;
-        }
-      }
-      if (piv < 0) {
-        std::fill(d.begin(), d.end(), 0.0);
-        return false;
-      }
-      std::vector<int> touched;
-      for (int i = 0; i < m_; ++i) {
-        if (d[i] != 0.0) touched.push_back(i);
-      }
-      if (!(touched.size() == 1 && piv == touched[0] && d[piv] == 1.0)) {
-        eta_.append(piv, d, touched);
-      }
+      const int piv = lu_.addColumn(columnRef(col), kDependTol);
+      if (piv < 0) return false;
       basis_[piv] = col;
-      pivoted[piv] = 1;
       ++placed;
-      std::fill(d.begin(), d.end(), 0.0);
       return true;
     };
 
@@ -349,21 +372,24 @@ class SimplexSolver::Impl {
     }
     // Complete with nonbasic logicals for any unpivoted row.
     for (int r = 0; r < m_ && placed < m_; ++r) {
-      if (pivoted[r]) continue;
+      if (lu_.rowPivoted(r)) continue;
       if (status(colOfLogical(r)) != Basis::kBasic &&
           tryPlace(colOfLogical(r))) {
         setStatus(colOfLogical(r), Basis::kBasic);
         continue;
       }
-      for (int rr = 0; rr < m_ && !pivoted[r]; ++rr) {
+      for (int rr = 0; rr < m_ && !lu_.rowPivoted(r); ++rr) {
         const int col = colOfLogical(rr);
         if (status(col) != Basis::kBasic && tryPlace(col)) {
           setStatus(col, Basis::kBasic);
         }
       }
-      ensure(pivoted[r], "simplex refactorization: cannot complete basis");
+      ensure(lu_.rowPivoted(r),
+             "simplex refactorization: cannot complete basis");
     }
 
+    lu_.sealRefactor();
+    st.lu_fill += static_cast<std::int64_t>(lu_.nonzeros());
     factored_ = true;
     recomputePrimal();
   }
@@ -383,7 +409,7 @@ class SimplexSolver::Impl {
         for (const ColNz& nz : cols_[col]) w[nz.row] -= nz.val * v;
       }
     }
-    eta_.ftran(w);
+    lu_.ftran(w);
     for (int i = 0; i < m_; ++i) xval_[basis_[i]] = w[i];
     primal_fresh_ = true;
   }
@@ -406,94 +432,506 @@ class SimplexSolver::Impl {
     return f;
   }
 
-  [[nodiscard]] double phase2Objective() const {
-    double z = 0.0;
-    for (int col = 0; col < n_ + m_; ++col) z += cost_[col] * xval_[col];
-    return z;
+  // ---- pricing --------------------------------------------------------
+
+  void resetDevex() {
+    devex_w_.assign(static_cast<std::size_t>(n_) + m_, 1.0);
+    cand_.clear();
   }
+
+  /// Reduced cost of nonbasic `col` under duals `y` and cost vector `cost`
+  /// (the phase-1 cost of a nonbasic column is 0).
+  [[nodiscard]] double reducedCost(int col, const std::vector<double>& y,
+                                   const std::vector<double>& cost,
+                                   bool phase1) const {
+    double rc = phase1 ? 0.0 : cost[col];
+    if (isLogical(col)) {
+      rc -= y[col - n_];
+    } else {
+      for (const ColNz& nz : cols_[col]) rc -= y[nz.row] * nz.val;
+    }
+    return rc;
+  }
+
+  /// Attractiveness of a reduced cost under the column's status: returns
+  /// the violation magnitude (0 = not attractive) and sets `dir`.
+  [[nodiscard]] double violation(int col, double rc, double* dir) const {
+    const std::int8_t s = status(col);
+    if (s == Basis::kAtLower && rc < -opt_.opt_tol) {
+      *dir = 1.0;
+      return -rc;
+    }
+    if (s == Basis::kAtUpper && rc > opt_.opt_tol) {
+      *dir = -1.0;
+      return rc;
+    }
+    return 0.0;
+  }
+
+  /// Devex candidate-list partial pricing. Re-prices the retained candidate
+  /// list first (a hit costs |cand| sparse dots, no scan); when the list
+  /// goes dry, a full sweep refills it with the top scorers. The list is
+  /// only trusted in phase 2 (`use_list`): the composite phase-1 objective
+  /// changes with every violated-set change, so a list selected under the
+  /// old objective would keep serving mediocre columns. Returns the
+  /// entering column or -1.
+  int devexPrice(const std::vector<double>& y,
+                 const std::vector<double>& cost, bool phase1, bool use_list,
+                 double* dir, double* viol, bool* from_list) {
+    *from_list = false;
+    int enter = -1;
+    double best_score = 0.0;
+
+    const auto consider = [&](int col, double* best) -> bool {
+      const std::int8_t s = status(col);
+      if (s == Basis::kBasic || isFixed(col)) return false;
+      double d = 0.0;
+      const double rc = reducedCost(col, y, cost, phase1);
+      const double v = violation(col, rc, &d);
+      if (v == 0.0) return false;
+      const double score = v * v / devex_w_[col];
+      if (score > *best) {
+        *best = score;
+        enter = col;
+        *dir = d;
+        *viol = v;
+      }
+      return true;
+    };
+
+    // 1. The retained candidate list (drop entries that went stale).
+    if (use_list) {
+      std::size_t keep = 0;
+      for (const int col : cand_) {
+        if (consider(col, &best_score)) cand_[keep++] = col;
+      }
+      cand_.resize(keep);
+      if (enter >= 0) {
+        *from_list = true;
+        return enter;
+      }
+    }
+
+    // 2. Refill with one full sweep, keeping the kCandMax best-scoring
+    // columns for the following iterations (multiple pricing: one scan
+    // amortizes over the candidate list's lifetime, and the entering
+    // quality matches global devex).
+    const int total = n_ + m_;
+    scan_hits_.clear();
+    for (int col = 0; col < total; ++col) {
+      const std::int8_t s = status(col);
+      if (s == Basis::kBasic || isFixed(col)) continue;
+      const double rc = reducedCost(col, y, cost, phase1);
+      double d = 0.0;
+      const double v = violation(col, rc, &d);
+      if (v == 0.0) continue;
+      scan_hits_.push_back({col, v * v / devex_w_[col], d, v});
+    }
+    if (scan_hits_.empty()) return -1;
+
+    const auto better = [](const ScanHit& a, const ScanHit& b) {
+      return a.score != b.score ? a.score > b.score : a.col < b.col;
+    };
+    if (static_cast<int>(scan_hits_.size()) > kCandMax) {
+      std::partial_sort(scan_hits_.begin(), scan_hits_.begin() + kCandMax,
+                        scan_hits_.end(), better);
+      scan_hits_.resize(kCandMax);
+    } else {
+      std::sort(scan_hits_.begin(), scan_hits_.end(), better);
+    }
+    cand_.clear();
+    for (const ScanHit& h : scan_hits_) cand_.push_back(h.col);
+    *dir = scan_hits_[0].dir;
+    *viol = scan_hits_[0].viol;
+    return scan_hits_[0].col;
+  }
+
+  /// Devex reference-framework weight update after a basis change: `enter`
+  /// replaces the basic column at position (pivot row) `leave`, with pivot
+  /// element alpha[leave]. Only the retained candidate list is re-weighted
+  /// (partial devex), and only when the caller already paid for
+  /// rho = B^{-T} e_leave (phase 2); without rho just the entering/leaving
+  /// weights move.
+  void devexUpdate(int enter, int leave, const std::vector<double>& alpha,
+                   const std::vector<double>* rho) {
+    const double ap = alpha[leave];
+    const double wq = devex_w_[enter];
+    const double gamma = std::max(wq / (ap * ap), 1.0);
+    if (gamma > kDevexReset) {
+      resetDevex();
+      return;
+    }
+    if (rho != nullptr) {
+      for (const int col : cand_) {
+        if (col == enter || status(col) == Basis::kBasic) continue;
+        double aj = 0.0;
+        if (isLogical(col)) {
+          aj = (*rho)[col - n_];
+        } else {
+          for (const ColNz& nz : cols_[col]) aj += (*rho)[nz.row] * nz.val;
+        }
+        const double w = (aj * aj) * wq / (ap * ap);
+        if (w > devex_w_[col]) devex_w_[col] = w;
+      }
+    }
+    devex_w_[basis_[leave]] = gamma;  // the leaving column, still basic here
+    devex_w_[enter] = 1.0;
+  }
+
+  // ---- ratio tests ----------------------------------------------------
+
+  /// Outcome of a ratio test. leave == -1 with finite t: entering bound
+  /// flip; t == kInfinity: unbounded direction.
+  struct RatioOutcome {
+    double t = kInfinity;
+    int leave = -1;
+    double leave_to = 0.0;
+    bool leave_at_upper = false;
+    bool rescued = false;  ///< Harris stepped past the min-ratio blocker
+  };
+
+  /// Textbook bounded-variable ratio test with Bland lowest-index tie
+  /// breaking -- the anti-cycling fallback (finite termination guarantee).
+  /// Also handles composite phase-1 short steps exactly as the pre-Harris
+  /// engine did.
+  RatioOutcome blandRatioTest(int enter, double enter_dir,
+                              const std::vector<double>& alpha, double eps) {
+    RatioOutcome out;
+    if (std::isfinite(ub_[enter]) && std::isfinite(lb_[enter])) {
+      out.t = ub_[enter] - lb_[enter];
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[i];
+      if (std::abs(a) <= kPivotTol) continue;
+      const int col = basis_[i];
+      const double x = xval_[col];
+      const double rate = -enter_dir * a;
+      double bound;
+      if (rate < 0.0) {
+        if (x > ub_[col] + eps) {
+          bound = ub_[col];  // infeasible above, decreasing: stop at ub
+        } else if (x < lb_[col] - eps) {
+          continue;  // infeasible below, decreasing further: no block
+        } else if (std::isfinite(lb_[col])) {
+          bound = lb_[col];
+        } else {
+          continue;
+        }
+      } else {
+        if (x < lb_[col] - eps) {
+          bound = lb_[col];  // infeasible below, increasing: stop at lb
+        } else if (x > ub_[col] + eps) {
+          continue;  // infeasible above, increasing further: no block
+        } else if (std::isfinite(ub_[col])) {
+          bound = ub_[col];
+        } else {
+          continue;
+        }
+      }
+      const double t = std::max(0.0, (bound - x) / rate);
+      // Ties: the lowest basic column index (finite termination).
+      bool better = t < out.t - 1e-12;
+      if (!better && t < out.t + 1e-12 && out.leave >= 0) {
+        better = col < basis_[out.leave];
+      }
+      if (better) {
+        out.t = t;
+        out.leave = i;
+        out.leave_to = bound;
+        out.leave_at_upper = bound == ub_[col];
+      }
+    }
+    return out;
+  }
+
+  /// Harris two-pass ratio test (phase 2; all basics feasible within eps).
+  /// Pass 1 finds the smallest ratio against bounds relaxed by `relax`;
+  /// pass 2 picks the largest pivot among blockers whose exact ratio fits
+  /// under that relaxed minimum. The chosen blocker may sit past the
+  /// textbook minimum-ratio one (which then overshoots its bound by at
+  /// most `relax` -- the tolerance-expansion perturbation absorbs it).
+  RatioOutcome harrisRatioTest(int enter, double enter_dir,
+                               const std::vector<double>& alpha,
+                               double relax) {
+    RatioOutcome out;
+    double t_flip = kInfinity;
+    if (std::isfinite(ub_[enter]) && std::isfinite(lb_[enter])) {
+      t_flip = ub_[enter] - lb_[enter];
+    }
+
+    double t_rel_min = kInfinity;
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[i];
+      if (std::abs(a) <= kPivotTol) continue;
+      const int col = basis_[i];
+      const double x = xval_[col];
+      const double rate = -enter_dir * a;
+      const double bound = rate < 0.0 ? lb_[col] : ub_[col];
+      if (!std::isfinite(bound)) continue;
+      const double slack = rate < 0.0 ? bound - relax : bound + relax;
+      const double t_rel = (slack - x) / rate;
+      if (t_rel < t_rel_min) t_rel_min = t_rel;
+    }
+
+    if (t_flip <= t_rel_min) {  // the entering column's own bound blocks
+      out.t = t_flip;
+      return out;  // leave == -1: bound flip (or unbounded when infinite)
+    }
+    if (!std::isfinite(t_rel_min)) return out;  // unbounded direction
+
+    double best_abs = 0.0;
+    double t_exact = 0.0;
+    double min_exact = kInfinity;
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[i];
+      if (std::abs(a) <= kPivotTol) continue;
+      const int col = basis_[i];
+      const double x = xval_[col];
+      const double rate = -enter_dir * a;
+      const double bound = rate < 0.0 ? lb_[col] : ub_[col];
+      if (!std::isfinite(bound)) continue;
+      const double t = (bound - x) / rate;
+      if (t > t_rel_min) continue;
+      if (t < min_exact) min_exact = t;
+      if (std::abs(a) > best_abs) {
+        best_abs = std::abs(a);
+        t_exact = t;
+        out.leave = i;
+        out.leave_to = bound;
+        out.leave_at_upper = bound == ub_[col];
+      }
+    }
+    if (out.leave < 0) return out;  // numerically empty window: unbounded
+    out.t = std::max(0.0, t_exact);
+    out.rescued = t_exact > min_exact;
+    return out;
+  }
+
+  /// One breakpoint of the piecewise-linear phase-1 objective along the
+  /// entering direction: at step `t_ex` (relaxed: `t_rel`) the objective's
+  /// slope increases by `dslope` because basic `row` crosses `bound`.
+  struct Breakpoint {
+    double t_rel = 0.0;
+    double t_ex = 0.0;
+    double dslope = 0.0;
+    int row = 0;
+    double bound = 0.0;
+  };
+
+  /// Piecewise-linear long-step phase-1 ratio test: instead of blocking at
+  /// the first bound, walk the breakpoints while the composite
+  /// infeasibility keeps decreasing (each crossing flips one slope
+  /// contribution), then Harris-pick the largest pivot inside the final
+  /// window. One long step can do the work of many degenerate short ones.
+  RatioOutcome phase1LongStep(int enter, double enter_dir, double enter_viol,
+                              const std::vector<double>& alpha, double eps,
+                              double relax) {
+    RatioOutcome out;
+    double t_flip = kInfinity;
+    if (std::isfinite(ub_[enter]) && std::isfinite(lb_[enter])) {
+      t_flip = ub_[enter] - lb_[enter];
+    }
+
+    bps_.clear();
+    for (int i = 0; i < m_; ++i) {
+      const double a = alpha[i];
+      if (std::abs(a) <= kPivotTol) continue;
+      const int col = basis_[i];
+      const double x = xval_[col];
+      const double rate = -enter_dir * a;
+      const double l = lb_[col], u = ub_[col];
+      const double mag = std::abs(rate);
+      const auto push = [&](double bound, double slack) {
+        const double t_ex = (bound - x) / rate;
+        if (t_ex > t_flip) return;  // the entering column flips first
+        bps_.push_back({(slack - x) / rate, t_ex, mag, i, bound});
+      };
+      if (rate > 0.0) {
+        if (x < l - eps) {
+          push(l, l + relax);  // infeasible below, rising: violation ends
+          if (std::isfinite(u)) push(u, u + relax);
+        } else if (x <= u + eps) {
+          if (std::isfinite(u)) push(u, u + relax);
+        }
+        // else: infeasible above and rising -- worsening from t=0, no
+        // breakpoint (its slope is already in the reduced cost).
+      } else {
+        if (x > u + eps) {
+          push(u, u - relax);
+          if (std::isfinite(l)) push(l, l - relax);
+        } else if (x >= l - eps) {
+          if (std::isfinite(l)) push(l, l - relax);
+        }
+      }
+    }
+
+    if (bps_.empty()) {
+      out.t = t_flip;  // flip if finite, else unbounded (numerical noise
+      return out;      // in phase 1 -- the caller confirms on a refactor)
+    }
+
+    std::sort(bps_.begin(), bps_.end(),
+              [](const Breakpoint& a, const Breakpoint& b) {
+                return a.t_rel != b.t_rel ? a.t_rel < b.t_rel
+                                          : a.row < b.row;
+              });
+
+    // Walk while the infeasibility still decreases.
+    double slope = -enter_viol;
+    double t_rel_stop = bps_.back().t_rel;
+    bool stopped = false;
+    for (const Breakpoint& bp : bps_) {
+      slope += bp.dslope;
+      if (slope >= -1e-12) {
+        t_rel_stop = bp.t_rel;
+        stopped = true;
+        break;
+      }
+    }
+    if (!stopped && std::isfinite(t_flip)) {
+      // Still descending past every breakpoint: the entering column's own
+      // bound flip is the step.
+      out.t = t_flip;
+      return out;
+    }
+
+    // Harris pass 2 inside the window.
+    double best_abs = 0.0;
+    double t_exact = 0.0;
+    double min_exact = kInfinity;
+    for (const Breakpoint& bp : bps_) {
+      if (bp.t_rel > t_rel_stop) break;
+      if (bp.t_ex < min_exact) min_exact = bp.t_ex;
+      if (bp.dslope > best_abs) {
+        best_abs = bp.dslope;
+        t_exact = bp.t_ex;
+        out.leave = bp.row;
+        out.leave_to = bp.bound;
+        out.leave_at_upper = bp.bound == ub_[basis_[bp.row]];
+      }
+    }
+    out.t = std::max(0.0, t_exact);
+    out.rescued = t_exact > min_exact;
+    return out;
+  }
+
+  // ---- main loop ------------------------------------------------------
 
   Status run(SolveStats& st) {
     sanitizeStatuses();
+    if (devex_w_.size() != static_cast<std::size_t>(n_) + m_) resetDevex();
     if (!factored_) {
       refactorize(st);
     } else if (!primal_fresh_) {
       recomputePrimal();
     }
     const double eps = feasScale();
+    // Harris working tolerance: expands a little after every degenerate
+    // step (the bounded perturbation), snaps back -- with a primal
+    // recompute to shed the accumulated overshoot -- at the cap.
+    const double relax_step = eps / 16.0;
+    const double relax_cap = 8.0 * eps;
+    double relax = eps;
 
-    std::vector<double> y(m_), alpha(m_);
-    std::vector<double> phase1_cost;  // sized n_+m_ when in use
+    std::vector<double> y(m_), alpha(m_), rho(m_);
     int stall = 0;
     bool bland = false;
     bool was_phase1 = true;
-    double last_measure = kInfinity;
+    // Phase-2 duals are maintained incrementally across devex pivots
+    // (y += (rc_q / alpha_p) * rho, sharing the rho btran with the devex
+    // weight update); y_valid says the maintained vector is current for
+    // the present basis. Phase 1 recomputes y every iteration -- its cost
+    // vector follows the violated set.
+    bool y_valid = false;
 
     for (int it = 0; it < opt_.max_iterations; ++it) {
-      if (updates_since_refactor_ >= opt_.refactor_every) refactorize(st);
+      if (updates_since_refactor_ >= opt_.refactor_every ||
+          lu_.nonzeros() >
+              kLuGrowthLimit * lu_.freshNonzeros() + 64) {
+        refactorize(st);
+        y_valid = false;
+      }
 
       const double infeas = infeasibility(eps);
       const bool phase1 = infeas > eps;
-
-      // y = B^{-T} c_B for the phase's cost vector.
-      std::fill(y.begin(), y.end(), 0.0);
-      if (phase1) {
-        phase1_cost.assign(static_cast<std::size_t>(n_) + m_, 0.0);
-        for (int i = 0; i < m_; ++i) {
-          const int col = basis_[i];
-          const double x = xval_[col];
-          double c = 0.0;
-          if (x < lb_[col] - eps) c = -1.0;
-          if (x > ub_[col] + eps) c = 1.0;
-          phase1_cost[col] = c;
-          y[i] = c;
-        }
-      } else {
-        for (int i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+      if (phase1 != was_phase1) {
+        cand_.clear();  // reduced costs flipped
+        y_valid = false;
       }
-      eta_.btran(y);
-      const std::vector<double>& cost = phase1 ? phase1_cost : cost_;
+      if (bland || opt_.pricing != Pricing::kDevex) y_valid = false;
 
-      // Pricing: Dantzig (most violating), Bland when anti-cycling.
+      // y = B^{-T} c_B for the phase's cost vector. Phase-1 costs are +-1
+      // on violated basics and 0 elsewhere -- in particular 0 on every
+      // nonbasic column, so no per-column phase-1 cost vector is needed
+      // (reducedCost takes the phase flag).
+      bool y_fresh = false;
+      if (phase1 || !y_valid) {
+        y_fresh = true;
+        std::fill(y.begin(), y.end(), 0.0);
+        if (phase1) {
+          for (int i = 0; i < m_; ++i) {
+            const int col = basis_[i];
+            const double x = xval_[col];
+            if (x < lb_[col] - eps) {
+              y[i] = -1.0;
+            } else if (x > ub_[col] + eps) {
+              y[i] = 1.0;
+            }
+          }
+        } else {
+          for (int i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+        }
+        lu_.btran(y);
+        y_valid = !phase1;
+      }
+      const std::vector<double>& cost = cost_;
+
+      // Pricing: devex candidate list (or Dantzig full scan under the
+      // COYOTE_LP_PRICING escape hatch); Bland when anti-cycling.
       int enter = -1;
       double enter_dir = 0.0;
-      double best_viol = opt_.opt_tol;
-      for (int col = 0; col < n_ + m_; ++col) {
-        const std::int8_t s = status(col);
-        if (s == Basis::kBasic || isFixed(col)) continue;
-        double rc = phase1 ? 0.0 : cost[col];
-        if (isLogical(col)) {
-          rc -= y[col - n_];
-        } else {
-          for (const ColNz& nz : cols_[col]) rc -= y[nz.row] * nz.val;
+      double enter_viol = 0.0;
+      bool from_list = false;
+      if (bland) {
+        for (int col = 0; col < n_ + m_; ++col) {
+          if (status(col) == Basis::kBasic || isFixed(col)) continue;
+          double d = 0.0;
+          const double v = violation(
+              col, reducedCost(col, y, cost, phase1), &d);
+          if (v > 0.0) {
+            enter = col;
+            enter_dir = d;
+            enter_viol = v;
+            break;
+          }
         }
-        double viol = 0.0;
-        double dir = 0.0;
-        if (s == Basis::kAtLower && rc < -opt_.opt_tol) {
-          viol = -rc;
-          dir = 1.0;
-        } else if (s == Basis::kAtUpper && rc > opt_.opt_tol) {
-          viol = rc;
-          dir = -1.0;
-        } else {
-          continue;
+      } else if (opt_.pricing == Pricing::kDantzig) {
+        double best_viol = opt_.opt_tol;
+        for (int col = 0; col < n_ + m_; ++col) {
+          if (status(col) == Basis::kBasic || isFixed(col)) continue;
+          double d = 0.0;
+          const double v = violation(
+              col, reducedCost(col, y, cost, phase1), &d);
+          if (v > best_viol) {
+            best_viol = v;
+            enter = col;
+            enter_dir = d;
+            enter_viol = v;
+          }
         }
-        if (bland) {
-          enter = col;
-          enter_dir = dir;
-          break;
-        }
-        if (viol > best_viol) {
-          best_viol = viol;
-          enter = col;
-          enter_dir = dir;
-        }
+      } else {
+        enter = devexPrice(y, cost, phase1, /*use_list=*/!phase1,
+                           &enter_dir, &enter_viol, &from_list);
+        if (enter >= 0 && from_list) ++st.pricing_hits;
       }
 
       if (enter < 0) {
         // Confirm on a fresh factorization before declaring a verdict:
-        // eta-file round-off can fake optimality/infeasibility.
-        if (updates_since_refactor_ > 0) {
-          refactorize(st);
+        // update round-off (and the incrementally maintained duals) can
+        // fake optimality/infeasibility.
+        if (updates_since_refactor_ > 0 || !y_fresh) {
+          if (updates_since_refactor_ > 0) refactorize(st);
+          y_valid = false;
           continue;
         }
         return phase1 ? Status::kInfeasible : Status::kOptimal;
@@ -502,67 +940,24 @@ class SimplexSolver::Impl {
       // alpha = B^{-1} A_enter.
       std::fill(alpha.begin(), alpha.end(), 0.0);
       scatterColumn(enter, alpha);
-      eta_.ftran(alpha);
+      lu_.ftran(alpha);
 
-      // Bounded-variable ratio test. The entering column moves by t >= 0
-      // in direction enter_dir; basic i changes at rate -enter_dir*alpha_i.
-      // Feasible basics block at the bound they approach; infeasible
-      // basics moving toward feasibility block at the violated bound
-      // (composite phase-1 short step).
-      double t_limit = kInfinity;
-      int leave = -1;          // blocking row; -1 = entering bound flip
-      double leave_to = 0.0;   // bound the leaving variable stops at
-      bool leave_at_upper = false;
-      if (std::isfinite(ub_[enter]) && std::isfinite(lb_[enter])) {
-        t_limit = ub_[enter] - lb_[enter];
-      }
-      for (int i = 0; i < m_; ++i) {
-        const double a = alpha[i];
-        if (std::abs(a) <= kPivotTol) continue;
-        const int col = basis_[i];
-        const double x = xval_[col];
-        const double rate = -enter_dir * a;
-        double bound;
-        if (rate < 0.0) {
-          if (x > ub_[col] + eps) {
-            bound = ub_[col];  // infeasible above, decreasing: stop at ub
-          } else if (x < lb_[col] - eps) {
-            continue;  // infeasible below, decreasing further: no block
-          } else if (std::isfinite(lb_[col])) {
-            bound = lb_[col];
-          } else {
-            continue;
-          }
-        } else {
-          if (x < lb_[col] - eps) {
-            bound = lb_[col];  // infeasible below, increasing: stop at lb
-          } else if (x > ub_[col] + eps) {
-            continue;  // infeasible above, increasing further: no block
-          } else if (std::isfinite(ub_[col])) {
-            bound = ub_[col];
-          } else {
-            continue;
-          }
-        }
-        const double t = std::max(0.0, (bound - x) / rate);
-        // Ties: prefer the larger pivot (stability); under Bland's rule,
-        // the lowest basic column index (required for finite termination).
-        bool better = t < t_limit - 1e-12;
-        if (!better && t < t_limit + 1e-12 && leave >= 0) {
-          better = bland ? col < basis_[leave]
-                         : std::abs(a) > std::abs(alpha[leave]);
-        }
-        if (better) {
-          t_limit = t;
-          leave = i;
-          leave_to = bound;
-          leave_at_upper = bound == ub_[col];
-        }
+      // Ratio test: the entering column moves by t >= 0 in direction
+      // enter_dir; basic i changes at rate -enter_dir * alpha_i.
+      RatioOutcome ro;
+      if (bland) {
+        ro = blandRatioTest(enter, enter_dir, alpha, eps);
+      } else if (phase1) {
+        ro = phase1LongStep(enter, enter_dir, enter_viol, alpha, eps,
+                            relax);
+      } else {
+        ro = harrisRatioTest(enter, enter_dir, alpha, relax);
       }
 
-      if (!std::isfinite(t_limit)) {
-        if (updates_since_refactor_ > 0) {  // confirm on a fresh basis
-          refactorize(st);
+      if (!std::isfinite(ro.t)) {
+        if (updates_since_refactor_ > 0 || !y_fresh) {  // confirm fresh
+          if (updates_since_refactor_ > 0) refactorize(st);
+          y_valid = false;
           continue;
         }
         // A genuinely unbounded improving ray. In phase 1 the composite
@@ -572,48 +967,84 @@ class SimplexSolver::Impl {
 
       ++st.iterations;
       if (phase1) ++st.phase1_iters;
+      if (ro.rescued) ++st.degen_rescues;
 
       // Apply the step to the basic values.
-      if (t_limit != 0.0) {
+      if (ro.t != 0.0) {
         for (int i = 0; i < m_; ++i) {
           if (alpha[i] != 0.0) {
-            xval_[basis_[i]] -= enter_dir * alpha[i] * t_limit;
+            xval_[basis_[i]] -= enter_dir * alpha[i] * ro.t;
           }
         }
       }
-      if (leave < 0) {
+      if (ro.leave < 0) {
         // Bound flip: the entering column crosses to its other bound.
         setStatus(enter, status(enter) == Basis::kAtLower ? Basis::kAtUpper
                                                           : Basis::kAtLower);
         xval_[enter] = boundValue(enter);
       } else {
-        const int leaving_col = basis_[leave];
-        xval_[enter] = boundValue(enter) + enter_dir * t_limit;
-        xval_[leaving_col] = leave_to;  // snap exactly onto the bound
-        setStatus(leaving_col,
-                  leave_at_upper ? Basis::kAtUpper : Basis::kAtLower);
-        setStatus(enter, Basis::kBasic);
-        basis_[leave] = enter;
-        std::vector<int> touched;
-        for (int i = 0; i < m_; ++i) {
-          if (alpha[i] != 0.0) touched.push_back(i);
+        const int leaving_col = basis_[ro.leave];
+        const bool devex = !bland && opt_.pricing == Pricing::kDevex;
+        const double ap = alpha[ro.leave];
+        bool have_rho = false;
+        if (devex && !phase1 && std::abs(ap) > 1e-7) {
+          // rho = B^{-T} e_leave serves both the devex weight update and
+          // the incremental dual update -- one btran, two uses.
+          std::fill(rho.begin(), rho.end(), 0.0);
+          rho[ro.leave] = 1.0;
+          lu_.btran(rho);
+          have_rho = true;
         }
-        eta_.append(leave, alpha, touched);
-        ++updates_since_refactor_;
+        if (devex) {
+          devexUpdate(enter, ro.leave, alpha, have_rho ? &rho : nullptr);
+        }
+        if (y_valid && have_rho) {
+          const double theta = (-enter_dir * enter_viol) / ap;
+          for (int i = 0; i < m_; ++i) y[i] += theta * rho[i];
+        } else if (!phase1) {
+          y_valid = false;
+        }
+        xval_[enter] = boundValue(enter) + enter_dir * ro.t;
+        xval_[leaving_col] = ro.leave_to;  // snap exactly onto the bound
+        setStatus(leaving_col,
+                  ro.leave_at_upper ? Basis::kAtUpper : Basis::kAtLower);
+        setStatus(enter, Basis::kBasic);
+        basis_[ro.leave] = enter;
+        if (lu_.update(ro.leave, columnRef(enter))) {
+          ++updates_since_refactor_;
+          ++st.lu_updates;
+        } else {
+          factored_ = false;  // unsafe Forrest-Tomlin pivot
+          refactorize(st);
+          y_valid = false;
+        }
       }
 
-      // Stall detection drives the Bland anti-cycling fallback.
-      const double measure = phase1 ? infeasibility(eps) : phase2Objective();
+      // Bounded degeneracy perturbation: expand the Harris tolerance a
+      // little after each degenerate step; at the cap, shed the
+      // accumulated overshoot and start over.
+      if (ro.t <= kDegenStep) {
+        relax += relax_step;
+        if (relax >= relax_cap) {
+          relax = eps;
+          recomputePrimal();
+          ++st.degen_rescues;
+        }
+      } else if (relax > eps) {
+        relax = std::max(eps, relax * 0.5);
+      }
+
+      // Stall detection drives the Bland anti-cycling fallback: any
+      // positive step strictly improves the phase objective, so a run of
+      // degenerate (t ~ 0) pivots is the only way to make no progress.
       if (phase1 != was_phase1) {
-        last_measure = kInfinity;
         was_phase1 = phase1;
         stall = 0;
         bland = false;
       }
-      if (measure < last_measure - 1e-12 * (1.0 + std::abs(last_measure))) {
+      if (ro.t > kDegenStep) {
         stall = 0;
         bland = false;
-        last_measure = measure;
       } else if (++stall > opt_.stall_limit) {
         bland = true;
       }
@@ -633,8 +1064,19 @@ class SimplexSolver::Impl {
   Basis basis_status_;
   std::vector<int> basis_;   ///< row -> basic column (valid when factored_)
   std::vector<double> xval_; ///< per-column primal values
-  EtaFile eta_;
-  int updates_since_refactor_ = 0;  ///< pivot etas since the last refactor
+  LuFactor lu_;
+  std::vector<double> devex_w_;  ///< devex reference weights, per column
+  std::vector<int> cand_;        ///< pricing candidate list (column ids)
+  struct ScanHit {
+    int col;
+    double score;
+    double dir;
+    double viol;
+  };
+  std::vector<ScanHit> scan_hits_;    ///< section-scan scratch
+  std::vector<Breakpoint> bps_;       ///< phase-1 ratio-test scratch
+  std::vector<ColNz> scratch_col_;    ///< columnRef() logical scratch
+  int updates_since_refactor_ = 0;    ///< FT updates since the last refactor
   bool factored_ = false;
   bool primal_fresh_ = false;
 };

@@ -26,6 +26,10 @@ struct StatsSnapshot {
   std::int64_t phase1_iters = 0;      ///< iterations restoring feasibility
   std::int64_t refactorizations = 0;  ///< basis refactorizations
   std::int64_t iter_limit_solves = 0; ///< solves that hit max_iterations
+  std::int64_t pricing_hits = 0;      ///< devex candidate-list pricing hits
+  std::int64_t degen_rescues = 0;     ///< ratio-test degeneracy rescues
+  std::int64_t lu_updates = 0;        ///< Forrest-Tomlin updates applied
+  std::int64_t lu_fill = 0;           ///< summed fresh-factorization nonzeros
   double seconds = 0.0;               ///< wall time inside solve()
 
   StatsSnapshot operator-(const StatsSnapshot& rhs) const {
@@ -34,6 +38,10 @@ struct StatsSnapshot {
             phase1_iters - rhs.phase1_iters,
             refactorizations - rhs.refactorizations,
             iter_limit_solves - rhs.iter_limit_solves,
+            pricing_hits - rhs.pricing_hits,
+            degen_rescues - rhs.degen_rescues,
+            lu_updates - rhs.lu_updates,
+            lu_fill - rhs.lu_fill,
             seconds - rhs.seconds};
   }
 };
@@ -52,6 +60,10 @@ class GlobalStats {
   std::atomic<std::int64_t> phase1_iters_{0};
   std::atomic<std::int64_t> refactorizations_{0};
   std::atomic<std::int64_t> iter_limit_solves_{0};
+  std::atomic<std::int64_t> pricing_hits_{0};
+  std::atomic<std::int64_t> degen_rescues_{0};
+  std::atomic<std::int64_t> lu_updates_{0};
+  std::atomic<std::int64_t> lu_fill_{0};
   std::atomic<std::int64_t> nanos_{0};
 };
 

@@ -183,6 +183,146 @@ TEST(SimplexEngine, BealeCyclingInstanceTerminates) {
   EXPECT_NEAR(r.objective, -0.05, 1e-9);
 }
 
+TEST(SimplexEngine, DevexAndBlandAgreeOnBealeInstance) {
+  // The same instance under every entering rule: devex, Dantzig, and an
+  // immediate Bland fallback (stall_limit = 0 trips it on the first
+  // degenerate pivot). All three must land on the same optimum.
+  LpProblem p(Sense::kMinimize);
+  const int x1 = p.addVar(-0.75);
+  const int x2 = p.addVar(150.0);
+  const int x3 = p.addVar(-0.02);
+  const int x4 = p.addVar(6.0);
+  p.addConstraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                  Rel::kLe, 0.0);
+  p.addConstraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                  Rel::kLe, 0.0);
+  p.addConstraint({{x3, 1.0}}, Rel::kLe, 1.0);
+
+  for (const Pricing pricing : {Pricing::kDevex, Pricing::kDantzig}) {
+    for (const int stall_limit : {0, 6, 2000}) {
+      SimplexOptions opt;
+      opt.pricing = pricing;
+      opt.stall_limit = stall_limit;
+      const LpResult r = solve(p, opt);
+      ASSERT_EQ(r.status, Status::kOptimal)
+          << "pricing=" << (pricing == Pricing::kDevex ? "devex" : "dantzig")
+          << " stall_limit=" << stall_limit;
+      EXPECT_NEAR(r.objective, -0.05, 1e-9)
+          << "pricing=" << (pricing == Pricing::kDevex ? "devex" : "dantzig")
+          << " stall_limit=" << stall_limit;
+    }
+  }
+}
+
+TEST(SimplexEngine, HarrisRatioTestSolvesDegenerateVertices) {
+  {  // Eight redundant hyperplanes through the optimum: every ratio test
+    // ties, so the Harris second pass picks among equal-step blockers by
+    // pivot magnitude. Optimum is x = (2, 0, 2), objective 4 + 2eps... the
+    // exact value: max x+y+z with x+ky+z <= 4 (k=1..8), x <= 2 -> (2,0,2).
+    LpProblem p(Sense::kMaximize);
+    const int x = p.addVar(1.0);
+    const int y = p.addVar(1.0);
+    const int z = p.addVar(1.0);
+    for (int k = 1; k <= 8; ++k) {
+      p.addConstraint({{x, 1.0}, {y, static_cast<double>(k)}, {z, 1.0}},
+                      Rel::kLe, 4.0);
+    }
+    p.addConstraint({{x, 1.0}}, Rel::kLe, 2.0);
+    const LpResult r = solve(p);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.objective, 4.0, kTol);
+  }
+  {  // Near-degenerate: twelve parallel copies of x + y <= 3 with rhs
+    // values split by 1e-10. Any entering step hits the whole cluster at
+    // once; the relaxed Harris first pass must treat it as one blocker
+    // instead of grinding through 1e-10-sized steps. Optimum: y at its
+    // cap, x fills the tightest copy -> (1, 2), objective 5.
+    LpProblem p(Sense::kMaximize);
+    const int x = p.addVar(1.0);
+    const int y = p.addVar(2.0, 0.0, 2.0);
+    for (int k = 0; k < 12; ++k) {
+      p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kLe, 3.0 + 1e-10 * k);
+    }
+    const LpResult r = solve(p);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.objective, 5.0, 1e-6);
+  }
+  {  // Fully degenerate origin (all rhs zero): phase 2 starts on a vertex
+    // where every basic variable sits exactly on its bound. The engine
+    // must prove optimality (objective 0) without cycling.
+    LpProblem p(Sense::kMaximize);
+    const int x = p.addVar(1.0);
+    const int y = p.addVar(1.0);
+    p.addConstraint({{x, 1.0}, {y, -1.0}}, Rel::kLe, 0.0);
+    p.addConstraint({{x, -1.0}, {y, 1.0}}, Rel::kLe, 0.0);
+    p.addConstraint({{x, 1.0}, {y, 1.0}}, Rel::kLe, 0.0);
+    const LpResult r = solve(p);
+    ASSERT_EQ(r.status, Status::kOptimal);
+    EXPECT_NEAR(r.objective, 0.0, kTol);
+  }
+}
+
+TEST(SimplexEngine, LongWarmChainExercisesLuUpdatesAndRefactorization) {
+  // 96 mutations against one retained session with an aggressive
+  // refactorization cadence (refactor_every = 4), so the chain crosses the
+  // update-count threshold dozens of times and every Forrest-Tomlin update
+  // path runs between crossings. Every re-solve is checked against an
+  // independent cold solve of the mutated problem.
+  SimplexOptions opt;
+  opt.refactor_every = 4;
+  LpProblem p(Sense::kMaximize);
+  constexpr int kVars = 8;
+  for (int j = 0; j < kVars; ++j) {
+    p.addVar(1.0 + 0.1 * j, 0.0, 4.0);
+  }
+  for (int i = 0; i + 2 < kVars; ++i) {  // overlapping band rows
+    p.addConstraint({{i, 1.0}, {i + 1, 1.0}, {i + 2, 1.0}}, Rel::kLe, 5.0);
+  }
+  SimplexSolver session(p, opt);
+  ASSERT_EQ(session.solve().status, Status::kOptimal);
+
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> pick(0, 99);
+  std::uniform_real_distribution<double> rhs(1.0, 8.0);
+  std::uniform_real_distribution<double> coef(-1.0, 3.0);
+  int total_updates = 0;
+  int total_refactors = 0;
+  for (int step = 0; step < 96; ++step) {
+    const int what = pick(rng);
+    if (what < 50) {  // rhs swing: forces pivots to restore feasibility
+      const int i = what % p.numRows();
+      const double b = rhs(rng);
+      p.setConstraintRhs(i, b);
+      session.setRhs(i, b);
+    } else if (what < 80) {  // objective swing: forces phase-2 pivots
+      const int j = what % kVars;
+      const double c = coef(rng);
+      p.setObjective(j, c);
+      session.setObjective(j, c);
+    } else {  // bound squeeze / release
+      const int j = what % kVars;
+      const double ub = what < 90 ? 0.5 : 4.0;
+      p.setVarBounds(j, 0.0, ub);
+      session.setBounds(j, 0.0, ub);
+    }
+    const LpResult warm = session.solve();
+    const LpResult cold = solve(p, opt);
+    ASSERT_EQ(warm.status, cold.status) << "step " << step;
+    if (cold.optimal()) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-7 * (1.0 + std::abs(cold.objective)))
+          << "step " << step;
+    }
+    total_updates += warm.stats.lu_updates;
+    total_refactors += warm.stats.refactorizations;
+  }
+  // The chain genuinely exercised the Forrest-Tomlin machinery: updates
+  // happened, and the cadence threshold forced mid-solve refactorizations
+  // well beyond the one-per-warm-start minimum.
+  EXPECT_GT(total_updates, 32);
+  EXPECT_GT(total_refactors, 8);
+}
+
 TEST(SimplexEngine, HighlyDegenerateWarmRestartsStayOptimal) {
   // Many redundant constraints through one vertex; re-solves with permuted
   // objectives from the retained basis must keep matching cold solves.

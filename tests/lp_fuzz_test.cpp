@@ -154,6 +154,104 @@ TEST(LpFuzz, IntactRingHasKnownOptimum) {
   EXPECT_NEAR(got.objective, 0.5, 1e-9);
 }
 
+/// Highly-degenerate instance: small-integer coefficients, duplicate rows
+/// (the same left-hand side repeated, sometimes under a different relation)
+/// and a block of zero right-hand sides. Many basic variables sit exactly
+/// on a bound at the optimum, so the Harris two-pass ratio test and the
+/// bounded degeneracy perturbation are exercised where they actually
+/// differ from the textbook minimum-ratio rule.
+DenseLp degenerateLp(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> nvars(2, 5), nrows(2, 4);
+  std::uniform_int_distribution<int> coef(-2, 2);
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::uniform_int_distribution<int> rel(0, 2);
+
+  DenseLp p;
+  p.sense = pct(rng) < 50 ? lp::Sense::kMinimize : lp::Sense::kMaximize;
+  const int n = nvars(rng);
+  for (int j = 0; j < n; ++j) {
+    double hi = lp::kInfinity;
+    if (pct(rng) < 50) hi = pct(rng) < 50 ? 0.0 : 1.0;  // degenerate ubs
+    p.addVar(coef(rng), 0.0, hi);
+  }
+  const int m = nrows(rng);
+  std::vector<std::vector<double>> lhs;
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row(n, 0.0);
+    int nonzeros = 0;
+    for (int j = 0; j < n; ++j) {
+      if (pct(rng) < 70) {
+        row[j] = coef(rng);
+        nonzeros += row[j] != 0.0;
+      }
+    }
+    if (nonzeros == 0) row[0] = 1.0;
+    lhs.push_back(row);
+    const int which = rel(rng);
+    const lp::Rel r = which == 0   ? lp::Rel::kLe
+                      : which == 1 ? lp::Rel::kGe
+                                   : lp::Rel::kEq;
+    // Zero rhs block: most rows pass through the origin, so the cold
+    // all-logical basis is maximally degenerate.
+    const double b = pct(rng) < 70 ? 0.0 : coef(rng);
+    p.addRow(std::move(row), r, b);
+  }
+  // Duplicate a few of the rows verbatim (same lhs; relation and rhs may
+  // differ), planting exact ties in every ratio test and dependent
+  // columns in every refactorization.
+  for (const auto& row : lhs) {
+    if (pct(rng) >= 50) continue;
+    const int which = rel(rng);
+    const lp::Rel r = which == 0   ? lp::Rel::kLe
+                      : which == 1 ? lp::Rel::kGe
+                                   : lp::Rel::kEq;
+    std::vector<double> copy = row;
+    p.addRow(std::move(copy), r, pct(rng) < 70 ? 0.0 : coef(rng));
+  }
+  return p;
+}
+
+TEST(LpFuzz, DegenerateDuplicateRowLpsAgreeWithTextbookOracle) {
+  std::mt19937_64 rng(20260808);
+  for (int k = 0; k < 200; ++k) {
+    const DenseLp p = degenerateLp(rng);
+    expectAgreement(p, "degenerate instance " + std::to_string(k));
+  }
+}
+
+TEST(LpFuzz, DegenerateWarmChainsAgreeWithColdOracle) {
+  // The warm-start shape on the degenerate corpus: rhs perturbations in
+  // and out of the zero block, so phase 1 repeatedly restores feasibility
+  // across near-singular bases.
+  std::mt19937_64 rng(606060);
+  std::uniform_int_distribution<int> pct(0, 99), rhs(-2, 2);
+  for (int k = 0; k < 40; ++k) {
+    DenseLp dense = degenerateLp(rng);
+    lp::SimplexSolver session(dense.toProblem());
+    (void)session.solve();
+    for (int step = 0; step < 6; ++step) {
+      std::uniform_int_distribution<int> row(0, dense.numRows() - 1);
+      const int i = row(rng);
+      const double b = pct(rng) < 60 ? 0.0 : rhs(rng);
+      dense.rhs[i] = b;
+      session.setRhs(i, b);
+      const RefResult ref = lp_reference::solve(dense);
+      const lp::LpResult warm = session.solve();
+      const std::string context =
+          "degenerate chain " + std::to_string(k) + " step " +
+          std::to_string(step);
+      ASSERT_NE(warm.status, lp::Status::kIterLimit) << context;
+      EXPECT_EQ(lp::toString(warm.status), lp::toString(ref.status))
+          << context;
+      if (ref.optimal() && warm.optimal()) {
+        EXPECT_NEAR(warm.objective, ref.objective,
+                    kObjTol * (1.0 + std::fabs(ref.objective)))
+            << context;
+      }
+    }
+  }
+}
+
 TEST(LpFuzz, WarmStartMutationChainsAgreeWithColdOracle) {
   std::mt19937_64 rng(42424242);
   std::uniform_int_distribution<int> pct(0, 99), rhs(-5, 5), coef(-6, 6);
