@@ -15,6 +15,13 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
   require(pool.size() > 0, "optimization pool is empty");
   const auto dags = pool.dagsPtr();
 
+  // Warm seed (serve `reoptimize`): start the search from the caller's
+  // previous configuration when it lives over this pool's DAG set.
+  const bool warm = opt.warm_init != nullptr &&
+                    opt.warm_init->dagsPtr().get() == dags.get();
+  int saved = 0;
+  int used = 0;
+
   // Single-matrix pools admit the exact LP optimum (used at margin 1, where
   // COYOTE-partial-knowledge provably matches the demands-aware optimum).
   routing::RoutingConfig cfg =
@@ -22,8 +29,10 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
           ? routing::optimalRoutingForDemand(g, dags, pool.matrix(0), opt.lp)
                 .routing
           : optimizeSplitting(g, pool,
-                              routing::RoutingConfig::uniform(g, dags),
-                              opt.splitting);
+                              warm ? *opt.warm_init
+                                   : routing::RoutingConfig::uniform(g, dags),
+                              opt.splitting, &used);
+  if (pool.size() > 1) saved += opt.splitting.iterations - used;
 
   CoyoteResult out{cfg, 0.0, 0};
 
@@ -48,7 +57,8 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
       if (wc.ratio <= pool_ratio * (1.0 + opt.oracle_tolerance)) break;
       if (pool.addMatrix(wc.demand) < 0) break;  // duplicate/degenerate
       ++out.oracle_rounds_used;
-      cfg = optimizeSplitting(g, pool, cfg, opt.splitting);
+      cfg = optimizeSplitting(g, pool, cfg, opt.splitting, &used);
+      saved += opt.splitting.iterations - used;
     }
     // The last re-optimized config was never scored; score it.
     const double final_exact = oracle.find(cfg).ratio;
@@ -68,6 +78,7 @@ CoyoteResult optimizeAgainstPool(const Graph& g,
     }
   }
   out.pool_ratio = pool.ratioFor(out.routing);
+  out.splitting_iters_saved = saved;
   return out;
 }
 

@@ -38,12 +38,23 @@ struct CoyoteOptions {
   lp::SimplexOptions lp;
   /// Keep the better of {optimized config, ECMP} on the pool.
   bool ensure_not_worse_than_ecmp = true;
+  /// Optional warm seed for the splitting optimizer: when non-null and
+  /// living over the same DAG set as the optimization pool, the search
+  /// starts from this configuration instead of uniform splitting (the
+  /// serve daemon's `reoptimize` passes the previous intact config, so a
+  /// mild demand drift converges in a few iterations -- pair it with
+  /// splitting.patience to actually bank the savings). Not owned; must
+  /// outlive the call. Ignored (uniform start) on a DAG-set mismatch.
+  const routing::RoutingConfig* warm_init = nullptr;
 };
 
 struct CoyoteResult {
   routing::RoutingConfig routing;
   double pool_ratio = 0.0;  ///< PERF over the (final) optimization pool
   int oracle_rounds_used = 0;
+  /// Splitting-optimizer iterations the patience early stop skipped,
+  /// summed over every optimizeSplitting run (0 when patience is off).
+  int splitting_iters_saved = 0;
 };
 
 /// Optimizes splitting ratios against an existing evaluator pool; the pool

@@ -87,7 +87,8 @@ std::vector<std::vector<ActiveDemand>> activeColumns(
 
 routing::RoutingConfig optimizeSplitting(
     const Graph& g, const routing::PerformanceEvaluator& pool,
-    const routing::RoutingConfig& init, const SplittingOptions& opt) {
+    const routing::RoutingConfig& init, const SplittingOptions& opt,
+    int* iterations_used) {
   require(opt.iterations >= 1, "need >= 1 iteration");
   require(pool.size() > 0, "empty demand pool");
   const int n = g.numNodes();
@@ -108,8 +109,11 @@ routing::RoutingConfig optimizeSplitting(
 
   Phi best = phi;
   double best_util = std::numeric_limits<double>::infinity();
+  int executed = 0;
+  int since_best = 0;
 
   for (int iter = 0; iter < opt.iterations; ++iter) {
+    ++executed;
     // ---- Forward: per-matrix link loads. Matrices are independent, so
     // they propagate on the shared thread pool; umax reduces serially
     // afterwards (max is order-insensitive, so this is bit-deterministic).
@@ -140,11 +144,19 @@ routing::RoutingConfig optimizeSplitting(
     for (int i = 0; i < pool.size(); ++i) {
       for (EdgeId e = 0; e < m; ++e) umax = std::max(umax, util[i][e]);
     }
+    // A meaningful (relative) improvement resets the patience clock; the
+    // `best` snapshot itself still tracks any strict improvement.
+    if (umax < best_util - 1e-9 * std::max(1.0, best_util)) {
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
     if (umax < best_util) {
       best_util = umax;
       best = phi;
     }
     if (umax <= 0.0) break;
+    if (opt.patience > 0 && since_best >= opt.patience) break;
 
     // ---- Softmax constraint weights (annealed temperature).
     const double anneal = static_cast<double>(iter) / std::max(1, opt.iterations - 1);
@@ -225,6 +237,7 @@ routing::RoutingConfig optimizeSplitting(
     }
   }
 
+  if (iterations_used != nullptr) *iterations_used = executed;
   RoutingConfig cfg = toConfig(g, init, best, opt.prune_below);
   cfg.validate(g);
   return cfg;

@@ -43,13 +43,22 @@ struct SplittingOptions {
   /// Ratios below this are clamped (and renormalized) at the end; keeps the
   /// configurations implementable with few virtual links.
   double prune_below = 1e-4;
+  /// Early stop: break out when the best pool utilization has not improved
+  /// for this many consecutive iterations. 0 (the sweep default) runs the
+  /// full budget; the serve daemon sets it so a warm-seeded `reoptimize`
+  /// converges in a fraction of the budget (the skipped iterations are
+  /// reported via the `iterations_used` out-param).
+  int patience = 0;
 };
 
 /// Optimizes splitting ratios against the evaluator's pool, starting from
 /// `init` (commonly RoutingConfig::uniform). Returns the best configuration
-/// seen, by exact pool ratio.
+/// seen, by exact pool ratio. When `iterations_used` is non-null it receives
+/// the number of forward/backward iterations actually executed (less than
+/// opt.iterations when patience stopped early).
 [[nodiscard]] routing::RoutingConfig optimizeSplitting(
     const Graph& g, const routing::PerformanceEvaluator& pool,
-    const routing::RoutingConfig& init, const SplittingOptions& opt = {});
+    const routing::RoutingConfig& init, const SplittingOptions& opt = {},
+    int* iterations_used = nullptr);
 
 }  // namespace coyote::core

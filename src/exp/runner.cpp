@@ -813,7 +813,15 @@ KindOutput runServe(const Scenario& s, const RunOptions& opt, bool print) {
   serve::ServeOptions sopt;
   sopt.margin = s.fixed_margin;
   sopt.pool = s.sweep.pool;
+  // Adopt the scenario's sweep options but keep the service's own
+  // early-stop default: sweeps leave patience off (fixed budgets keep
+  // their outputs comparable), while the daemon's warm reoptimize relies
+  // on it to bank the saved iterations.
+  const int serve_patience = sopt.coyote.splitting.patience;
   sopt.coyote = s.sweep.coyote;
+  if (sopt.coyote.splitting.patience == 0) {
+    sopt.coyote.splitting.patience = serve_patience;
+  }
   sopt.schemes = selectedSchemes(opt);
   serve::TeService service(g, base, sopt);
 
@@ -907,6 +915,11 @@ KindOutput runServe(const Scenario& s, const RunOptions& opt, bool print) {
   block["final_margin"] = service.margin();
   block["final_failed_links"] =
       static_cast<int>(service.failedLinks().size());
+  // Splitting-optimizer budget the warm-seeded reoptimize events never
+  // spent (previous-ratio seed + patience early stop; 0 when the trace
+  // has no reoptimize events).
+  block["reoptimize_saved_iters"] =
+      static_cast<double>(service.reoptimizeSavedIters());
   for (const char* key : {"disconnected_pairs", "evaluated", "ratios",
                           "unroutable", "failed"}) {
     if (const json::Value* v = final_state.find(key)) {
@@ -933,6 +946,9 @@ KindOutput runServe(const Scenario& s, const RunOptions& opt, bool print) {
                 "p99 %.2f ms\n",
                 events_per_second, percentileMs(latency_ms, 0.50),
                 percentileMs(latency_ms, 0.99));
+    std::printf("# reoptimize: %lld splitting iterations saved by warm "
+                "starts\n",
+                service.reoptimizeSavedIters());
     if (const json::Value* ratios = final_state.find("ratios")) {
       std::printf("# final ratios:");
       for (const auto& [key, v] : ratios->asObject()) {
@@ -1131,6 +1147,8 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   doc["lp_degen_rescues"] = static_cast<double>(lp_delta.degen_rescues);
   doc["lp_lu_updates"] = static_cast<double>(lp_delta.lu_updates);
   doc["lp_lu_fill"] = static_cast<double>(lp_delta.lu_fill);
+  doc["lp_dual_pivots"] = static_cast<double>(lp_delta.dual_pivots);
+  doc["lp_decomp_rounds"] = static_cast<double>(lp_delta.decomp_rounds);
   doc["rows"] = std::move(output.rows);
   for (auto& [key, value] : output.extra.asObject()) {
     doc[key] = value;

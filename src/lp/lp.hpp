@@ -118,6 +118,13 @@ enum class Pricing { kDevex, kDantzig };
 /// devex when unset or unrecognized.
 [[nodiscard]] Pricing defaultPricing();
 
+/// Dual-simplex availability from the COYOTE_LP_DUAL env knob: enabled
+/// unless set to "0". When enabled, solve() runs the bounded-variable dual
+/// simplex instead of the composite primal phase 1 whenever the retained
+/// warm basis is primal-infeasible but still dual-feasible -- the common
+/// state after setRhs/setBounds mutation chains on an optimal basis.
+[[nodiscard]] bool defaultDualSimplex();
+
 struct SimplexOptions {
   int max_iterations = 200000;
   /// Refactorize the LU basis factorization after this many Forrest-Tomlin
@@ -130,6 +137,10 @@ struct SimplexOptions {
   double opt_tol = 1e-8;
   /// Entering rule; defaults from the COYOTE_LP_PRICING env knob.
   Pricing pricing = defaultPricing();
+  /// Allow the dual simplex on warm primal-infeasible / dual-feasible
+  /// bases; defaults from the COYOTE_LP_DUAL env knob (see
+  /// defaultDualSimplex). The escape hatch for A/B measurement.
+  bool dual_simplex = defaultDualSimplex();
 };
 
 /// A simplex basis: one status entry per column (structural variables
@@ -157,6 +168,12 @@ struct SolveStats {
   int lu_updates = 0;        ///< Forrest-Tomlin basis updates applied
   std::int64_t lu_fill = 0;  ///< summed nonzeros of fresh LU factorizations
                              ///< (the factor fill-in measure)
+  int dual_pivots = 0;       ///< dual-simplex pivots (warm rhs/bound repair;
+                             ///< also counted in `iterations`)
+  int decomp_rounds = 0;     ///< OPTU block-decomposition price rounds that
+                             ///< seeded this solve (recorded by
+                             ///< routing::OptuEngine; always 0 for plain
+                             ///< solver sessions)
 };
 
 struct LpResult {

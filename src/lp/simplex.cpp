@@ -26,6 +26,10 @@ Pricing defaultPricing() {
                                                            : Pricing::kDevex;
 }
 
+bool defaultDualSimplex() {
+  return util::envString("COYOTE_LP_DUAL", "1") != "0";
+}
+
 int LpProblem::addVar(double obj, double lb, double ub, std::string name) {
   require(std::isfinite(lb), "variable lower bound must be finite");
   require(ub >= lb, "variable upper bound below lower bound");
@@ -146,15 +150,18 @@ class SimplexSolver::Impl {
   void setRhs(int row, double rhs) {
     require(row >= 0 && row < m_, "setRhs: bad row");
     require(std::isfinite(rhs), "setRhs: non-finite rhs");
+    if (rhs_[row] == rhs) return;  // no-op edit: primal stays fresh
     p_.rhs_[row] = rhs;
     rhs_[row] = rhs;
     primal_fresh_ = false;
+    ++rhs_edits_;
   }
 
   void setBounds(int var, double lb, double ub) {
     require(var >= 0 && var < n_, "setBounds: bad var");
     require(std::isfinite(lb), "variable lower bound must be finite");
     require(ub >= lb, "variable upper bound below lower bound");
+    if (lb_[var] == lb && ub_[var] == ub) return;  // no-op edit
     p_.lb_[var] = lb;
     p_.ub_[var] = ub;
     lb_[var] = lb;
@@ -194,6 +201,7 @@ class SimplexSolver::Impl {
     sanitizeStatuses();
     resetDevex();
     factored_ = false;
+    warm_ = true;  // an externally retained basis counts as warm
   }
 
   [[nodiscard]] const Basis& basis() const { return basis_status_; }
@@ -229,8 +237,12 @@ class SimplexSolver::Impl {
     delta.degen_rescues = res.stats.degen_rescues;
     delta.lu_updates = res.stats.lu_updates;
     delta.lu_fill = res.stats.lu_fill;
+    delta.dual_pivots = res.stats.dual_pivots;
+    delta.decomp_rounds = res.stats.decomp_rounds;
     delta.seconds = timer.elapsedSeconds();
     GlobalStats::instance().record(delta);
+    warm_ = res.status == Status::kOptimal;
+    rhs_edits_ = 0;
     return res;
   }
 
@@ -275,6 +287,7 @@ class SimplexSolver::Impl {
     for (int i = 0; i < m_; ++i) setStatus(colOfLogical(i), Basis::kBasic);
     resetDevex();
     factored_ = false;
+    warm_ = false;
   }
 
   [[nodiscard]] int colOfLogical(int row) const { return n_ + row; }
@@ -815,6 +828,255 @@ class SimplexSolver::Impl {
     return out;
   }
 
+  // ---- dual simplex ---------------------------------------------------
+
+  enum class DualVerdict {
+    kProceed,     ///< hand over to the primal loop (feasible, not dual-
+                  ///< feasible, or the degeneracy safety net tripped)
+    kInfeasible,  ///< dual ray confirmed on a fresh basis
+    kIterLimit,
+  };
+
+  /// Bounded-variable dual simplex: repairs primal feasibility after
+  /// rhs/bound mutations while keeping every reduced cost sign-feasible,
+  /// so no composite phase 1 (and no objective regression) is needed. Per
+  /// iteration: the leaving row is the largest bound violation (tie:
+  /// lowest basic column), rho = B^{-T} e_r prices row r across the
+  /// nonbasic columns, a Harris-style two-pass dual ratio test picks the
+  /// entering column (pass 1: smallest reduced-cost ratio against
+  /// tolerance-relaxed costs; pass 2: largest pivot inside the window),
+  /// and reduced costs are maintained incrementally between
+  /// refactorizations. Any numerical doubt -- ftran/btran pivot mismatch,
+  /// a dual ray on a stale factorization -- refreshes the basis first;
+  /// persistent degeneracy bails out to the composite primal phase 1,
+  /// which is the correctness (and anti-cycling) backstop.
+  DualVerdict runDual(SolveStats& st, double eps) {
+    // The dual simplex shines on *localized* damage -- a flapped link's
+    // bound pins, a single rhs edit, a cutting plane -- where a handful
+    // of basics lost feasibility and a few dual pivots repair them while
+    // the reduced costs stay optimal. When most of the rhs moved at once
+    // (a new demand matrix), nearly every basic is violated and the
+    // composite phase-1 long-step machinery beats row-at-a-time dual
+    // repair, so those solves stay on the primal path: both a wide rhs
+    // edit footprint since the last solve and a high violated-basic count
+    // veto the dual attempt.
+    if (rhs_edits_ > m_ / 2) return DualVerdict::kProceed;
+    int violated = 0;
+    double total = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int col = basis_[i];
+      const double x = xval_[col];
+      if (x < lb_[col] - eps) {
+        total += lb_[col] - x;
+        ++violated;
+      } else if (x > ub_[col] + eps) {
+        total += x - ub_[col];
+        ++violated;
+      }
+    }
+    if (total <= eps) return DualVerdict::kProceed;
+    if (violated > std::max(32, m_ / 8)) return DualVerdict::kProceed;
+
+    double cmax = 0.0;
+    for (int j = 0; j < n_; ++j) cmax = std::max(cmax, std::abs(cost_[j]));
+    const double dtol = opt_.opt_tol * (1.0 + cmax);
+
+    std::vector<double> y(m_), rho(m_), alpha(m_);
+    std::vector<double> rc(static_cast<std::size_t>(n_) + m_, 0.0);
+
+    // Fresh duals + reduced costs; false when the basis is not
+    // dual-feasible (the primal loop must take over from scratch).
+    const auto computeRc = [&]() -> bool {
+      for (int i = 0; i < m_; ++i) y[i] = cost_[basis_[i]];
+      lu_.btran(y);
+      for (int col = 0; col < n_ + m_; ++col) {
+        if (status(col) == Basis::kBasic) {
+          rc[col] = 0.0;
+          continue;
+        }
+        rc[col] = reducedCost(col, y, cost_, /*phase1=*/false);
+        if (isFixed(col)) continue;
+        if (status(col) == Basis::kAtLower && rc[col] < -dtol) return false;
+        if (status(col) == Basis::kAtUpper && rc[col] > dtol) return false;
+      }
+      return true;
+    };
+    if (!computeRc()) return DualVerdict::kProceed;
+    bool rc_fresh = updates_since_refactor_ == 0;
+
+    arow_.assign(static_cast<std::size_t>(n_) + m_, 0.0);
+    double best_infeas = kInfinity;
+    int stall = 0;
+
+    while (st.iterations < opt_.max_iterations) {
+      if (updates_since_refactor_ >= opt_.refactor_every ||
+          lu_.nonzeros() > kLuGrowthLimit * lu_.freshNonzeros() + 64) {
+        refactorize(st);
+        if (!computeRc()) return DualVerdict::kProceed;
+        rc_fresh = true;
+      }
+
+      // Leaving row: the largest bound violation (tie: lowest basic col).
+      int r = -1;
+      double viol = eps;
+      bool below = false;
+      double total = 0.0;
+      for (int i = 0; i < m_; ++i) {
+        const int col = basis_[i];
+        const double x = xval_[col];
+        double v = 0.0;
+        bool b = false;
+        if (x < lb_[col] - eps) {
+          v = lb_[col] - x;
+          b = true;
+        } else if (x > ub_[col] + eps) {
+          v = x - ub_[col];
+        }
+        if (v == 0.0) continue;
+        total += v;
+        if (v > viol || (v == viol && r >= 0 && col < basis_[r])) {
+          viol = v;
+          r = i;
+          below = b;
+        }
+      }
+      if (r < 0) return DualVerdict::kProceed;  // feasible: price out
+
+      if (total < best_infeas - 1e-12) {
+        best_infeas = total;
+        stall = 0;
+      } else if (++stall > std::min(opt_.stall_limit, 16)) {
+        return DualVerdict::kProceed;  // degeneracy safety net
+      }
+
+      const int rcol = basis_[r];
+      const double rbound = below ? lb_[rcol] : ub_[rcol];
+
+      // rho = B^{-T} e_r; arow_[j] = rho . A_j is row r of B^{-1}[A|I].
+      std::fill(rho.begin(), rho.end(), 0.0);
+      rho[r] = 1.0;
+      lu_.btran(rho);
+
+      // Dual ratio test pass 1. With w_j = -arow_j when the leaving
+      // variable violates its lower bound (+arow_j for the upper), an
+      // entering candidate needs w_j > 0 at lower / w_j < 0 at upper so
+      // the dual step gamma = rc_j / w_j >= 0 keeps every reduced cost
+      // sign-feasible; the smallest relaxed ratio bounds the window.
+      const double wsign = below ? -1.0 : 1.0;
+      double gmin_rel = kInfinity;
+      for (int col = 0; col < n_ + m_; ++col) {
+        const std::int8_t s = status(col);
+        arow_[col] = 0.0;
+        if (s == Basis::kBasic || isFixed(col)) continue;
+        double aj;
+        if (isLogical(col)) {
+          aj = rho[col - n_];
+        } else {
+          aj = 0.0;
+          for (const ColNz& nz : cols_[col]) aj += rho[nz.row] * nz.val;
+        }
+        if (std::abs(aj) <= kPivotTol) continue;
+        arow_[col] = aj;
+        const double w = wsign * aj;
+        if ((s == Basis::kAtLower && w > 0.0) ||
+            (s == Basis::kAtUpper && w < 0.0)) {
+          const double g_rel = rc[col] / w + dtol / std::abs(w);
+          if (g_rel < gmin_rel) gmin_rel = g_rel;
+        }
+      }
+
+      if (!std::isfinite(gmin_rel)) {
+        // Dual ray => primal infeasible; confirm on a fresh basis first.
+        if (updates_since_refactor_ > 0 || !rc_fresh) {
+          refactorize(st);
+          if (!computeRc()) return DualVerdict::kProceed;
+          rc_fresh = true;
+          continue;
+        }
+        return DualVerdict::kInfeasible;
+      }
+
+      // Pass 2: the largest pivot inside the relaxed window.
+      int q = -1;
+      double best_abs = 0.0;
+      for (int col = 0; col < n_ + m_; ++col) {
+        const double aj = arow_[col];
+        if (aj == 0.0) continue;
+        const std::int8_t s = status(col);
+        const double w = wsign * aj;
+        if (!((s == Basis::kAtLower && w > 0.0) ||
+              (s == Basis::kAtUpper && w < 0.0))) {
+          continue;
+        }
+        if (rc[col] / w > gmin_rel) continue;
+        if (std::abs(aj) > best_abs) {
+          best_abs = std::abs(aj);
+          q = col;
+        }
+      }
+      if (q < 0) return DualVerdict::kProceed;  // numerically empty window
+
+      // alpha = B^{-1} A_q; cross-check the pivot against the row value.
+      std::fill(alpha.begin(), alpha.end(), 0.0);
+      scatterColumn(q, alpha);
+      lu_.ftran(alpha);
+      const double ap = alpha[r];
+      if (std::abs(ap) <= kPivotTol ||
+          std::abs(ap - arow_[q]) > 1e-7 * (1.0 + std::abs(ap))) {
+        if (updates_since_refactor_ > 0) {
+          refactorize(st);
+          if (!computeRc()) return DualVerdict::kProceed;
+          rc_fresh = true;
+          continue;
+        }
+        return DualVerdict::kProceed;  // fresh and still inconsistent
+      }
+
+      // Primal step: move entering q so the leaving variable lands
+      // exactly on its violated bound (t >= 0 by the sign rule).
+      const double dir = status(q) == Basis::kAtLower ? 1.0 : -1.0;
+      const double step = std::max(0.0, (xval_[rcol] - rbound) / (dir * ap));
+
+      ++st.iterations;
+      ++st.dual_pivots;
+
+      if (step != 0.0) {
+        for (int i = 0; i < m_; ++i) {
+          if (alpha[i] != 0.0) xval_[basis_[i]] -= dir * alpha[i] * step;
+        }
+      }
+      xval_[q] = boundValue(q) + dir * step;
+      xval_[rcol] = rbound;
+      setStatus(rcol, below ? Basis::kAtLower : Basis::kAtUpper);
+      setStatus(q, Basis::kBasic);
+      basis_[r] = q;
+
+      // Incremental duals: y' = y + (rc_q / ap) rho drops every nonbasic
+      // rc_j by (rc_q / ap) arow_j; the leaving column lands at
+      // rc = -rc_q / ap, sign-feasible for the bound it lands on.
+      const double theta = rc[q] / ap;
+      if (theta != 0.0) {
+        for (int col = 0; col < n_ + m_; ++col) {
+          if (arow_[col] != 0.0) rc[col] -= theta * arow_[col];
+        }
+      }
+      rc[q] = 0.0;
+      rc[rcol] = -theta;
+      rc_fresh = false;
+
+      if (lu_.update(r, columnRef(q))) {
+        ++updates_since_refactor_;
+        ++st.lu_updates;
+      } else {
+        factored_ = false;  // unsafe Forrest-Tomlin pivot
+        refactorize(st);
+        if (!computeRc()) return DualVerdict::kProceed;
+        rc_fresh = true;
+      }
+    }
+    return DualVerdict::kIterLimit;
+  }
+
   // ---- main loop ------------------------------------------------------
 
   Status run(SolveStats& st) {
@@ -832,6 +1094,21 @@ class SimplexSolver::Impl {
     const double relax_step = eps / 16.0;
     const double relax_cap = 8.0 * eps;
     double relax = eps;
+
+    // Warm bases whose primal feasibility was lost to rhs/bound mutations
+    // but whose reduced costs are still sign-feasible take the dual
+    // simplex instead of the composite phase 1: it repairs feasibility in
+    // few pivots without discarding the (near-)optimal dual information.
+    // Cold bases never qualify (an all-logical basis is trivially
+    // dual-feasible on many problems but far from optimal, and phase 1 +
+    // devex is the better route there). The primal loop below always runs
+    // afterwards and owns the final verdict.
+    if (warm_ && opt_.dual_simplex) {
+      const DualVerdict dv = runDual(st, eps);
+      if (dv == DualVerdict::kInfeasible) return Status::kInfeasible;
+      if (dv == DualVerdict::kIterLimit) return Status::kIterLimit;
+      cand_.clear();  // devex candidates selected under the old basis
+    }
 
     std::vector<double> y(m_), alpha(m_), rho(m_);
     int stall = 0;
@@ -1076,9 +1353,17 @@ class SimplexSolver::Impl {
   std::vector<ScanHit> scan_hits_;    ///< section-scan scratch
   std::vector<Breakpoint> bps_;       ///< phase-1 ratio-test scratch
   std::vector<ColNz> scratch_col_;    ///< columnRef() logical scratch
+  std::vector<double> arow_;          ///< dual ratio-test row scratch
   int updates_since_refactor_ = 0;    ///< FT updates since the last refactor
   bool factored_ = false;
   bool primal_fresh_ = false;
+  /// The retained basis came from a successful solve (or an external
+  /// setBasis), so its reduced costs are worth testing for dual
+  /// feasibility. Cold/reset bases never take the dual path.
+  bool warm_ = false;
+  /// Value-changing setRhs edits since the last solve: the dual entry
+  /// gate reads this to tell localized repairs from whole-rhs swaps.
+  int rhs_edits_ = 0;
 };
 
 SimplexSolver::SimplexSolver(LpProblem problem, SimplexOptions opt)

@@ -19,6 +19,8 @@ void GlobalStats::record(const StatsSnapshot& delta) {
   degen_rescues_.fetch_add(delta.degen_rescues, std::memory_order_relaxed);
   lu_updates_.fetch_add(delta.lu_updates, std::memory_order_relaxed);
   lu_fill_.fetch_add(delta.lu_fill, std::memory_order_relaxed);
+  dual_pivots_.fetch_add(delta.dual_pivots, std::memory_order_relaxed);
+  decomp_rounds_.fetch_add(delta.decomp_rounds, std::memory_order_relaxed);
   nanos_.fetch_add(static_cast<std::int64_t>(delta.seconds * 1e9),
                    std::memory_order_relaxed);
 }
@@ -34,6 +36,8 @@ StatsSnapshot GlobalStats::snapshot() const {
   s.degen_rescues = degen_rescues_.load(std::memory_order_relaxed);
   s.lu_updates = lu_updates_.load(std::memory_order_relaxed);
   s.lu_fill = lu_fill_.load(std::memory_order_relaxed);
+  s.dual_pivots = dual_pivots_.load(std::memory_order_relaxed);
+  s.decomp_rounds = decomp_rounds_.load(std::memory_order_relaxed);
   s.seconds = static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
   return s;
 }

@@ -30,6 +30,8 @@ struct StatsSnapshot {
   std::int64_t degen_rescues = 0;     ///< ratio-test degeneracy rescues
   std::int64_t lu_updates = 0;        ///< Forrest-Tomlin updates applied
   std::int64_t lu_fill = 0;           ///< summed fresh-factorization nonzeros
+  std::int64_t dual_pivots = 0;       ///< dual-simplex pivots (warm repair)
+  std::int64_t decomp_rounds = 0;     ///< OPTU block-decomposition rounds
   double seconds = 0.0;               ///< wall time inside solve()
 
   StatsSnapshot operator-(const StatsSnapshot& rhs) const {
@@ -42,6 +44,8 @@ struct StatsSnapshot {
             degen_rescues - rhs.degen_rescues,
             lu_updates - rhs.lu_updates,
             lu_fill - rhs.lu_fill,
+            dual_pivots - rhs.dual_pivots,
+            decomp_rounds - rhs.decomp_rounds,
             seconds - rhs.seconds};
   }
 };
@@ -64,6 +68,8 @@ class GlobalStats {
   std::atomic<std::int64_t> degen_rescues_{0};
   std::atomic<std::int64_t> lu_updates_{0};
   std::atomic<std::int64_t> lu_fill_{0};
+  std::atomic<std::int64_t> dual_pivots_{0};
+  std::atomic<std::int64_t> decomp_rounds_{0};
   std::atomic<std::int64_t> nanos_{0};
 };
 

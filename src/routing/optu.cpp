@@ -1,10 +1,12 @@
 #include "routing/optu.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "lp/stats.hpp"
 #include "util/env.hpp"
 
 namespace coyote::routing {
@@ -18,7 +20,14 @@ struct OptuEngine::Template {
   std::vector<char> active;              ///< [t] 1 if destination modeled
   std::vector<std::vector<int>> var;     ///< [t][e] flow var or -1
   std::vector<std::vector<int>> row;     ///< [t][u] conservation row or -1
+  std::vector<int> cap_row;              ///< [e] capacity row or -1
   std::unique_ptr<lp::SimplexSolver> serial;
+  /// Decomposition crossover basis (empty when not built/worthwhile).
+  /// Computed at most once per template; batch chunk clones and the first
+  /// serial solve warm-start from it instead of an all-logical cold basis.
+  lp::Basis seed;
+  bool tried_seed = false;
+  bool warmed = false;  ///< serial session has solved (or been seeded)
 };
 
 OptuEngine::OptuEngine(const Graph& g, std::shared_ptr<const DagSet> dags,
@@ -95,6 +104,7 @@ OptuEngine::Template& OptuEngine::templateFor(const std::vector<char>& active) {
     }
   }
   // Capacity: sum_t g_t(e) - alpha*c(e) <= 0.
+  t.cap_row.assign(g_.numEdges(), -1);
   for (EdgeId e = 0; e < g_.numEdges(); ++e) {
     std::vector<lp::Term> terms;
     for (NodeId dest = 0; dest < n; ++dest) {
@@ -104,6 +114,7 @@ OptuEngine::Template& OptuEngine::templateFor(const std::vector<char>& active) {
     }
     if (terms.empty()) continue;
     terms.push_back({t.alpha, -g_.edge(e).capacity});
+    t.cap_row[e] = t.problem.numRows();
     t.problem.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
   }
   t.serial = std::make_unique<lp::SimplexSolver>(t.problem, opt_);
@@ -188,11 +199,220 @@ void OptuEngine::setFailedEdges(const std::vector<EdgeId>& edges) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Block decomposition. The OPTU constraint matrix is block-angular: the
+// per-destination conservation blocks share nothing but the capacity rows
+// and alpha. Given per-edge prices, each destination's cheapest routing is
+// an independent min-cost flow LP; iterating a deterministic multiplicative
+// price update against the resulting bottlenecks yields a near-optimal flow
+// whose block bases assemble ("cross over") into a full-problem basis:
+//
+//   * block variable/conservation-logical statuses map 1:1 onto the full
+//     columns (the block basis matrices reappear unchanged on the full
+//     basis diagonal);
+//   * every capacity-row logical is basic except on the most-utilized edge
+//     r*, where alpha enters the basis instead.
+//
+// The assembled matrix is block lower triangular with nonsingular diagonal
+// blocks (det = prod(det B_block) * (-c_{r*})), and because alpha is basic
+// on the max-utilization row, alpha = max_e load_e/c_e covers every other
+// capacity row -- the basis is *primal feasible* for the decomposed flow,
+// so the full monolithic solve that follows skips phase 1 entirely and
+// merely prices out the remaining gap to the exact LP optimum.
+// ---------------------------------------------------------------------------
+
+bool OptuEngine::decompEnabled() {
+  return util::envString("COYOTE_LP_DECOMP", "1") != "0";
+}
+
+lp::Basis OptuEngine::decomposeSeed(const Template& t,
+                                    const tm::TrafficMatrix& d,
+                                    util::ThreadPool* tp) const {
+  if (t.problem.numRows() < kDecompMinRows) return {};
+  const int n = g_.numNodes();
+  const int ne = g_.numEdges();
+
+  // Per-destination min-cost-flow block: vars/rows in the same order as
+  // the full template, so statuses map across by position.
+  struct Block {
+    NodeId dest = 0;
+    std::vector<EdgeId> edges;  ///< block var j -> edge id
+    std::vector<int> rows;      ///< block row i -> full row id
+    std::unique_ptr<lp::SimplexSolver> session;
+    std::vector<double> flow;   ///< per block var, last optimal solution
+    bool ok = true;
+  };
+
+  // Initial prices: inverse capacity (crossing a thin link is expensive),
+  // the classic starting point for price-directed decomposition.
+  std::vector<double> price(ne, 0.0);
+  for (EdgeId e = 0; e < ne; ++e) {
+    const double c = g_.edge(e).capacity;
+    if (c > 0.0) price[e] = 1.0 / c;
+  }
+
+  std::vector<Block> blocks;
+  std::vector<int> bvar(ne, -1);
+  for (NodeId dest = 0; dest < n; ++dest) {
+    if (!t.active[dest] || t.var[dest].empty()) continue;
+    Block b;
+    b.dest = dest;
+    lp::LpProblem prob(lp::Sense::kMinimize);
+    std::fill(bvar.begin(), bvar.end(), -1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      if (t.var[dest][e] < 0) continue;
+      // Pin what the full problem pins: failed edges (bounds) and
+      // zero-capacity edges (whose capacity row forces zero flow).
+      const bool pinned = (!failed_.empty() && failed_[e]) ||
+                          g_.edge(e).capacity <= 0.0;
+      bvar[e] = prob.addVar(price[e], 0.0, pinned ? 0.0 : lp::kInfinity);
+      b.edges.push_back(e);
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == dest || t.row[dest][u] < 0) continue;
+      std::vector<lp::Term> terms;
+      for (const EdgeId e : g_.outEdges(u)) {
+        if (bvar[e] >= 0) terms.push_back({bvar[e], 1.0});
+      }
+      for (const EdgeId e : g_.inEdges(u)) {
+        if (bvar[e] >= 0) terms.push_back({bvar[e], -1.0});
+      }
+      b.rows.push_back(t.row[dest][u]);
+      prob.addConstraint(std::move(terms), lp::Rel::kEq, d.at(u, dest));
+    }
+    b.session = std::make_unique<lp::SimplexSolver>(std::move(prob), opt_);
+    blocks.push_back(std::move(b));
+  }
+  if (blocks.empty()) return {};
+
+  std::vector<double> load(ne, 0.0);
+  for (int round = 0; round < kDecompRounds; ++round) {
+    const auto solveBlock = [&](std::size_t bi) {
+      Block& b = blocks[bi];
+      if (!b.ok) return;
+      const lp::LpResult res = b.session->solve();
+      if (res.status != lp::Status::kOptimal) {
+        b.ok = false;  // unroutable under pins: let the full solve report
+        return;
+      }
+      b.flow = res.x;
+    };
+    // Fixed-size chunks on the pool (or serial): each block is an
+    // independent LP warm-chained only against its own previous round, so
+    // the fan-out is bit-identical for any thread count.
+    if (tp != nullptr && blocks.size() > 1) {
+      const std::size_t nchunks =
+          (blocks.size() + kBlockChunk - 1) / kBlockChunk;
+      tp->parallelFor(nchunks, [&](std::size_t ci) {
+        const std::size_t lo = ci * kBlockChunk;
+        const std::size_t hi = std::min(blocks.size(), lo + kBlockChunk);
+        for (std::size_t bi = lo; bi < hi; ++bi) solveBlock(bi);
+      });
+    } else {
+      for (std::size_t bi = 0; bi < blocks.size(); ++bi) solveBlock(bi);
+    }
+    for (const Block& b : blocks) {
+      if (!b.ok) return {};
+    }
+
+    // Deterministic serial reduction in destination order.
+    std::fill(load.begin(), load.end(), 0.0);
+    for (const Block& b : blocks) {
+      for (std::size_t j = 0; j < b.edges.size(); ++j) {
+        load[b.edges[j]] += std::max(0.0, b.flow[j]);
+      }
+    }
+    double umax = 0.0;
+    for (EdgeId e = 0; e < ne; ++e) {
+      const double c = g_.edge(e).capacity;
+      if (c > 0.0) umax = std::max(umax, load[e] / c);
+    }
+    if (round + 1 == kDecompRounds || umax <= 0.0) break;
+
+    // Multiplicative-weights price update: bottlenecked edges get
+    // exponentially dearer (normalized so sum price*c = 1 for scale
+    // stability); objective-only mutations keep the block bases warm.
+    double scale = 0.0;
+    for (EdgeId e = 0; e < ne; ++e) {
+      const double c = g_.edge(e).capacity;
+      if (c <= 0.0) continue;
+      price[e] *= std::exp(load[e] / (c * umax));
+      scale += price[e] * c;
+    }
+    if (scale > 0.0) {
+      for (EdgeId e = 0; e < ne; ++e) price[e] /= scale;
+    }
+    for (Block& b : blocks) {
+      for (std::size_t j = 0; j < b.edges.size(); ++j) {
+        b.session->setObjective(static_cast<int>(j), price[b.edges[j]]);
+      }
+    }
+  }
+
+  lp::StatsSnapshot delta;
+  delta.decomp_rounds = kDecompRounds;
+  lp::GlobalStats::instance().record(delta);
+
+  // Crossover: assemble the full-problem basis from the block bases.
+  lp::Basis seed;
+  const int nv = t.problem.numVars();
+  seed.status.assign(static_cast<std::size_t>(nv) + t.problem.numRows(),
+                     lp::Basis::kAtLower);
+  for (const Block& b : blocks) {
+    const lp::Basis& bb = b.session->basis();
+    const int bn = static_cast<int>(b.edges.size());
+    for (int j = 0; j < bn; ++j) {
+      seed.status[t.var[b.dest][b.edges[j]]] = bb.status[j];
+    }
+    for (std::size_t i = 0; i < b.rows.size(); ++i) {
+      seed.status[nv + b.rows[i]] = bb.status[bn + static_cast<int>(i)];
+    }
+  }
+  int rstar = -1;
+  double ustar = 0.0;
+  for (EdgeId e = 0; e < ne; ++e) {
+    if (t.cap_row[e] < 0) continue;
+    seed.status[nv + t.cap_row[e]] = lp::Basis::kBasic;
+    const double c = g_.edge(e).capacity;
+    if (c > 0.0 && load[e] / c > ustar) {  // strict: ties keep lowest e
+      ustar = load[e] / c;
+      rstar = e;
+    }
+  }
+  if (rstar >= 0) {
+    // alpha enters the basis on the most-utilized capacity row; its
+    // logical leaves. alpha = ustar then satisfies every capacity row.
+    seed.status[nv + t.cap_row[rstar]] = lp::Basis::kAtLower;
+    seed.status[t.alpha] = lp::Basis::kBasic;
+  }
+  return seed;
+}
+
+const lp::Basis& OptuEngine::ensureSeed(Template& t,
+                                        const tm::TrafficMatrix& d,
+                                        util::ThreadPool* tp) {
+  if (!t.tried_seed && decompEnabled() && !coldOverride()) {
+    t.tried_seed = true;
+    t.seed = decomposeSeed(t, d, tp);
+  }
+  return t.seed;
+}
+
 double OptuEngine::utilization(const tm::TrafficMatrix& d) {
   const std::vector<char> active = activeSignature(d);
   const std::lock_guard<std::mutex> lock(mutex_);
   Template& t = templateFor(active);
-  if (coldOverride()) t.serial->setBasis({});
+  if (coldOverride()) {
+    t.serial->setBasis({});
+  } else if (!t.warmed) {
+    // First solve on this template: seed the session from the
+    // decomposition crossover basis instead of an all-logical cold start.
+    // (Serial entries may run inside pool workers, so blocks solve
+    // serially here; utilizationBatch passes the pool.)
+    const lp::Basis& seed = ensureSeed(t, d, nullptr);
+    if (!seed.empty()) t.serial->setBasis(seed);
+    t.warmed = true;
+  }
   applyDemand(*t.serial, t, d);
   return solveAlpha(*t.serial, t);
 }
@@ -218,6 +438,7 @@ std::vector<double> OptuEngine::utilizationBatch(
 
   struct Chunk {
     const Template* tpl = nullptr;
+    const lp::Basis* seed = nullptr;  ///< decomposition crossover basis
     std::vector<std::size_t> indices;
   };
   const std::size_t chunk_size = coldOverride() ? 1 : kBatchChunk;
@@ -226,11 +447,15 @@ std::vector<double> OptuEngine::utilizationBatch(
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const std::string& key : group_order) {
       const std::vector<std::size_t>& members = groups[key];
-      const Template& t =
-          templateFor(std::vector<char>(key.begin(), key.end()));
+      Template& t = templateFor(std::vector<char>(key.begin(), key.end()));
+      // Phase A: one decomposition per template (blocks fanned out on the
+      // pool) builds the crossover basis every chunk clone starts from --
+      // chunk clones otherwise pay a cold all-logical solve each batch.
+      const lp::Basis& seed = ensureSeed(t, pool[members.front()], &tp);
       for (std::size_t at = 0; at < members.size(); at += chunk_size) {
         Chunk c;
         c.tpl = &t;
+        c.seed = seed.empty() ? nullptr : &t.seed;
         const std::size_t end = std::min(members.size(), at + chunk_size);
         c.indices.assign(members.begin() + at, members.begin() + end);
         chunks.push_back(std::move(c));
@@ -241,6 +466,7 @@ std::vector<double> OptuEngine::utilizationBatch(
   tp.parallelFor(chunks.size(), [&](std::size_t ci) {
     const Chunk& c = chunks[ci];
     lp::SimplexSolver solver(c.tpl->problem, opt_);
+    if (c.seed != nullptr) solver.setBasis(*c.seed);
     for (const std::size_t i : c.indices) {
       applyDemand(solver, *c.tpl, pool[i]);
       out[i] = solveAlpha(solver, *c.tpl);
@@ -254,7 +480,13 @@ OptuEngine::utilizationWithFlows(const tm::TrafficMatrix& d) {
   const std::vector<char> active = activeSignature(d);
   const std::lock_guard<std::mutex> lock(mutex_);
   Template& t = templateFor(active);
-  if (coldOverride()) t.serial->setBasis({});
+  if (coldOverride()) {
+    t.serial->setBasis({});
+  } else if (!t.warmed) {
+    const lp::Basis& seed = ensureSeed(t, d, nullptr);
+    if (!seed.empty()) t.serial->setBasis(seed);
+    t.warmed = true;
+  }
   applyDemand(*t.serial, t, d);
   const lp::LpResult res = t.serial->solve();
   if (res.status != lp::Status::kOptimal) {

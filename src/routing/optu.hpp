@@ -87,10 +87,27 @@ class OptuEngine {
   /// from the thread count) so results never depend on parallelism.
   static constexpr int kBatchChunk = 8;
 
+  /// Destination blocks per decomposition task. Fixed like kBatchChunk so
+  /// the block fan-out (and therefore the crossover seed) is bit-identical
+  /// for any thread count.
+  static constexpr int kBlockChunk = 4;
+
+  /// Deterministic price-update rounds of the decomposition pre-solve.
+  static constexpr int kDecompRounds = 2;
+
+  /// Templates below this row count skip the decomposition pre-solve: the
+  /// block/crossover bookkeeping costs more than a cold monolithic solve.
+  static constexpr int kDecompMinRows = 64;
+
   /// True when COYOTE_LP_COLD=1: every solve cold-starts (chunk size 1,
   /// serial sessions reset). A debugging/measurement knob -- the lp_pivots
   /// delta between a cold and a default run is the warm-start payoff.
   [[nodiscard]] static bool coldOverride();
+
+  /// Block-decomposition pre-solve availability: enabled unless
+  /// COYOTE_LP_DECOMP=0. The escape hatch for A/B measurement, mirroring
+  /// COYOTE_LP_COLD / COYOTE_LP_DUAL.
+  [[nodiscard]] static bool decompEnabled();
 
  private:
   struct Template;  // constraint matrix + var/row maps for one signature
@@ -106,6 +123,20 @@ class OptuEngine {
                    const tm::TrafficMatrix& d) const;
   [[nodiscard]] static double solveAlpha(lp::SimplexSolver& solver,
                                          const Template& t);
+  /// Block-decomposition pre-solve: per-destination min-cost-flow blocks
+  /// under capacity prices, iterated kDecompRounds times with a
+  /// deterministic multiplicative price update, then crossed over into a
+  /// primal-feasible basis of the full problem (see optu.cpp). Returns {}
+  /// when the decomposition is not worthwhile or a block failed. Blocks
+  /// run on `tp` in kBlockChunk chunks when non-null, serially otherwise.
+  /// Caller holds mutex_.
+  [[nodiscard]] lp::Basis decomposeSeed(const Template& t,
+                                        const tm::TrafficMatrix& d,
+                                        util::ThreadPool* tp) const;
+  /// Computes (once per template) and returns the stored crossover seed.
+  /// Caller holds mutex_.
+  const lp::Basis& ensureSeed(Template& t, const tm::TrafficMatrix& d,
+                              util::ThreadPool* tp);
 
   const Graph& g_;
   std::shared_ptr<const DagSet> dags_;  ///< null for unrestricted mode

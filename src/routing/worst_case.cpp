@@ -70,13 +70,14 @@ class WorstCaseOracle::Impl {
     }
     const LoadCoefficients coef(g_, cfg);
 
-    // One independent LP per edge, scanned in fixed-size warm-start chains
-    // (chunk k handles edges [k*kEdgeChunk, ...)); the chunk -> session
-    // mapping is stable across calls, so cutting-plane rounds keep warm
-    // bases too. Only the per-edge ratio is kept (a full result per edge
-    // would be O(|E| |V|^2) memory); the winner -- reduced in edge order so
-    // ties resolve to the lowest edge id -- is re-solved cold for its
-    // demand matrix.
+    // One independent LP per edge, scanned in fixed-size chunks (chunk k
+    // handles edges [k*kEdgeChunk, ...)); the chunk -> session mapping is
+    // stable across calls, and each edge warm-starts from its own basis
+    // of the previous cutting-plane round (see solveEdge). Only the
+    // per-edge ratio is kept (a full result per edge would be
+    // O(|E| |V|^2) memory); the winner -- reduced in edge order so ties
+    // resolve to the lowest edge id -- is re-solved from its stored
+    // basis for its demand matrix.
     const std::size_t chunk_size =
         OptuEngine::coldOverride() ? 1 : kEdgeChunk;
     const std::size_t chunks =
@@ -87,6 +88,9 @@ class WorstCaseOracle::Impl {
         sessions_.push_back(
             std::make_unique<Session>(Session{lp::SimplexSolver(problem_, opt_), {}}));
       }
+    }
+    if (edge_basis_.size() != static_cast<std::size_t>(m)) {
+      edge_basis_.assign(static_cast<std::size_t>(m), {});
     }
     std::vector<double> ratio(static_cast<std::size_t>(m), 0.0);
     util::ThreadPool::global().parallelFor(chunks, [&](std::size_t c) {
@@ -148,7 +152,15 @@ class WorstCaseOracle::Impl {
   WorstCaseResult resolveEdge(const LoadCoefficients& coef, EdgeId edge) {
     const int n = g_.numNodes();
     WorstCaseResult out{tm::TrafficMatrix(n), 0.0, edge};
-    Session session{lp::SimplexSolver(problem_, opt_), {}};  // cold solve
+    Session session{lp::SimplexSolver(problem_, opt_), {}};
+    // The scan (if any) just solved this edge and stored its optimal
+    // basis; re-solving from it recovers the full demand vector in a
+    // handful of pivots instead of a cold phase-1 solve.
+    if (opt_.dual_simplex && !OptuEngine::coldOverride() &&
+        static_cast<std::size_t>(edge) < edge_basis_.size() &&
+        !edge_basis_[edge].empty()) {
+      session.solver.setBasis(edge_basis_[edge]);
+    }
     setEdgeObjective(session, coef, edge);
     const lp::LpResult res = session.solver.solve();
     if (res.status != lp::Status::kOptimal) {
@@ -302,11 +314,30 @@ class WorstCaseOracle::Impl {
   }
 
   double solveEdge(Session& session, const LoadCoefficients& coef,
-                   EdgeId target) const {
+                   EdgeId target) {
     setEdgeObjective(session, coef, target);
     if (session.objective_vars.empty()) return 0.0;  // nothing loads it
+    // Each edge re-solves from its *own* previous optimal basis (stored
+    // across cutting-plane rounds) rather than from whatever edge the
+    // chunk chain solved last: the routing moves only a little between
+    // rounds, so the same-edge basis is usually optimal or one pivot
+    // away, while the neighboring edge's basis prices a fully different
+    // objective. Each edge belongs to exactly one chunk, so the slot is
+    // touched by a single pool worker and the scan stays bit-identical
+    // for any thread count.
+    // Stored-basis warm entry rides the dual-simplex machinery (after a
+    // setFailedEdges rhs mutation the memoized basis is typically primal-
+    // infeasible and re-enters through the dual), so the same option --
+    // and therefore the COYOTE_LP_DUAL escape hatch -- gates both.
+    const bool memo_on = opt_.dual_simplex && !OptuEngine::coldOverride();
+    lp::Basis& memo = edge_basis_[target];
+    if (memo_on && !memo.empty()) {
+      session.solver.setBasis(memo);
+    }
     const lp::LpResult res = session.solver.solve();
-    return res.status == lp::Status::kOptimal ? res.objective : 0.0;
+    if (res.status != lp::Status::kOptimal) return 0.0;
+    if (memo_on) memo = session.solver.basis();
+    return res.objective;
   }
 
   const Graph& g_;
@@ -322,6 +353,9 @@ class WorstCaseOracle::Impl {
   std::vector<std::vector<int>> slot_;  ///< [t][e] -> index in dag edges
   std::vector<int> cap_row_;            ///< [e] capacity row or -1
   std::vector<std::unique_ptr<Session>> sessions_;  ///< one per edge chunk
+  /// Per-edge optimal basis from the previous scan; slot e is only ever
+  /// touched by the chunk that owns edge e (see solveEdge).
+  std::vector<lp::Basis> edge_basis_;
 };
 
 WorstCaseOracle::WorstCaseOracle(const Graph& g,

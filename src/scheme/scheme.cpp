@@ -89,7 +89,11 @@ class ObliviousScheme final : public Scheme {
            "standing in for all matrices";
   }
   routing::RoutingConfig compute(const SchemeContext& ctx) const override {
-    return core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote).routing;
+    core::CoyoteResult res = core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote);
+    if (ctx.splitting_iters_saved != nullptr) {
+      *ctx.splitting_iters_saved += res.splitting_iters_saved;
+    }
+    return std::move(res.routing);
   }
 };
 
@@ -105,8 +109,12 @@ class PartialScheme final : public Scheme {
   routing::RoutingConfig compute(const SchemeContext& ctx) const override {
     require(ctx.pool != nullptr && ctx.box != nullptr,
             "margin-dependent scheme needs the margin's box and pool");
-    return core::optimizeAgainstPool(ctx.g, *ctx.pool, ctx.box, ctx.coyote)
-        .routing;
+    core::CoyoteResult res =
+        core::optimizeAgainstPool(ctx.g, *ctx.pool, ctx.box, ctx.coyote);
+    if (ctx.splitting_iters_saved != nullptr) {
+      *ctx.splitting_iters_saved += res.splitting_iters_saved;
+    }
+    return std::move(res.routing);
   }
 };
 
@@ -152,12 +160,17 @@ class SemiObliviousScheme final : public Scheme {
     // middle point between 'base' (fully demand-aware) and 'partial'
     // (box-aware): the structure is oblivious, only the rates adapt, and
     // nothing depends on the margin.
-    const routing::RoutingConfig oblivious =
-        core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote).routing;
+    core::CoyoteResult obl = core::coyoteOblivious(ctx.g, ctx.dags, ctx.coyote);
     routing::PerformanceEvaluator eval(ctx.g, ctx.dags, ctx.coyote.lp);
     eval.addMatrix(ctx.base_tm);
-    return core::optimizeSplitting(ctx.g, eval, oblivious,
-                                   ctx.coyote.splitting);
+    int used = 0;
+    routing::RoutingConfig cfg = core::optimizeSplitting(
+        ctx.g, eval, obl.routing, ctx.coyote.splitting, &used);
+    if (ctx.splitting_iters_saved != nullptr) {
+      *ctx.splitting_iters_saved += obl.splitting_iters_saved +
+                                    (ctx.coyote.splitting.iterations - used);
+    }
+    return cfg;
   }
 };
 

@@ -55,6 +55,13 @@ struct SchemeContext {
   core::CoyoteOptions coyote;
   const tm::DemandBounds* box = nullptr;            ///< margin-dependent only
   routing::PerformanceEvaluator* pool = nullptr;    ///< margin-dependent only
+  /// When non-null, schemes that run the splitting optimizer add the
+  /// iterations its patience early stop skipped (see
+  /// core::CoyoteResult::splitting_iters_saved). The serve daemon passes
+  /// a counter here -- together with coyote.warm_init it is how a warm
+  /// `reoptimize` reports how much of the budget the previous ratios
+  /// saved. Other schemes leave it untouched.
+  int* splitting_iters_saved = nullptr;
 };
 
 /// How a scheme reacts to a link failure in deployment.

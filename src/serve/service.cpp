@@ -62,7 +62,7 @@ TeService::TeService(Graph g, tm::TrafficMatrix base_tm, ServeOptions opt)
   require(base_.numNodes() == g_.numNodes(),
           "base matrix / graph node count mismatch");
   rebuildPool();
-  computeSchemes();
+  computeSchemes(/*warm=*/false);
   engine_ = std::make_unique<routing::OptuEngine>(g_, opt_.coyote.lp);
   if (opt_.threads != 0) {
     own_pool_ = std::make_unique<util::ThreadPool>(opt_.threads);
@@ -76,29 +76,42 @@ void TeService::rebuildPool() {
   pool_ = tm::cornerPool(*box_, opt_.pool);
 }
 
-void TeService::computeSchemes() {
+void TeService::computeSchemes(bool warm) {
   // The failure evaluator's startup, kept warm-restartable: margin-
   // dependent schemes are optimized against the current box over the
   // same corner pool events are evaluated with; kReconverge schemes
   // keep no intact config (their post-event routing is recomputed from
-  // the degraded graph alone).
+  // the degraded graph alone). On the warm ("reoptimize") path each
+  // optimizer-backed scheme is seeded from its previous configuration --
+  // the base matrix and margin usually moved only a little, so the
+  // search restarts next to the optimum and the patience early stop
+  // banks most of the iteration budget (totalled in reopt_saved_iters_).
+  const std::vector<std::optional<routing::RoutingConfig>> prev =
+      std::move(intact_);
   intact_.clear();
   intact_.reserve(schemes_.size());
-  for (const te::Scheme* s : schemes_) {
+  int saved = 0;
+  for (std::size_t i = 0; i < schemes_.size(); ++i) {
+    const te::Scheme* s = schemes_[i];
+    core::CoyoteOptions copt = opt_.coyote;
+    if (warm && i < prev.size() && prev[i].has_value()) {
+      copt.warm_init = &*prev[i];
+    }
     if (s->reaction() == te::FailureReaction::kReconverge) {
       intact_.emplace_back(std::nullopt);
     } else if (s->marginDependent()) {
       routing::PerformanceEvaluator eval(g_, dags_, opt_.coyote.lp);
       eval.addPool(pool_);
-      const te::SchemeContext ctx{g_,           dags_, base_,
-                                  opt_.coyote, &*box_, &eval};
+      te::SchemeContext ctx{g_, dags_, base_, copt, &*box_, &eval};
+      if (warm) ctx.splitting_iters_saved = &saved;
       intact_.emplace_back(s->compute(ctx));
     } else {
-      const te::SchemeContext ctx{g_,      dags_,  base_, opt_.coyote,
-                                  nullptr, nullptr};
+      te::SchemeContext ctx{g_, dags_, base_, copt, nullptr, nullptr};
+      if (warm) ctx.splitting_iters_saved = &saved;
       intact_.emplace_back(s->compute(ctx));
     }
   }
+  reopt_saved_iters_ += saved;
 }
 
 std::vector<std::string> TeService::failedLinks() const {
@@ -352,7 +365,7 @@ json::Value TeService::dispatch(const json::Value& request, long long seq) {
   }
 
   if (op == "reoptimize") {
-    computeSchemes();
+    computeSchemes(/*warm=*/true);
     resp["ok"] = true;
     addEvalPayload(resp, evaluateLinks(failed_, *engine_), failed_);
     return resp;

@@ -98,6 +98,11 @@ struct ServeOptions {
     pool.pair_hotspots = 4;
     pool.seed = 1;
     coyote.splitting.iterations = 300;
+    // Early stop for the resident optimizer: a "reoptimize" seeded from
+    // the previous ratios converges in a fraction of the budget, and the
+    // skipped iterations are reported in the serve summary
+    // (reoptimizeSavedIters). One-shot sweeps keep patience off.
+    coyote.splitting.patience = 20;
   }
 };
 
@@ -138,6 +143,13 @@ class TeService {
   [[nodiscard]] double margin() const { return margin_; }
   /// Currently failed physical links as "A-B" labels, in canonical order.
   [[nodiscard]] std::vector<std::string> failedLinks() const;
+  /// Splitting-optimizer iterations saved across every "reoptimize"
+  /// event so far: each recompute is seeded from the scheme's previous
+  /// ratios (coyote.warm_init) and stops early once converged
+  /// (splitting.patience); this totals the budget it never spent.
+  [[nodiscard]] long long reoptimizeSavedIters() const {
+    return reopt_saved_iters_;
+  }
 
  private:
   /// One evaluation verdict (the shape of the failure sweeps').
@@ -153,8 +165,11 @@ class TeService {
   [[nodiscard]] EvalResult evaluateLinks(const std::vector<EdgeId>& links,
                                          routing::OptuEngine& engine) const;
   /// (Re)computes every scheme's intact configuration from the current
-  /// base matrix / margin (kReconverge schemes keep none).
-  void computeSchemes();
+  /// base matrix / margin (kReconverge schemes keep none). With `warm`
+  /// (the "reoptimize" path) each optimizer-backed scheme is seeded from
+  /// its previous configuration and the patience savings accumulate into
+  /// reopt_saved_iters_; the constructor's initial computation is cold.
+  void computeSchemes(bool warm);
   void rebuildPool();
 
   [[nodiscard]] util::json::Value dispatch(const util::json::Value& request,
@@ -184,6 +199,7 @@ class TeService {
   std::unique_ptr<routing::OptuEngine> engine_;
   std::unique_ptr<util::ThreadPool> own_pool_;
   long long seq_ = 0;
+  long long reopt_saved_iters_ = 0;  ///< see reoptimizeSavedIters()
 };
 
 }  // namespace coyote::serve

@@ -431,10 +431,14 @@ TEST(FailureEvaluator, WarmStartedResolvesBeatColdOnes) {
       }
     }
   }
-  // ...but the warm sweep reuses bases: same solve count, far fewer
-  // pivots. The acceptance bar for the GEANT bench sweep is 1.5x; the
-  // 3x3 grid already clears it.
-  EXPECT_EQ(warm_delta.solves, cold_delta.solves);
+  // ...but the warm sweep reuses bases and pays far fewer pivots. The
+  // warm run may report *more* solve() calls than the cold one -- the
+  // decomposition pre-solve's per-destination block LPs are counted too
+  // (COYOTE_LP_COLD disables the pre-solve along with warm chaining) --
+  // so the comparison is on total pivots, where the block solves are
+  // also included. The acceptance bar for the GEANT bench sweep is 1.5x;
+  // the 3x3 grid already clears it.
+  EXPECT_GE(warm_delta.solves, cold_delta.solves);
   EXPECT_LT(warm_delta.iterations * 3, cold_delta.iterations * 2)
       << "warm pivots " << warm_delta.iterations << " vs cold "
       << cold_delta.iterations;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <random>
 
 #include "core/dag_builder.hpp"
@@ -491,6 +492,51 @@ TEST(OptuEngineTest, BatchIsIdenticalForAnyThreadCount) {
   }
 }
 
+TEST(OptuEngineTest, DecomposedBatchIsIdenticalForAnyThreadCount) {
+  // Same contract as above, but on a topology large enough to cross
+  // kDecompMinRows so the block-angular pre-solve actually runs: the
+  // decomposed path must be bit-identical for any thread count too
+  // (blocks are chunked fixed-size, prices are updated in edge order).
+  const Graph g = exp::TopologySpec::zoo("Geant").build();
+  const auto dags = core::augmentedDagsShared(g);
+  std::vector<tm::TrafficMatrix> pool;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dem(0.0, 40.0);
+  for (int k = 0; k < 9; ++k) {
+    tm::TrafficMatrix d(g.numNodes());
+    for (NodeId s = 0; s < g.numNodes(); ++s) {
+      for (NodeId t = 0; t < g.numNodes(); ++t) {
+        if (s != t && rng() % 4 == 0) d.set(s, t, dem(rng));
+      }
+    }
+    pool.push_back(std::move(d));
+  }
+
+  const StatsSnapshot before = statsSnapshot();
+  std::vector<std::vector<double>> results;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    routing::OptuEngine engine(g, dags);
+    util::ThreadPool tp(threads);
+    results.push_back(engine.utilizationBatch(pool, tp));
+  }
+  if (routing::OptuEngine::coldOverride() ||
+      !routing::OptuEngine::decompEnabled()) {
+    GTEST_SKIP() << "decomposition disabled by environment";
+  }
+  // The decomposed pre-solve ran (once per engine, seeding the batch).
+  EXPECT_GE((statsSnapshot() - before).decomp_rounds,
+            3 * routing::OptuEngine::kDecompRounds);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[0][i], results[1][i]) << "matrix " << i;
+    EXPECT_DOUBLE_EQ(results[0][i], results[2][i]) << "matrix " << i;
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i].total() <= 0.0) continue;
+    const double cold = routing::optimalUtilization(g, *dags, pool[i]);
+    EXPECT_NEAR(results[0][i], cold, 1e-7 * (1.0 + cold)) << "matrix " << i;
+  }
+}
+
 // --- COYOTE_FULL=1: warm-vs-cold OPTU across every registered scenario. ---
 
 TEST(OptuEngineTest, WarmAndColdAgreeAcrossAllScenarios) {
@@ -533,6 +579,55 @@ TEST(OptuEngineTest, WarmAndColdAgreeAcrossAllScenarios) {
     ++checked;
   }
   EXPECT_GT(checked, 40);  // most of the 69 registered scenarios
+}
+
+TEST(OptuEngineTest, DecomposedAndMonolithicAgreeAcrossAllScenarios) {
+  if (!util::envFlag("COYOTE_FULL")) {
+    GTEST_SKIP() << "set COYOTE_FULL=1 for the full registry sweep";
+  }
+  // The block-angular pre-solve only seeds a basis; the crossover hands
+  // the full LP to the exact simplex, so the decomposed first solve must
+  // match the monolithic one to solver tolerance, not just "roughly".
+  // decompEnabled() reads the environment live, so toggling the knob
+  // between engines flips the path within one process.
+  const char* saved = std::getenv("COYOTE_LP_DECOMP");
+  const std::string saved_val = saved != nullptr ? saved : "";
+  int checked = 0;
+  int decomposed = 0;
+  for (const exp::Scenario& s : exp::ScenarioRegistry::global().all()) {
+    Graph g;
+    try {
+      g = s.topology.build();
+    } catch (const std::exception&) {
+      continue;  // network-list kinds have no single topology
+    }
+    if (g.numNodes() == 0) continue;
+    const auto dags = core::augmentedDagsShared(g);
+    const tm::TrafficMatrix base = s.demand.build(g);
+    if (base.total() <= 0.0) continue;
+
+    const StatsSnapshot before = statsSnapshot();
+    setenv("COYOTE_LP_DECOMP", "1", 1);
+    routing::OptuEngine decomp_engine(g, dags);
+    const double with_decomp = decomp_engine.utilization(base);
+    if ((statsSnapshot() - before).decomp_rounds > 0) ++decomposed;
+
+    setenv("COYOTE_LP_DECOMP", "0", 1);
+    routing::OptuEngine mono_engine(g, dags);
+    const double monolithic = mono_engine.utilization(base);
+
+    ASSERT_NEAR(with_decomp, monolithic, 1e-9 * (1.0 + monolithic)) << s.id;
+    ++checked;
+  }
+  if (saved != nullptr) {
+    setenv("COYOTE_LP_DECOMP", saved_val.c_str(), 1);
+  } else {
+    unsetenv("COYOTE_LP_DECOMP");
+  }
+  EXPECT_GT(checked, 40);
+  // The sweep exercised the decomposed path on the larger topologies,
+  // not just sub-threshold networks that fall back to monolithic.
+  EXPECT_GT(decomposed, 10);
 }
 
 }  // namespace

@@ -286,10 +286,13 @@ TEST(TeService, WarmResidentEngineBeatsColdOnLinkFlaps) {
   const lp::StatsSnapshot cold = replay();
   ::unsetenv("COYOTE_LP_COLD");
 
-  // Identical LP work structure, far fewer pivots: each flap re-enters
-  // the resident engine as a bounds mutation on a warm basis. The ISSUE
-  // acceptance bar is 1.5x on the GEANT trace; the grid clears it too.
-  EXPECT_EQ(warm.solves, cold.solves);
+  // Far fewer pivots: each flap re-enters the resident engine as a
+  // bounds mutation on a warm basis (dual-simplex repaired). The warm
+  // run may report more solve() calls -- the OPTU decomposition
+  // pre-solve's block LPs count too (COYOTE_LP_COLD disables the
+  // pre-solve along with warm chaining) -- so the bar is on total
+  // pivots, which include the block solves' work.
+  EXPECT_GE(warm.solves, cold.solves);
   EXPECT_GE(cold.iterations, warm.iterations * 3 / 2)
       << "warm pivots " << warm.iterations << " vs cold " << cold.iterations;
 }
