@@ -34,6 +34,13 @@ bool numbersDiffer(double a, double b, double rel_tol) {
 /// drift.
 bool isLpTelemetry(const std::string& key) { return key.rfind("lp_", 0) == 0; }
 
+/// Memory telemetry (schema coyote-bench/6): peak-RSS probes are
+/// allocator- and machine-sensitive, so like `lp_*` they are reported
+/// informationally instead of gated as drift.
+bool isMemTelemetry(const std::string& key) {
+  return key.rfind("mem_", 0) == 0;
+}
+
 /// Candidate-only keys -- e.g. the rows of a scheme the baseline never
 /// swept (schema coyote-bench/4 rows are dynamic over the scheme list) or
 /// fields a newer schema added -- are surfaced as [INFO], never gated:
@@ -45,7 +52,7 @@ void reportCandidateOnly(const json::Value& base, const json::Value& cand,
   if (!base.isObject() || !cand.isObject()) return;
   for (const auto& [key, value] : cand.asObject()) {
     (void)value;
-    if (isLpTelemetry(key)) continue;
+    if (isLpTelemetry(key) || isMemTelemetry(key)) continue;
     if (skip_metadata && isRunMetadata(key)) continue;
     if (base.find(key) == nullptr) {
       addFinding(report, CompareFinding::Kind::kInfo, scenario,
@@ -93,7 +100,7 @@ void compareValues(const json::Value& base, const json::Value& cand,
     }
     case json::Value::Type::kObject: {
       for (const auto& [key, value] : base.asObject()) {
-        if (isLpTelemetry(key)) continue;
+        if (isLpTelemetry(key) || isMemTelemetry(key)) continue;
         const json::Value* other = cand.find(key);
         if (other == nullptr) {
           addFinding(report, CompareFinding::Kind::kDrift, scenario,
@@ -151,7 +158,9 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
   }
   if (baseline.isObject()) {
     for (const auto& [key, value] : baseline.asObject()) {
-      if (isRunMetadata(key) || isLpTelemetry(key)) continue;
+      if (isRunMetadata(key) || isLpTelemetry(key) || isMemTelemetry(key)) {
+        continue;
+      }
       const json::Value* other = cand.find(key);
       if (other == nullptr) {
         addFinding(report, CompareFinding::Kind::kDrift, scenario,
@@ -177,6 +186,24 @@ void compareDocuments(const json::Value& baseline, const json::Value& cand,
         msg.precision(3);
         msg << " (" << (cand_pivots >= base_pivots ? "+" : "")
             << 100.0 * (cand_pivots / base_pivots - 1.0) << "%)";
+      }
+      addFinding(report, CompareFinding::Kind::kInfo, scenario, msg.str());
+    }
+  }
+
+  // Informational peak-RSS delta (never gated, like lp_pivots): memory
+  // growth across schema coyote-bench/6 runs is worth eyes, not a gate.
+  {
+    const double base_mem = baseline.numberOr("mem_peak_rss_mb", -1.0);
+    const double cand_mem = cand.numberOr("mem_peak_rss_mb", -1.0);
+    if (base_mem >= 0.0 && cand_mem >= 0.0) {
+      std::ostringstream msg;
+      msg.precision(4);
+      msg << "mem_peak_rss_mb " << base_mem << " -> " << cand_mem;
+      if (base_mem > 0.0) {
+        msg.precision(3);
+        msg << " (" << (cand_mem >= base_mem ? "+" : "")
+            << 100.0 * (cand_mem / base_mem - 1.0) << "%)";
       }
       addFinding(report, CompareFinding::Kind::kInfo, scenario, msg.str());
     }

@@ -26,6 +26,7 @@
 #include "topo/generator.hpp"
 #include "topo/zoo.hpp"
 #include "util/env.hpp"
+#include "util/mem.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -961,6 +962,56 @@ KindOutput runServe(const Scenario& s, const RunOptions& opt, bool print) {
   return out;
 }
 
+// --- kScaling (structured-generator size ladders) ---------------------
+
+KindOutput runScaling(const Scenario& s, const RunOptions& opt, bool print) {
+  KindOutput out;
+  const std::vector<const te::Scheme*> schemes = selectedSchemes(opt);
+  const SchemeTable table(schemes,
+                          {{"rung", 18}, {"nodes", 7}, {"edges", 7}});
+  if (print) {
+    std::printf("# scaling curve: %zu rung(s), %s base model, margin %.1f\n",
+                s.ladder.size(), s.demand.name(), s.fixed_margin);
+    table.printHeader();
+  }
+
+  // Per-rung wall-clock goes under "timing" (machine-dependent, exempt
+  // from the drift gate); the rows keep only deterministic fields plus
+  // the lp_* / mem_* telemetry the gate already exempts.
+  json::Value rung_seconds = json::Value::array();
+  for (const TopologySpec& spec : s.ladder) {
+    const util::Timer rung_timer;
+    const Graph g = spec.build();
+    const auto dags = core::augmentedDagsShared(g);
+    const tm::TrafficMatrix base = s.demand.build(g);
+    const NetworkSweep sweep(g, dags, base, s.sweep, schemes);
+    const SchemeRow r = sweep.run(s.fixed_margin);
+    const double seconds = rung_timer.elapsedSeconds();
+
+    if (print) {
+      table.printRow({spec.label(), std::to_string(g.numNodes()),
+                      std::to_string(g.numEdges())},
+                     r.ratio);
+      std::printf("#   %s: %.2fs, peak RSS %.1f MiB\n", spec.label().c_str(),
+                  seconds, util::peakRssMb());
+      std::fflush(stdout);
+    }
+    json::Value row = schemeRowJson(schemes, r);
+    row["rung"] = spec.label();
+    row["nodes"] = g.numNodes();
+    row["edges"] = g.numEdges();
+    row["mem_peak_rss_mb"] = util::peakRssMb();
+    out.rows.push_back(std::move(row));
+
+    json::Value t = json::Value::object();
+    t["rung"] = spec.label();
+    t["seconds"] = seconds;
+    rung_seconds.push_back(std::move(t));
+  }
+  out.timing_extra["rungs"] = std::move(rung_seconds);
+  return out;
+}
+
 KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
   switch (s.kind) {
     case ScenarioKind::kSchemes:
@@ -985,6 +1036,8 @@ KindOutput runKind(const Scenario& s, const RunOptions& opt, bool print) {
       return runFailure(s, opt, print);
     case ScenarioKind::kServe:
       return runServe(s, opt, print);
+    case ScenarioKind::kScaling:
+      return runScaling(s, opt, print);
   }
   require(false, "unknown scenario kind");
   return {};  // unreachable
@@ -1079,7 +1132,7 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   }
 
   json::Value doc = json::Value::object();
-  doc["schema"] = "coyote-bench/5";
+  doc["schema"] = "coyote-bench/6";
   doc["scenario"] = s.id;
   doc["kind"] = kindName(s.kind);
   doc["description"] = s.description;
@@ -1096,7 +1149,8 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
     case ScenarioKind::kSchemes:
     case ScenarioKind::kTable:
     case ScenarioKind::kFailure:
-    case ScenarioKind::kServe: {
+    case ScenarioKind::kServe:
+    case ScenarioKind::kScaling: {
       json::Value keys = json::Value::array();
       for (const te::Scheme* sch : selectedSchemes(opt_)) {
         keys.push_back(std::string(sch->key()));
@@ -1129,6 +1183,16 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
       doc["demand_model"] = s.demand.name();
       break;
     }
+    case ScenarioKind::kScaling: {
+      json::Value rungs = json::Value::array();
+      for (const TopologySpec& spec : s.ladder) {
+        rungs.push_back(spec.label());
+      }
+      doc["ladder"] = std::move(rungs);
+      doc["demand_model"] = s.demand.name();
+      doc["margin"] = s.fixed_margin;
+      break;
+    }
     default:
       break;
   }
@@ -1149,6 +1213,11 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   doc["lp_lu_fill"] = static_cast<double>(lp_delta.lu_fill);
   doc["lp_dual_pivots"] = static_cast<double>(lp_delta.dual_pivots);
   doc["lp_decomp_rounds"] = static_cast<double>(lp_delta.decomp_rounds);
+  // Process peak RSS after the scenario ran (schema coyote-bench/6).
+  // Monotonic over the process, so in a multi-scenario run each value
+  // upper-bounds the scenario's own footprint; `mem_`-prefixed fields are
+  // exempt from the drift gate and surfaced as [INFO] deltas instead.
+  doc["mem_peak_rss_mb"] = util::peakRssMb();
   doc["rows"] = std::move(output.rows);
   for (auto& [key, value] : output.extra.asObject()) {
     doc[key] = value;

@@ -34,6 +34,8 @@ const char* kindName(ScenarioKind kind) {
       return "failure";
     case ScenarioKind::kServe:
       return "serve";
+    case ScenarioKind::kScaling:
+      return "scaling";
   }
   return "unknown";
 }
@@ -68,6 +70,14 @@ Graph TopologySpec::build() const {
       return topo::fullMesh(a);
     case Kind::kRandomBackbone:
       return topo::randomBackbone(a, avg_degree, seed);
+    case Kind::kFatTree:
+      return topo::fatTree(a);
+    case Kind::kDragonfly:
+      return topo::dragonfly(a, b, c);
+    case Kind::kHammingMesh:
+      return topo::hammingMesh(a, b, c, d);
+    case Kind::kTorus2d:
+      return topo::torus2d(a, b);
   }
   require(false, "unknown topology kind");
   return topo::runningExample();  // unreachable
@@ -93,6 +103,16 @@ std::string TopologySpec::label() const {
       return "backbone" + std::to_string(a) + "-d" + deg + "-s" +
              std::to_string(seed);
     }
+    case Kind::kFatTree:
+      return "fattree" + std::to_string(a);
+    case Kind::kDragonfly:
+      return "dragonfly-a" + std::to_string(a) + "p" + std::to_string(b) +
+             "h" + std::to_string(c);
+    case Kind::kHammingMesh:
+      return "hmesh" + std::to_string(a) + "x" + std::to_string(b) + "b" +
+             std::to_string(c) + "x" + std::to_string(d);
+    case Kind::kTorus2d:
+      return "torus" + std::to_string(a) + "x" + std::to_string(b);
   }
   return "unknown";
 }
@@ -136,12 +156,53 @@ TopologySpec TopologySpec::randomBackbone(int n, double avg_degree,
   return t;
 }
 
+TopologySpec TopologySpec::fatTree(int k) {
+  TopologySpec t;
+  t.kind = Kind::kFatTree;
+  t.a = k;
+  return t;
+}
+
+TopologySpec TopologySpec::dragonfly(int a, int p, int h) {
+  TopologySpec t;
+  t.kind = Kind::kDragonfly;
+  t.a = a;
+  t.b = p;
+  t.c = h;
+  return t;
+}
+
+TopologySpec TopologySpec::hammingMesh(int x, int y, int bx, int by) {
+  TopologySpec t;
+  t.kind = Kind::kHammingMesh;
+  t.a = x;
+  t.b = y;
+  t.c = bx;
+  t.d = by;
+  return t;
+}
+
+TopologySpec TopologySpec::torus2d(int rows, int cols) {
+  TopologySpec t;
+  t.kind = Kind::kTorus2d;
+  t.a = rows;
+  t.b = cols;
+  return t;
+}
+
 // --------------------------------------------------------- DemandSpec ---
 
 tm::TrafficMatrix DemandSpec::build(const Graph& g) const {
   switch (model) {
-    case Model::kGravity:
-      return tm::gravityMatrix(g, total);
+    case Model::kGravity: {
+      // The options overload early-returns into the historical dense path
+      // when both knobs are off, so pre-existing scenarios stay
+      // bit-identical.
+      tm::GravityOptions gopt;
+      gopt.top_k = top_k;
+      gopt.endpoint_prefix = endpoint_prefix;
+      return tm::gravityMatrix(g, total, gopt);
+    }
     case Model::kBimodal:
       return tm::bimodalMatrix(g, {}, seed, total);
     case Model::kUniform:
@@ -591,6 +652,94 @@ ScenarioRegistry::ScenarioRegistry() {
   }
   serveScenario("serve-geant-500", TopologySpec::zoo("Geant"),
                 DemandSpec::Model::kGravity, 500, /*smoke=*/false);
+
+  // --- Scaling curves (structured DC/WAN generators, src/topo/) -------
+  //
+  // One scheme set, one fixed margin, a size ladder per generator family:
+  // the rows carry nodes/edges/ratios, the timing block the per-rung
+  // optimize seconds, and `mem_peak_rss_mb` / `lp_*` the memory and
+  // solver-work curves. Gravity top_k bounds the active-destination count
+  // per rung (structured fabrics have uniform out-capacities, so the
+  // deterministic lowest-id tie-break selects the same destination set
+  // from every source); the fat-tree ladders additionally aggregate
+  // demands at "edge" switches, the paper-style host-aggregated model.
+  const auto scalingScenario = [&](const std::string& id, const char* family,
+                                   std::vector<TopologySpec> ladder,
+                                   int top_k, const char* endpoint_prefix,
+                                   bool smoke) {
+    Scenario s;
+    s.id = id;
+    s.description =
+        std::string(family) +
+        " size ladder -- scheme ratios plus optimize-time / peak-RSS / "
+        "lp-pivot scaling curves, one rung per topology size";
+    s.tags = {"scaling", "synthetic"};
+    if (smoke) {
+      s.tags.emplace_back("small");
+      s.tags.emplace_back("smoke");
+    }
+    s.kind = ScenarioKind::kScaling;
+    s.topology = ladder.front();  // smallest rung, for single-topo consumers
+    s.ladder = std::move(ladder);
+    s.demand = demandModel(DemandSpec::Model::kGravity);
+    s.demand.top_k = top_k;
+    s.demand.endpoint_prefix = endpoint_prefix;
+    s.fixed_margin = 2.0;
+    // Scaling rungs measure optimize cost growth, not ratio quality:
+    // a small fixed evaluation pool and iteration budget keep every rung
+    // doing the same *kind* of work so the curves compare sizes only.
+    s.sweep.pool.source_hotspots = false;
+    s.sweep.pool.max_hotspots = 8;
+    s.sweep.pool.random_corners = 4;
+    s.sweep.pool.pair_hotspots = 4;
+    // The oblivious scheme's pool: keep only matrices with O(1) active
+    // destinations (destination-concentrated and sparse-random). The
+    // per-source and uniform matrices activate every destination, whose
+    // OPTU normalization costs O(|V|) DAG-sized LP blocks *per matrix* --
+    // quadratic total, which would drown the curves the ladder measures.
+    s.sweep.coyote.oblivious_pool.source_concentrated = false;
+    s.sweep.coyote.oblivious_pool.uniform = false;
+    s.sweep.coyote.oblivious_pool.random_sparse = 4;
+    s.sweep.coyote.splitting.iterations = 120;
+    add(std::move(s));
+  };
+  scalingScenario("scaling-fattree-smoke", "fat-tree (smoke rung)",
+                  {TopologySpec::fatTree(4)}, 8, "edge", /*smoke=*/true);
+  scalingScenario("scaling-fattree-k8", "fat-tree",
+                  {TopologySpec::fatTree(4), TopologySpec::fatTree(6),
+                   TopologySpec::fatTree(8)},
+                  8, "edge", /*smoke=*/false);
+  scalingScenario("scaling-fattree-k12", "fat-tree",
+                  {TopologySpec::fatTree(4), TopologySpec::fatTree(8),
+                   TopologySpec::fatTree(12)},
+                  8, "edge", /*smoke=*/false);
+  scalingScenario("scaling-fattree-k16", "fat-tree",
+                  {TopologySpec::fatTree(8), TopologySpec::fatTree(12),
+                   TopologySpec::fatTree(16)},
+                  8, "edge", /*smoke=*/false);
+  scalingScenario("scaling-dragonfly-a4", "dragonfly",
+                  {TopologySpec::dragonfly(2, 1, 1),
+                   TopologySpec::dragonfly(3, 2, 2),
+                   TopologySpec::dragonfly(4, 2, 2)},
+                  8, "", /*smoke=*/false);
+  scalingScenario("scaling-dragonfly-a8", "dragonfly",
+                  {TopologySpec::dragonfly(4, 2, 2),
+                   TopologySpec::dragonfly(6, 2, 3),
+                   TopologySpec::dragonfly(8, 2, 4)},
+                  8, "", /*smoke=*/false);
+  scalingScenario("scaling-hmesh-x2", "HammingMesh",
+                  {TopologySpec::hammingMesh(2, 2, 2, 2),
+                   TopologySpec::hammingMesh(2, 2, 4, 4)},
+                  8, "", /*smoke=*/false);
+  scalingScenario("scaling-hmesh-x3", "HammingMesh",
+                  {TopologySpec::hammingMesh(2, 2, 4, 4),
+                   TopologySpec::hammingMesh(3, 3, 4, 4),
+                   TopologySpec::hammingMesh(4, 4, 4, 4)},
+                  8, "", /*smoke=*/false);
+  scalingScenario("scaling-torus", "2-D torus",
+                  {TopologySpec::torus2d(4, 4), TopologySpec::torus2d(8, 8),
+                   TopologySpec::torus2d(12, 12)},
+                  8, "", /*smoke=*/false);
 }
 
 }  // namespace coyote::exp

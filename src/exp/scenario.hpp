@@ -34,6 +34,7 @@ enum class ScenarioKind {
   kHardness,      ///< Sec. IV constructions, numerically
   kFailure,       ///< post-failure four-scheme sweep (src/failure/)
   kServe,         ///< online TE daemon trace replay (src/serve/)
+  kScaling,       ///< size-ladder scaling curves on structured generators
 };
 
 [[nodiscard]] const char* kindName(ScenarioKind kind);
@@ -48,16 +49,23 @@ struct TopologySpec {
     kGrid,
     kFullMesh,
     kRandomBackbone,
+    kFatTree,      ///< topo::fatTree(k): 3-tier Clos, a = k
+    kDragonfly,    ///< topo::dragonfly(a, p, h): a, b = p, c = h
+    kHammingMesh,  ///< topo::hammingMesh(x, y, bx, by): a, b, c, d
+    kTorus2d,      ///< topo::torus2d(rows, cols): a, b
   };
   Kind kind = Kind::kZoo;
   std::string zoo_name;      ///< kZoo
-  int a = 0;                 ///< ring n / grid rows / mesh n / backbone n
-  int b = 0;                 ///< grid cols
+  int a = 0;                 ///< ring n / grid rows / mesh n / backbone n / ...
+  int b = 0;                 ///< grid cols / dragonfly p / hmesh y / torus cols
+  int c = 0;                 ///< dragonfly h / hmesh bx
+  int d = 0;                 ///< hmesh by
   double avg_degree = 0.0;   ///< kRandomBackbone
   std::uint64_t seed = 0;    ///< kRandomBackbone
 
   [[nodiscard]] Graph build() const;
-  /// Human-readable label ("Geant", "ring12", "backbone20-d3.0-s7").
+  /// Human-readable label ("Geant", "ring12", "backbone20-d3.0-s7",
+  /// "fattree16", "dragonfly-a8p2h4", "hmesh3x3b4x4", "torus8x8").
   [[nodiscard]] std::string label() const;
 
   static TopologySpec zoo(std::string name);
@@ -66,6 +74,10 @@ struct TopologySpec {
   static TopologySpec fullMesh(int n);
   static TopologySpec randomBackbone(int n, double avg_degree,
                                      std::uint64_t seed);
+  static TopologySpec fatTree(int k);
+  static TopologySpec dragonfly(int a, int p, int h);
+  static TopologySpec hammingMesh(int x, int y, int bx, int by);
+  static TopologySpec torus2d(int rows, int cols);
 };
 
 /// How to build the scenario's base traffic matrix.
@@ -74,6 +86,13 @@ struct DemandSpec {
   Model model = Model::kGravity;
   std::uint64_t seed = 23;  ///< kBimodal only
   double total = 1.0;
+  /// kGravity shaping (tm::GravityOptions); the defaults reproduce the
+  /// historical dense gravity matrix bit-identically. Scaling scenarios
+  /// use top_k to bound the active-destination count per rung and
+  /// endpoint_prefix to model host-aggregated fat-tree demands (only
+  /// "edge" switches terminate traffic).
+  int top_k = 0;
+  std::string endpoint_prefix;
 
   [[nodiscard]] tm::TrafficMatrix build(const Graph& g) const;
   [[nodiscard]] const char* name() const;
@@ -122,6 +141,12 @@ struct Scenario {
   /// daemon's margin comes from fixed_margin.
   int serve_events = 200;
   std::uint64_t serve_seed = 1;
+
+  /// kScaling: the size ladder, smallest rung first. Each rung runs the
+  /// full scheme set at fixed_margin and reports nodes/edges/ratios plus
+  /// optimize-time, peak-RSS and lp-pivot curves. `topology` mirrors the
+  /// smallest rung so single-topology consumers (tests, shims) stay cheap.
+  std::vector<TopologySpec> ladder;
 
   core::LocalSearchOptions local_search;  ///< kLocalSearch
   int ls_full_moves = 24;  ///< max_moves_per_round under --full

@@ -7,8 +7,7 @@ namespace coyote {
 
 NodeId Graph::addNode(std::string name) {
   nodes_.push_back(std::move(name));
-  out_.emplace_back();
-  in_.emplace_back();
+  ++mutation_epoch_;
   const auto id = static_cast<NodeId>(nodes_.size() - 1);
   if (nodes_.back().empty()) nodes_.back() = "n" + std::to_string(id);
   return id;
@@ -26,10 +25,8 @@ EdgeId Graph::addEdge(NodeId src, NodeId dst, double capacity, double weight) {
   e.capacity = capacity;
   e.weight = weight;
   edges_.push_back(e);
-  const auto id = static_cast<EdgeId>(edges_.size() - 1);
-  out_[src].push_back(id);
-  in_[dst].push_back(id);
-  return id;
+  ++mutation_epoch_;
+  return static_cast<EdgeId>(edges_.size() - 1);
 }
 
 EdgeId Graph::addLink(NodeId a, NodeId b, double capacity, double weight) {
@@ -38,6 +35,34 @@ EdgeId Graph::addLink(NodeId a, NodeId b, double capacity, double weight) {
   edges_[fwd].reverse = bwd;
   edges_[bwd].reverse = fwd;
   return fwd;
+}
+
+void Graph::rebuildCsr() const {
+  // Counting sort of edge ids by endpoint. Ascending edge-id placement
+  // reproduces the per-node insertion order the old vector<vector>
+  // adjacency had, so every order-sensitive consumer (DAG builders, LP
+  // template construction) sees identical sequences.
+  const int n = numNodes();
+  const int m = numEdges();
+  out_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  in_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++out_off_[static_cast<std::size_t>(e.src) + 1];
+    ++in_off_[static_cast<std::size_t>(e.dst) + 1];
+  }
+  for (int v = 0; v < n; ++v) {
+    out_off_[v + 1] += out_off_[v];
+    in_off_[v + 1] += in_off_[v];
+  }
+  out_ids_.resize(static_cast<std::size_t>(m));
+  in_ids_.resize(static_cast<std::size_t>(m));
+  std::vector<std::int32_t> out_cur(out_off_.begin(), out_off_.end() - 1);
+  std::vector<std::int32_t> in_cur(in_off_.begin(), in_off_.end() - 1);
+  for (EdgeId e = 0; e < m; ++e) {
+    out_ids_[out_cur[edges_[e].src]++] = e;
+    in_ids_[in_cur[edges_[e].dst]++] = e;
+  }
+  csr_epoch_ = mutation_epoch_;
 }
 
 std::optional<NodeId> Graph::findNode(const std::string& name) const {
@@ -96,7 +121,7 @@ bool Graph::stronglyConnected() const {
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
-      const auto& adj = forward ? out_[u] : in_[u];
+      const EdgeSpan adj = forward ? outEdges(u) : inEdges(u);
       for (const EdgeId e : adj) {
         if (edges_[e].capacity <= 0.0) continue;  // failed link
         const NodeId w = forward ? edges_[e].dst : edges_[e].src;

@@ -7,6 +7,7 @@
 // construction can orient each physical link in exactly one direction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -32,10 +33,47 @@ struct Edge {
                                   ///< link, or kInvalidEdge if unidirectional
 };
 
+/// Non-owning view of one node's slice of the CSR adjacency arrays
+/// (Graph::outEdges / inEdges). Iterates edge ids in insertion order.
+/// Invalidated by the next addNode/addEdge on the owning graph, like any
+/// reference into a growing container.
+class EdgeSpan {
+ public:
+  using value_type = EdgeId;
+  using const_iterator = const EdgeId*;
+
+  constexpr EdgeSpan() = default;
+  constexpr EdgeSpan(const EdgeId* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const EdgeId* begin() const { return data_; }
+  [[nodiscard]] constexpr const EdgeId* end() const { return data_ + size_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  constexpr EdgeId operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] constexpr EdgeId front() const { return data_[0]; }
+  [[nodiscard]] constexpr EdgeId back() const { return data_[size_ - 1]; }
+
+ private:
+  const EdgeId* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Directed capacitated multigraph with stable integer node/edge ids.
 ///
 /// Node and edge ids are dense indices (0..n-1), which lets every algorithm
 /// in the library use flat vectors keyed by id instead of hash maps.
+///
+/// Adjacency is stored in CSR form: one flat offsets array (|V|+1 entries)
+/// plus one flat edge-id array per direction, so the Dijkstra / ECMP /
+/// DAG-builder hot loops scan contiguous memory instead of chasing one
+/// heap allocation per node. The CSR arrays are rebuilt lazily on the
+/// first adjacency access after a mutation epoch (any addNode/addEdge
+/// bumps the epoch; setCapacity/setWeight never do -- link failures are
+/// capacity-0 edges, not removals). Like mutation itself, the rebuild is
+/// not thread-safe: finish construction (or touch outEdges once) before
+/// sharing a graph across threads, which is what every caller in the repo
+/// already does.
 class Graph {
  public:
   Graph() = default;
@@ -69,12 +107,43 @@ class Graph {
   /// Finds a node by name; returns std::nullopt if absent. O(|V|).
   [[nodiscard]] std::optional<NodeId> findNode(const std::string& name) const;
 
-  /// Out-going / in-coming edge ids of a node.
-  [[nodiscard]] const std::vector<EdgeId>& outEdges(NodeId v) const {
-    return out_[checkNode(v)];
+  /// Out-going / in-coming edge ids of a node, in insertion order, as a
+  /// view over the flat CSR arrays.
+  [[nodiscard]] EdgeSpan outEdges(NodeId v) const {
+    checkNode(v);
+    ensureCsr();
+    return {out_ids_.data() + out_off_[v],
+            static_cast<std::size_t>(out_off_[v + 1] - out_off_[v])};
   }
-  [[nodiscard]] const std::vector<EdgeId>& inEdges(NodeId v) const {
-    return in_[checkNode(v)];
+  [[nodiscard]] EdgeSpan inEdges(NodeId v) const {
+    checkNode(v);
+    ensureCsr();
+    return {in_ids_.data() + in_off_[v],
+            static_cast<std::size_t>(in_off_[v + 1] - in_off_[v])};
+  }
+
+  /// The flat CSR arrays themselves, for hot kernels that sweep the whole
+  /// adjacency: node v's out-edge ids live at outIds()[outOffsets()[v] ..
+  /// outOffsets()[v+1]). Fetching the vectors once and indexing them as
+  /// locals lets the compiler keep the base pointers in registers and
+  /// vectorize the sweep, which the per-node outEdges() accessor -- whose
+  /// lazy-rebuild check it must assume clobbers the arrays -- prevents.
+  /// Same invalidation rule as EdgeSpan: any addNode/addEdge stales them.
+  [[nodiscard]] const std::vector<std::int32_t>& outOffsets() const {
+    ensureCsr();
+    return out_off_;
+  }
+  [[nodiscard]] const std::vector<EdgeId>& outIds() const {
+    ensureCsr();
+    return out_ids_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& inOffsets() const {
+    ensureCsr();
+    return in_off_;
+  }
+  [[nodiscard]] const std::vector<EdgeId>& inIds() const {
+    ensureCsr();
+    return in_ids_;
   }
 
   /// First edge src->dst, if any. O(out-degree).
@@ -83,6 +152,7 @@ class Graph {
   /// Mutators for capacities/weights (used by weight-search heuristics).
   /// setCapacity accepts 0, the repo-wide "failed link" encoding: SPF,
   /// ECMP and stronglyConnected() skip zero-capacity edges (src/failure/).
+  /// Neither mutator touches adjacency, so CSR views stay valid.
   void setWeight(EdgeId e, double w);
   void setCapacity(EdgeId e, double c);
 
@@ -112,10 +182,22 @@ class Graph {
     return e;
   }
 
+  void ensureCsr() const {
+    if (csr_epoch_ != mutation_epoch_) rebuildCsr();
+  }
+  void rebuildCsr() const;
+
   std::vector<std::string> nodes_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
+
+  // CSR adjacency, derived from edges_. `mutation_epoch_` counts
+  // adjacency-changing mutations; the arrays are valid iff
+  // csr_epoch_ == mutation_epoch_. Mutable: rebuilt on demand from const
+  // accessors (single-threaded by the construction contract above).
+  mutable std::vector<std::int32_t> out_off_, in_off_;
+  mutable std::vector<EdgeId> out_ids_, in_ids_;
+  mutable std::uint64_t csr_epoch_ = 0;
+  std::uint64_t mutation_epoch_ = 1;
 };
 
 }  // namespace coyote

@@ -14,11 +14,24 @@ namespace coyote::routing {
 /// Constraint matrix, variable map and row map for one active-destination
 /// signature. `problem` is the rhs-agnostic skeleton (conservation rhs 0);
 /// `serial` is the retained warm-start session of the serial entry points.
+///
+/// Per-destination variable maps are sparse (edge, var) pair lists in
+/// variable-creation order, so a destination's block costs O(|DAG_t|)
+/// instead of O(|E|) -- on a fat-tree rung the dense [t][e] maps alone
+/// would dwarf the LP itself.
 struct OptuEngine::Template {
+  /// One destination's flow variables: parallel arrays in the DAG's edge
+  /// order (unrestricted mode: ascending edge id), which is exactly the
+  /// historical addVar order -- column ids are unchanged.
+  struct DestVars {
+    std::vector<EdgeId> edges;
+    std::vector<int> vars;
+  };
+
   lp::LpProblem problem{lp::Sense::kMinimize};
   int alpha = -1;
   std::vector<char> active;              ///< [t] 1 if destination modeled
-  std::vector<std::vector<int>> var;     ///< [t][e] flow var or -1
+  std::vector<DestVars> var;             ///< [t] sparse flow-var block
   std::vector<std::vector<int>> row;     ///< [t][u] conservation row or -1
   std::vector<int> cap_row;              ///< [e] capacity row or -1
   std::unique_ptr<lp::SimplexSolver> serial;
@@ -70,49 +83,63 @@ OptuEngine::Template& OptuEngine::templateFor(const std::vector<char>& active) {
   t.alpha = t.problem.addVar(1.0, 0.0, lp::kInfinity, "alpha");
   t.var.assign(n, {});
   t.row.assign(n, {});
+  // One pass over the destinations builds everything sparsity-aware:
+  // variables and conservation rows per destination (a dense per-edge
+  // scratch map lives only for the current destination), while the
+  // capacity-row terms accumulate in per-edge buckets. addVar/addConstraint
+  // sequences are unchanged from the historical all-vars-then-all-rows
+  // construction (variable and row counters are independent), so column
+  // and row ids -- and therefore the solves -- are bit-identical.
+  std::vector<std::vector<lp::Term>> cap_terms(
+      static_cast<std::size_t>(g_.numEdges()));
+  std::vector<int> scratch(static_cast<std::size_t>(g_.numEdges()), -1);
   for (NodeId dest = 0; dest < n; ++dest) {
     if (!active[dest]) continue;
-    t.var[dest].assign(g_.numEdges(), -1);
+    Template::DestVars& dv = t.var[dest];
     if (dags_ != nullptr) {
-      for (const EdgeId e : (*dags_)[dest].edges()) {
-        t.var[dest][e] = t.problem.addVar(0.0, 0.0, lp::kInfinity);
+      const auto& dag_edges = (*dags_)[dest].edges();
+      dv.edges.reserve(dag_edges.size());
+      dv.vars.reserve(dag_edges.size());
+      for (const EdgeId e : dag_edges) {
+        dv.edges.push_back(e);
+        dv.vars.push_back(t.problem.addVar(0.0, 0.0, lp::kInfinity));
       }
     } else {
       for (EdgeId e = 0; e < g_.numEdges(); ++e) {
         if (g_.edge(e).src != dest) {
-          t.var[dest][e] = t.problem.addVar(0.0, 0.0, lp::kInfinity);
+          dv.edges.push_back(e);
+          dv.vars.push_back(t.problem.addVar(0.0, 0.0, lp::kInfinity));
         }
       }
     }
-  }
-  // Conservation at every non-destination node (rhs filled per matrix).
-  for (NodeId dest = 0; dest < n; ++dest) {
-    if (!active[dest]) continue;
+    for (std::size_t j = 0; j < dv.edges.size(); ++j) {
+      scratch[dv.edges[j]] = dv.vars[j];
+      // Bucketed capacity terms: destinations are visited in ascending
+      // order, reproducing the dense scan's per-edge term order.
+      cap_terms[dv.edges[j]].push_back({dv.vars[j], 1.0});
+    }
+    // Conservation at every non-destination node (rhs filled per matrix).
     t.row[dest].assign(n, -1);
     for (NodeId u = 0; u < n; ++u) {
       if (u == dest) continue;
       std::vector<lp::Term> terms;
       for (const EdgeId e : g_.outEdges(u)) {
-        if (t.var[dest][e] >= 0) terms.push_back({t.var[dest][e], 1.0});
+        if (scratch[e] >= 0) terms.push_back({scratch[e], 1.0});
       }
       for (const EdgeId e : g_.inEdges(u)) {
-        if (t.var[dest][e] >= 0) terms.push_back({t.var[dest][e], -1.0});
+        if (scratch[e] >= 0) terms.push_back({scratch[e], -1.0});
       }
       if (terms.empty()) continue;
       t.row[dest][u] = t.problem.numRows();
       t.problem.addConstraint(std::move(terms), lp::Rel::kEq, 0.0);
     }
+    for (const EdgeId e : dv.edges) scratch[e] = -1;
   }
   // Capacity: sum_t g_t(e) - alpha*c(e) <= 0.
   t.cap_row.assign(g_.numEdges(), -1);
   for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-    std::vector<lp::Term> terms;
-    for (NodeId dest = 0; dest < n; ++dest) {
-      if (active[dest] && !t.var[dest].empty() && t.var[dest][e] >= 0) {
-        terms.push_back({t.var[dest][e], 1.0});
-      }
-    }
-    if (terms.empty()) continue;
+    if (cap_terms[e].empty()) continue;
+    std::vector<lp::Term> terms = std::move(cap_terms[e]);
     terms.push_back({t.alpha, -g_.edge(e).capacity});
     t.cap_row[e] = t.problem.numRows();
     t.problem.addConstraint(std::move(terms), lp::Rel::kLe, 0.0);
@@ -154,13 +181,12 @@ double OptuEngine::solveAlpha(lp::SimplexSolver& solver, const Template& t) {
 void OptuEngine::applyFailures(Template& t) const {
   if (failed_.empty()) return;
   for (NodeId dest = 0; dest < g_.numNodes(); ++dest) {
-    if (!t.active[dest] || t.var[dest].empty()) continue;
-    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-      const int var = t.var[dest][e];
-      if (var < 0) continue;
-      const double ub = failed_[e] ? 0.0 : lp::kInfinity;
-      t.problem.setVarBounds(var, 0.0, ub);
-      t.serial->setBounds(var, 0.0, ub);
+    if (!t.active[dest]) continue;
+    const Template::DestVars& dv = t.var[dest];
+    for (std::size_t j = 0; j < dv.edges.size(); ++j) {
+      const double ub = failed_[dv.edges[j]] ? 0.0 : lp::kInfinity;
+      t.problem.setVarBounds(dv.vars[j], 0.0, ub);
+      t.serial->setBounds(dv.vars[j], 0.0, ub);
     }
   }
 }
@@ -184,16 +210,16 @@ void OptuEngine::setFailedEdges(const std::vector<EdgeId>& edges) {
   for (auto& [key, tpl] : cache_) {
     Template& t = *tpl;
     for (NodeId dest = 0; dest < g_.numNodes(); ++dest) {
-      if (!t.active[dest] || t.var[dest].empty()) continue;
-      for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-        const int var = t.var[dest][e];
-        if (var < 0) continue;
+      if (!t.active[dest]) continue;
+      const Template::DestVars& dv = t.var[dest];
+      for (std::size_t j = 0; j < dv.edges.size(); ++j) {
+        const EdgeId e = dv.edges[j];
         const bool was = !previous.empty() && previous[e];
         const bool now = !failed_.empty() && failed_[e];
         if (was == now) continue;
         const double ub = now ? 0.0 : lp::kInfinity;
-        t.problem.setVarBounds(var, 0.0, ub);
-        t.serial->setBounds(var, 0.0, ub);
+        t.problem.setVarBounds(dv.vars[j], 0.0, ub);
+        t.serial->setBounds(dv.vars[j], 0.0, ub);
       }
     }
   }
@@ -232,11 +258,13 @@ lp::Basis OptuEngine::decomposeSeed(const Template& t,
   const int n = g_.numNodes();
   const int ne = g_.numEdges();
 
-  // Per-destination min-cost-flow block: vars/rows in the same order as
-  // the full template, so statuses map across by position.
+  // Per-destination min-cost-flow block: vars in ascending edge-id order
+  // (the historical dense-scan order), rows in the full template's order,
+  // so statuses map across by position.
   struct Block {
     NodeId dest = 0;
     std::vector<EdgeId> edges;  ///< block var j -> edge id
+    std::vector<int> fullvar;   ///< block var j -> full-problem var id
     std::vector<int> rows;      ///< block row i -> full row id
     std::unique_ptr<lp::SimplexSolver> session;
     std::vector<double> flow;   ///< per block var, last optimal solution
@@ -254,19 +282,37 @@ lp::Basis OptuEngine::decomposeSeed(const Template& t,
   std::vector<Block> blocks;
   std::vector<int> bvar(ne, -1);
   for (NodeId dest = 0; dest < n; ++dest) {
-    if (!t.active[dest] || t.var[dest].empty()) continue;
+    if (!t.active[dest] || t.var[dest].edges.empty()) continue;
+    const Template::DestVars& dv = t.var[dest];
     Block b;
     b.dest = dest;
+    // The sparse template block is in DAG edge order; sort a copy by edge
+    // id to reproduce the historical ascending-edge block layout.
+    b.edges = dv.edges;
+    b.fullvar = dv.vars;
+    {
+      std::vector<std::size_t> order(b.edges.size());
+      for (std::size_t j = 0; j < order.size(); ++j) order[j] = j;
+      std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return b.edges[x] < b.edges[y];
+      });
+      std::vector<EdgeId> edges_sorted(b.edges.size());
+      std::vector<int> fullvar_sorted(b.edges.size());
+      for (std::size_t j = 0; j < order.size(); ++j) {
+        edges_sorted[j] = b.edges[order[j]];
+        fullvar_sorted[j] = b.fullvar[order[j]];
+      }
+      b.edges = std::move(edges_sorted);
+      b.fullvar = std::move(fullvar_sorted);
+    }
     lp::LpProblem prob(lp::Sense::kMinimize);
-    std::fill(bvar.begin(), bvar.end(), -1);
-    for (EdgeId e = 0; e < ne; ++e) {
-      if (t.var[dest][e] < 0) continue;
+    for (std::size_t j = 0; j < b.edges.size(); ++j) {
+      const EdgeId e = b.edges[j];
       // Pin what the full problem pins: failed edges (bounds) and
       // zero-capacity edges (whose capacity row forces zero flow).
       const bool pinned = (!failed_.empty() && failed_[e]) ||
                           g_.edge(e).capacity <= 0.0;
       bvar[e] = prob.addVar(price[e], 0.0, pinned ? 0.0 : lp::kInfinity);
-      b.edges.push_back(e);
     }
     for (NodeId u = 0; u < n; ++u) {
       if (u == dest || t.row[dest][u] < 0) continue;
@@ -280,6 +326,7 @@ lp::Basis OptuEngine::decomposeSeed(const Template& t,
       b.rows.push_back(t.row[dest][u]);
       prob.addConstraint(std::move(terms), lp::Rel::kEq, d.at(u, dest));
     }
+    for (const EdgeId e : b.edges) bvar[e] = -1;
     b.session = std::make_unique<lp::SimplexSolver>(std::move(prob), opt_);
     blocks.push_back(std::move(b));
   }
@@ -362,7 +409,7 @@ lp::Basis OptuEngine::decomposeSeed(const Template& t,
     const lp::Basis& bb = b.session->basis();
     const int bn = static_cast<int>(b.edges.size());
     for (int j = 0; j < bn; ++j) {
-      seed.status[t.var[b.dest][b.edges[j]]] = bb.status[j];
+      seed.status[b.fullvar[j]] = bb.status[j];
     }
     for (std::size_t i = 0; i < b.rows.size(); ++i) {
       seed.status[nv + b.rows[i]] = bb.status[bn + static_cast<int>(i)];
@@ -498,10 +545,9 @@ OptuEngine::utilizationWithFlows(const tm::TrafficMatrix& d) {
   for (NodeId dest = 0; dest < n; ++dest) {
     if (!t.active[dest]) continue;
     flows[dest].assign(g_.numEdges(), 0.0);
-    for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-      if (t.var[dest][e] >= 0) {
-        flows[dest][e] = std::max(0.0, res.x[t.var[dest][e]]);
-      }
+    const Template::DestVars& dv = t.var[dest];
+    for (std::size_t j = 0; j < dv.edges.size(); ++j) {
+      flows[dest][dv.edges[j]] = std::max(0.0, res.x[dv.vars[j]]);
     }
   }
   return {res.x[t.alpha], std::move(flows)};

@@ -240,22 +240,32 @@ class WorstCaseOracle::Impl {
     }
 
     // Witness flows g_t(e) on DAG edges for destinations with any demand
-    // variable; conservation ties them to d.
-    gvar_.assign(n, {});
+    // variable; conservation ties them to d. Per-destination variable
+    // blocks are sized by the destination's DAG (its reachable subgraph),
+    // not |E|: the dense [t][e] maps this used to keep cost
+    // O(|V| |E|) ints, which is what large scaling rungs cannot afford.
+    // A dense scratch keyed by edge id is reused across destinations
+    // (targeted clear), and capacity-row terms are bucketed per edge as
+    // variables appear, so the t-ascending term order of the historical
+    // dense scan is reproduced exactly -- ids, rows and solves stay
+    // bit-identical.
+    std::vector<int> gvar(static_cast<std::size_t>(g_.numEdges()), -1);
+    std::vector<std::vector<lp::Term>> cap_terms(
+        static_cast<std::size_t>(g_.numEdges()));
     for (NodeId t = 0; t < n; ++t) {
       bool any = false;
       for (NodeId s = 0; s < n; ++s) any = any || dvar_[s][t] >= 0;
       if (!any) continue;
       const Dag& dag = (*dags_)[t];
-      gvar_[t].assign(g_.numEdges(), -1);
       for (const EdgeId e : dag.edges()) {
-        gvar_[t][e] = p.addVar(0.0, 0.0, lp::kInfinity);
+        gvar[e] = p.addVar(0.0, 0.0, lp::kInfinity);
+        cap_terms[e].push_back({gvar[e], 1.0});
       }
       for (NodeId u = 0; u < n; ++u) {
         if (u == t) continue;
         std::vector<lp::Term> terms;
-        for (const EdgeId e : dag.outEdges(u)) terms.push_back({gvar_[t][e], 1.0});
-        for (const EdgeId e : dag.inEdges(u)) terms.push_back({gvar_[t][e], -1.0});
+        for (const EdgeId e : dag.outEdges(u)) terms.push_back({gvar[e], 1.0});
+        for (const EdgeId e : dag.inEdges(u)) terms.push_back({gvar[e], -1.0});
         if (dvar_[u][t] >= 0) {
           terms.push_back({dvar_[u][t], -1.0});
         } else if (terms.empty()) {
@@ -263,29 +273,29 @@ class WorstCaseOracle::Impl {
         }
         p.addConstraint(std::move(terms), lp::Rel::kEq, 0.0);
       }
+      for (const EdgeId e : dag.edges()) gvar[e] = -1;
     }
 
-    // Capacity of every edge (row index kept for setFailedEdges).
+    // Capacity of every edge (row index kept for setFailedEdges). The
+    // buckets were appended in destination order above, matching the
+    // dense scan's term order.
     cap_row_.assign(g_.numEdges(), -1);
     for (EdgeId e = 0; e < g_.numEdges(); ++e) {
-      std::vector<lp::Term> terms;
-      for (NodeId t = 0; t < g_.numNodes(); ++t) {
-        if (!gvar_[t].empty() && gvar_[t][e] >= 0) {
-          terms.push_back({gvar_[t][e], 1.0});
-        }
-      }
-      if (terms.empty()) continue;
+      if (cap_terms[e].empty()) continue;
       cap_row_[e] = p.numRows();
-      p.addConstraint(std::move(terms), lp::Rel::kLe, g_.edge(e).capacity);
+      p.addConstraint(std::move(cap_terms[e]), lp::Rel::kLe,
+                      g_.edge(e).capacity);
     }
 
-    // Slot of every edge within dags[t].edges() (for objective lookups).
-    slot_.assign(n, {});
+    // Objective postings: for each edge, the destinations whose DAG uses
+    // it plus the edge's slot within dags[t].edges(). Replaces the dense
+    // [t][e] slot map; setEdgeObjective then touches only destinations
+    // that can actually load the target edge.
+    edge_dests_.assign(static_cast<std::size_t>(g_.numEdges()), {});
     for (NodeId t = 0; t < n; ++t) {
-      slot_[t].assign(g_.numEdges(), -1);
       const auto& edges = (*dags_)[t].edges();
       for (std::size_t k = 0; k < edges.size(); ++k) {
-        slot_[t][edges[k]] = static_cast<int>(k);
+        edge_dests_[edges[k]].push_back({t, static_cast<int>(k)});
       }
     }
     problem_ = std::move(p);
@@ -299,13 +309,14 @@ class WorstCaseOracle::Impl {
     session.objective_vars.clear();
     const int n = g_.numNodes();
     const double cap = g_.edge(target).capacity;
-    for (NodeId t = 0; t < n; ++t) {
-      const int slot = slot_[t][target];
-      if (slot < 0) continue;
+    // Postings are dest-ascending, so the objective_vars order matches
+    // the historical dense [t][e] scan.
+    for (const DestSlot& ds : edge_dests_[target]) {
+      const NodeId t = ds.dest;
       for (NodeId s = 0; s < n; ++s) {
         if (s == t || dvar_[s][t] < 0) continue;
         const double l =
-            coef.per_pair[static_cast<std::size_t>(t) * n + s][slot];
+            coef.per_pair[static_cast<std::size_t>(t) * n + s][ds.slot];
         if (l <= 0.0) continue;
         session.solver.setObjective(dvar_[s][t], l / cap);
         session.objective_vars.push_back(dvar_[s][t]);
@@ -348,9 +359,13 @@ class WorstCaseOracle::Impl {
   int lambda_ = -1;
   int num_dvars_ = 0;
   bool forced_zero_ = false;  ///< box demands a pair the DAGs cannot route
+  struct DestSlot {
+    NodeId dest;  ///< destination whose DAG uses the edge
+    int slot;     ///< edge's index within dags[dest].edges()
+  };
   std::vector<std::vector<int>> dvar_;  ///< [s][t]
-  std::vector<std::vector<int>> gvar_;  ///< [t][e]
-  std::vector<std::vector<int>> slot_;  ///< [t][e] -> index in dag edges
+  /// [e] -> postings of the dests whose DAG uses e, dest-ascending.
+  std::vector<std::vector<DestSlot>> edge_dests_;
   std::vector<int> cap_row_;            ///< [e] capacity row or -1
   std::vector<std::unique_ptr<Session>> sessions_;  ///< one per edge chunk
   /// Per-edge optimal basis from the previous scan; slot e is only ever

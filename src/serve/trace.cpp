@@ -6,6 +6,7 @@
 #include "failure/scenario.hpp"
 #include "util/json.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
 
 namespace coyote::serve {
 
@@ -13,23 +14,11 @@ namespace json = util::json;
 
 namespace {
 
-/// splitmix64: the repo-wide portable PRNG (std distributions are not
-/// reproducible across standard libraries).
-std::uint64_t nextU64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-int nextInt(std::uint64_t& state, int n) {
-  return static_cast<int>(nextU64(state) % static_cast<std::uint64_t>(n));
-}
-
-double nextUnit(std::uint64_t& state) {
-  return static_cast<double>(nextU64(state) >> 11) * 0x1.0p-53;
-}
+// The trace stream draws from the shared splitmix64 helpers
+// (util/rng.hpp); the algorithm is unchanged, so historical seeds produce
+// byte-identical traces.
+using util::rng::nextInt;
+using util::rng::nextUnit;
 
 json::Value linkValue(const Graph& g, EdgeId link) {
   json::Value v = json::Value::array();

@@ -1,5 +1,6 @@
 #include "tm/traffic_matrix.hpp"
 
+#include <algorithm>
 #include <random>
 
 namespace coyote::tm {
@@ -34,6 +35,53 @@ TrafficMatrix gravityMatrix(const Graph& g, double total) {
       tm.set(s, t, total * mass[s] * mass[t] / sum);
     }
   }
+  return tm;
+}
+
+TrafficMatrix gravityMatrix(const Graph& g, double total,
+                            const GravityOptions& opt) {
+  require(total >= 0.0, "negative total");
+  require(opt.top_k >= 0, "negative top_k");
+  if (opt.top_k == 0 && opt.endpoint_prefix.empty()) {
+    // The shaping knobs are off: take the exact historical code path so
+    // existing matrices stay bit-identical.
+    return gravityMatrix(g, total);
+  }
+  const int n = g.numNodes();
+  TrafficMatrix tm(n);
+  std::vector<double> mass(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (opt.endpoint_prefix.empty() ||
+        g.nodeName(v).rfind(opt.endpoint_prefix, 0) == 0) {
+      mass[v] = g.outCapacity(v);
+    }
+  }
+  // Per-source sparsification before normalization: keep the top_k
+  // heaviest destinations (ties toward the lower id -- partial_sort's
+  // comparator makes the order total, so the selection is deterministic).
+  std::vector<NodeId> dests;
+  double sum = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (mass[s] <= 0.0) continue;
+    dests.clear();
+    for (NodeId t = 0; t < n; ++t) {
+      if (t != s && mass[t] > 0.0) dests.push_back(t);
+    }
+    if (opt.top_k > 0 && static_cast<int>(dests.size()) > opt.top_k) {
+      std::partial_sort(dests.begin(), dests.begin() + opt.top_k, dests.end(),
+                        [&](NodeId a, NodeId b) {
+                          if (mass[a] != mass[b]) return mass[a] > mass[b];
+                          return a < b;
+                        });
+      dests.resize(static_cast<std::size_t>(opt.top_k));
+    }
+    for (const NodeId t : dests) {
+      const double v = mass[s] * mass[t];
+      tm.set(s, t, v);
+      sum += v;
+    }
+  }
+  if (sum > 0.0) tm.scale(total / sum);
   return tm;
 }
 

@@ -63,6 +63,25 @@ class TrafficMatrix {
 /// normalized so the matrix total equals `total`.
 [[nodiscard]] TrafficMatrix gravityMatrix(const Graph& g, double total = 1.0);
 
+/// Shaping knobs for the structured-topology gravity matrices (the scaling
+/// scenarios, src/exp/). Defaults reproduce gravityMatrix(g, total)
+/// bit-identically.
+struct GravityOptions {
+  /// Keep only the k heaviest demands per source (0 = dense). Ties break
+  /// deterministically toward the lower destination id. The surviving
+  /// entries are renormalized so the matrix total still equals `total` --
+  /// 1000-node rungs would otherwise drown in near-zero demands.
+  int top_k = 0;
+  /// Restrict endpoints to nodes whose name starts with this prefix
+  /// (empty = all nodes). Models host-aggregated demands on fat-trees:
+  /// only "edge" switches terminate traffic, mass-weighted as before.
+  std::string endpoint_prefix;
+};
+
+/// Gravity model with sparsification/endpoint options; see GravityOptions.
+[[nodiscard]] TrafficMatrix gravityMatrix(const Graph& g, double total,
+                                          const GravityOptions& opt);
+
 struct BimodalParams {
   double large_fraction = 0.2;  ///< fraction of pairs in the "elephant" mode
   double small_mean = 1.0;

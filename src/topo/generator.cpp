@@ -1,10 +1,11 @@
 #include "topo/generator.hpp"
 
 #include <algorithm>
-#include <random>
 #include <set>
 #include <string>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace coyote::topo {
 
@@ -48,7 +49,7 @@ Graph randomBackbone(int n, double avg_degree, std::uint64_t seed) {
   require(n >= 4, "backbone needs >= 4 nodes");
   require(avg_degree >= 2.0 && avg_degree <= n - 1.0,
           "avg_degree out of range");
-  std::mt19937_64 rng(seed);
+  std::uint64_t state = seed;
   Graph g;
   for (int i = 0; i < n; ++i) g.addNode("b" + std::to_string(i));
 
@@ -60,25 +61,196 @@ Graph randomBackbone(int n, double avg_degree, std::uint64_t seed) {
     g.addLink(a, b, cap);
     return true;
   };
-  std::uniform_real_distribution<double> u01(0.0, 1.0);
   const auto randomCap = [&] {
-    const double u = u01(rng);
+    const double u = util::rng::nextUnit(state);
     return u < 0.3 ? 1.0 : (u < 0.7 ? 2.5 : 10.0);
   };
 
   // Hamiltonian ring over a random permutation -> 2-edge-connected.
   std::vector<int> perm(n);
   for (int i = 0; i < n; ++i) perm[i] = i;
-  std::shuffle(perm.begin(), perm.end(), rng);
+  util::rng::shuffle(perm, state);
   for (int i = 0; i < n; ++i) {
     addLinkOnce(perm[i], perm[(i + 1) % n], randomCap());
   }
 
   const int target_links = static_cast<int>(avg_degree * n / 2.0 + 0.5);
-  std::uniform_int_distribution<int> pick(0, n - 1);
   int guard = 50 * n * n;
   while (static_cast<int>(used.size()) < target_links && guard-- > 0) {
-    addLinkOnce(pick(rng), pick(rng), randomCap());
+    const int a = util::rng::nextInt(state, n);
+    const int b = util::rng::nextInt(state, n);
+    addLinkOnce(a, b, randomCap());
+  }
+  g.setInverseCapacityWeights();
+  return g;
+}
+
+// Capacity tiers of the structured families (see generator.hpp): the
+// oversubscribed tier (edge-agg / intra-group / intra-board) carries 1,
+// the backbone tier (agg-core / global / inter-board) carries 2.5 --
+// reusing the backbone generator's {1, 2.5} capacity vocabulary.
+namespace {
+constexpr double kTierLocal = 1.0;
+constexpr double kTierGlobal = 2.5;
+}  // namespace
+
+Graph fatTree(int k) {
+  require(k >= 4 && k % 2 == 0, "fatTree needs even k >= 4");
+  const int half = k / 2;
+  Graph g;
+  // Node-id layout: per-pod edge switches, then per-pod aggregation
+  // switches, then the (k/2)^2 cores -- edge endpoints get the dense
+  // low-id prefix, which keeps host-aggregated demand matrices compact.
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      g.addNode("edge" + std::to_string(p) + "_" + std::to_string(i));
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      g.addNode("agg" + std::to_string(p) + "_" + std::to_string(i));
+    }
+  }
+  for (int i = 0; i < half * half; ++i) {
+    g.addNode("core" + std::to_string(i));
+  }
+  const auto edgeSw = [&](int p, int i) { return p * half + i; };
+  const auto aggSw = [&](int p, int i) { return k * half + p * half + i; };
+  const auto coreSw = [&](int i) { return 2 * k * half + i; };
+
+  // Intra-pod full bipartite edge-agg mesh.
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        g.addLink(edgeSw(p, e), aggSw(p, a), kTierLocal);
+      }
+    }
+  }
+  // Aggregation switch a of every pod uplinks to core group a.
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        g.addLink(aggSw(p, a), coreSw(a * half + c), kTierGlobal);
+      }
+    }
+  }
+  g.setInverseCapacityWeights();
+  return g;
+}
+
+Graph dragonfly(int a, int p, int h) {
+  require(a >= 2, "dragonfly needs >= 2 routers per group");
+  require(h >= 1 && h <= a, "dragonfly needs 1 <= h <= a global ports");
+  require(p >= 1, "dragonfly needs >= 1 host per router");
+  const int groups = a * h + 1;
+  Graph g;
+  for (int gi = 0; gi < groups; ++gi) {
+    for (int r = 0; r < a; ++r) {
+      g.addNode("dfg" + std::to_string(gi) + "r" + std::to_string(r));
+    }
+  }
+  const auto router = [&](int gi, int r) { return gi * a + r; };
+
+  // Complete local graph inside each group.
+  for (int gi = 0; gi < groups; ++gi) {
+    for (int r = 0; r < a; ++r) {
+      for (int s = r + 1; s < a; ++s) {
+        g.addLink(router(gi, r), router(gi, s), kTierLocal);
+      }
+    }
+  }
+  // One global link per unordered group pair. The pair at offset
+  // d = gj - gi terminates on router (d-1)/h of the lower group and
+  // router (groups-d-1)/h of the higher one, so every router owns the h
+  // offsets in [r*h+1, r*h+h] from each side -- h global ports per
+  // router, a*h*(a*h+1)/2 global links in total.
+  for (int gi = 0; gi < groups; ++gi) {
+    for (int gj = gi + 1; gj < groups; ++gj) {
+      const int d = gj - gi;
+      const int ri = (d - 1) / h;
+      const int rj = (groups - d - 1) / h;
+      g.addLink(router(gi, ri), router(gj, rj), kTierGlobal);
+    }
+  }
+  g.setInverseCapacityWeights();
+  return g;
+}
+
+Graph torus2d(int rows, int cols) {
+  require(rows >= 3 && cols >= 3, "torus2d needs rows, cols >= 3");
+  Graph g;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.addNode("t" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.addLink(id(r, c), id(r, (c + 1) % cols), 1.0);
+      g.addLink(id(r, c), id((r + 1) % rows, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph hammingMesh(int x, int y, int bx, int by) {
+  require(x >= 1 && y >= 1, "hammingMesh needs >= 1x1 boards");
+  require(bx >= 2 && by >= 2, "hammingMesh boards must be >= 2x2");
+  require(x * y >= 2 || bx * by >= 4, "hammingMesh too small");
+  Graph g;
+  // Node-id layout: boards in row-major board order, each board's nodes
+  // in row-major order. Board (bR, bC), node row r in [0, by), col c in
+  // [0, bx).
+  for (int bR = 0; bR < y; ++bR) {
+    for (int bC = 0; bC < x; ++bC) {
+      for (int r = 0; r < by; ++r) {
+        for (int c = 0; c < bx; ++c) {
+          g.addNode("h" + std::to_string(bR) + "_" + std::to_string(bC) +
+                    "_" + std::to_string(r) + "_" + std::to_string(c));
+        }
+      }
+    }
+  }
+  const auto node = [&](int bR, int bC, int r, int c) {
+    return ((bR * x + bC) * by + r) * bx + c;
+  };
+
+  // Intra-board 2D mesh.
+  for (int bR = 0; bR < y; ++bR) {
+    for (int bC = 0; bC < x; ++bC) {
+      for (int r = 0; r < by; ++r) {
+        for (int c = 0; c < bx; ++c) {
+          if (c + 1 < bx) {
+            g.addLink(node(bR, bC, r, c), node(bR, bC, r, c + 1), kTierLocal);
+          }
+          if (r + 1 < by) {
+            g.addLink(node(bR, bC, r, c), node(bR, bC, r + 1, c), kTierLocal);
+          }
+        }
+      }
+    }
+  }
+  // Row dimension: every board pair in a board-row, one link per node-row
+  // (east column to west column). Column dimension: every board pair in a
+  // board-column, one link per node-column (south row to north row).
+  for (int bR = 0; bR < y; ++bR) {
+    for (int b1 = 0; b1 < x; ++b1) {
+      for (int b2 = b1 + 1; b2 < x; ++b2) {
+        for (int r = 0; r < by; ++r) {
+          g.addLink(node(bR, b1, r, bx - 1), node(bR, b2, r, 0), kTierGlobal);
+        }
+      }
+    }
+  }
+  for (int bC = 0; bC < x; ++bC) {
+    for (int b1 = 0; b1 < y; ++b1) {
+      for (int b2 = b1 + 1; b2 < y; ++b2) {
+        for (int c = 0; c < bx; ++c) {
+          g.addLink(node(b1, bC, by - 1, c), node(b2, bC, 0, c), kTierGlobal);
+        }
+      }
+    }
   }
   g.setInverseCapacityWeights();
   return g;

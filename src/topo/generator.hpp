@@ -1,5 +1,18 @@
 // Seeded synthetic topology generators for tests, property sweeps and
-// micro-benchmarks. All generators are deterministic in their arguments.
+// micro-benchmarks, plus the structured DC/HPC families the scaling
+// scenarios (ScenarioKind::kScaling) climb: 3-tier fat-trees, dragonflies,
+// 2D tori and HammingMeshes. All generators are deterministic in their
+// arguments; the seeded ones draw from the shared splitmix64
+// (util/rng.hpp), so the structures are bit-identical across platforms
+// and standard libraries.
+//
+// Capacity-tier conventions (docs/topologies.md):
+//   * fatTree: edge-agg links carry capacity 1, agg-core links 2.5.
+//   * dragonfly / hammingMesh: local (intra-group / intra-board) links
+//     carry capacity 1, global (inter-group / inter-board) links 2.5.
+//   * ring / grid / torus2d: uniform unit capacities.
+// Tiered generators install inverse-capacity OSPF weights (the repo-wide
+// Cisco-default convention, same as the Zoo parser and randomBackbone).
 #pragma once
 
 #include <cstdint>
@@ -19,8 +32,41 @@ namespace coyote::topo {
 
 /// Random 2-edge-connected backbone: a Hamiltonian ring plus random chords
 /// until the average node degree reaches `avg_degree`. Capacities drawn from
-/// {1, 2.5, 10}. Deterministic in (n, avg_degree, seed).
+/// {1, 2.5, 10}. Deterministic in (n, avg_degree, seed); the stream is
+/// splitmix64 (util/rng.hpp), pinned by a golden structure hash in
+/// topo_test.
 [[nodiscard]] Graph randomBackbone(int n, double avg_degree,
                                    std::uint64_t seed);
+
+/// Three-tier folded-Clos fat-tree of k-port switches (k even, >= 4):
+/// k pods of k/2 edge ("edge<p>_<i>") and k/2 aggregation ("agg<p>_<i>")
+/// switches plus (k/2)^2 core switches ("core<i>"). 5k^2/4 switches and
+/// k^3/2 physical links in total. The k^3/4 hosts are not modeled as
+/// nodes: each edge switch aggregates its k/2 hosts, so demand endpoints
+/// are the "edge"-prefixed nodes (DemandSpec::endpoint_prefix). Edge-agg
+/// capacity 1, agg-core capacity 2.5.
+[[nodiscard]] Graph fatTree(int k);
+
+/// Canonical dragonfly: g = a*h + 1 groups of `a` routers ("dfg<g>r<r>"),
+/// complete local graph inside every group, and exactly one global link
+/// between every pair of groups (router (d-1)/h of group i owns the
+/// offset-d link, so each router terminates h global links). `p` is the
+/// number of hosts aggregated per router -- it names the rung and scales
+/// nothing else, since uniform per-router host counts cancel in the
+/// gravity model. a*(a*h+1) routers; local capacity 1, global 2.5.
+/// Any two routers are <= 3 hops apart (local, global, local).
+[[nodiscard]] Graph dragonfly(int a, int p, int h);
+
+/// rows x cols 2D torus (grid plus wraparound links), unit capacities.
+/// rows, cols >= 3 so the wrap links never duplicate a grid link.
+[[nodiscard]] Graph torus2d(int rows, int cols);
+
+/// HammingMesh: an x-by-y grid of bx-by-by 2D-mesh boards
+/// ("h<bR>_<bC>_<r>_<c>"). Boards in the same board-row are pairwise
+/// connected by one link per node-row (east column of one board to the
+/// west column of the other); board-columns likewise per node-column --
+/// the complete-graph-per-dimension wiring of a Hamming graph, at board
+/// granularity. x*y*bx*by nodes; intra-board capacity 1, inter-board 2.5.
+[[nodiscard]] Graph hammingMesh(int x, int y, int bx, int by);
 
 }  // namespace coyote::topo

@@ -1,0 +1,44 @@
+// splitmix64: the repo-wide portable PRNG. Standard-library distributions
+// (and std::shuffle's use of them) are not reproducible across standard
+// libraries, so everything that must be deterministic cross-platform --
+// trace generation (src/serve/), synthetic topologies (src/topo/) -- draws
+// from these helpers instead. State is the caller's raw std::uint64_t seed;
+// the sequence is a pure function of it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace coyote::util::rng {
+
+inline std::uint64_t nextU64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform int in [0, n). n must be positive. The modulo bias is below
+/// 2^-32 for every n used in this repo and buys exact reproducibility of
+/// the historical serve traces.
+inline int nextInt(std::uint64_t& state, int n) {
+  return static_cast<int>(nextU64(state) % static_cast<std::uint64_t>(n));
+}
+
+/// Uniform double in [0, 1) with 53 random bits.
+inline double nextUnit(std::uint64_t& state) {
+  return static_cast<double>(nextU64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Fisher-Yates shuffle driven by nextInt (std::shuffle is not
+/// cross-platform stable).
+template <typename T>
+void shuffle(std::vector<T>& v, std::uint64_t& state) {
+  for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+    const int j = nextInt(state, i + 1);
+    std::swap(v[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(j)]);
+  }
+}
+
+}  // namespace coyote::util::rng

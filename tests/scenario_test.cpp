@@ -7,6 +7,7 @@
 #include <set>
 #include <string>
 
+#include "core/dag_builder.hpp"
 #include "exp/scenario.hpp"
 #include "exp/sweep.hpp"
 #include "tm/uncertainty.hpp"
@@ -120,6 +121,72 @@ TEST(ScenarioRegistry, ServeScenariosAreRegistered) {
   EXPECT_FALSE(geant->hasTag("smoke"));
 
   EXPECT_STREQ(kindName(ScenarioKind::kServe), "serve");
+}
+
+TEST(ScenarioRegistry, ScalingScenariosAreRegistered) {
+  // One entry per structured family/size from the registry's scaling
+  // grid; every ladder ascends and the smoke rung is CI-affordable.
+  for (const char* id :
+       {"scaling-fattree-smoke", "scaling-fattree-k8", "scaling-fattree-k12",
+        "scaling-fattree-k16", "scaling-dragonfly-a4", "scaling-dragonfly-a8",
+        "scaling-hmesh-x2", "scaling-hmesh-x3", "scaling-torus"}) {
+    const Scenario* s = reg().find(id);
+    ASSERT_NE(s, nullptr) << id;
+    EXPECT_EQ(s->kind, ScenarioKind::kScaling) << id;
+    EXPECT_TRUE(s->hasTag("scaling")) << id;
+    ASSERT_FALSE(s->ladder.empty()) << id;
+    // `topology` mirrors the smallest rung for single-topology consumers.
+    EXPECT_EQ(s->topology.label(), s->ladder.front().label()) << id;
+    int prev_nodes = 0;
+    for (const TopologySpec& rung : s->ladder) {
+      const Graph g = rung.build();
+      EXPECT_GT(static_cast<int>(g.numNodes()), prev_nodes)
+          << id << " rung " << rung.label();
+      EXPECT_TRUE(g.stronglyConnected()) << id << " rung " << rung.label();
+      prev_nodes = static_cast<int>(g.numNodes());
+    }
+    EXPECT_GT(s->fixed_margin, 1.0) << id;
+  }
+  EXPECT_STREQ(kindName(ScenarioKind::kScaling), "scaling");
+
+  const Scenario* smoke = reg().find("scaling-fattree-smoke");
+  EXPECT_TRUE(smoke->hasTag("smoke"));
+  EXPECT_EQ(smoke->ladder.size(), 1u);
+  EXPECT_EQ(smoke->ladder.front().label(), "fattree4");
+
+  // The k16 acceptance ladder tops out at the paper-scale 320-node rung.
+  const Scenario* k16 = reg().find("scaling-fattree-k16");
+  EXPECT_FALSE(k16->hasTag("smoke"));
+  EXPECT_EQ(k16->ladder.back().label(), "fattree16");
+  EXPECT_EQ(k16->ladder.back().build().numNodes(), 320u);
+}
+
+TEST(ScenarioRegistry, ScalingRowsAreBitIdenticalAcrossThreadCounts) {
+  // The CSR graph core + sparse OPTU templates must not perturb the
+  // thread-count invariance contract (SweepOptions::threads): the same
+  // scaling rung computed on 1, 2 and 8 private threads yields the same
+  // bits, pivots included.
+  const Scenario* smoke = reg().find("scaling-fattree-smoke");
+  ASSERT_NE(smoke, nullptr);
+  const Graph g = smoke->ladder.front().build();
+  const auto dags = core::augmentedDagsShared(g);
+  const tm::TrafficMatrix base = smoke->demand.build(g);
+
+  std::vector<SchemeRow> rows;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SweepOptions opt = smoke->sweep;
+    opt.threads = threads;
+    const NetworkSweep sweep(g, dags, base, opt);
+    rows.push_back(sweep.run(smoke->fixed_margin));
+  }
+  ASSERT_EQ(rows[0].ratio.size(), rows[1].ratio.size());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[0].ratio.size(); ++j) {
+      EXPECT_EQ(rows[i].ratio[j], rows[0].ratio[j]) << "scheme " << j;
+    }
+    EXPECT_EQ(rows[i].lp_pivots, rows[0].lp_pivots);
+    EXPECT_EQ(rows[i].lp_solves, rows[0].lp_solves);
+  }
 }
 
 TEST(ScenarioRegistry, EveryScenarioBuildsGraphMatrixAndPool) {

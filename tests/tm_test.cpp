@@ -2,6 +2,7 @@
 
 #include "tm/traffic_matrix.hpp"
 #include "tm/uncertainty.hpp"
+#include "topo/generator.hpp"
 #include "topo/zoo.hpp"
 
 namespace coyote::tm {
@@ -57,6 +58,69 @@ TEST(Gravity, AllPairsPositiveOnBackbones) {
   EXPECT_NEAR(d.total(), 100.0, 1e-9);
   EXPECT_EQ(d.nonZeroPairs().size(),
             static_cast<std::size_t>(g.numNodes() * (g.numNodes() - 1)));
+}
+
+TEST(Gravity, DefaultOptionsAreBitIdentical) {
+  // GravityOptions{} must reproduce the historical dense matrix exactly
+  // (committed baselines depend on it), not merely to tolerance.
+  for (const char* name : {"Abilene", "Geant"}) {
+    const Graph g = topo::makeZoo(name);
+    const TrafficMatrix dense = gravityMatrix(g, 3.0);
+    const TrafficMatrix opt = gravityMatrix(g, 3.0, GravityOptions{});
+    for (NodeId s = 0; s < g.numNodes(); ++s) {
+      for (NodeId t = 0; t < g.numNodes(); ++t) {
+        if (s == t) continue;
+        ASSERT_EQ(opt.at(s, t), dense.at(s, t)) << name;
+      }
+    }
+  }
+}
+
+TEST(Gravity, TopKKeepsTheHeaviestDemandsPerSource) {
+  const Graph g = topo::makeZoo("Geant");
+  GravityOptions opt;
+  opt.top_k = 3;
+  const TrafficMatrix d = gravityMatrix(g, 5.0, opt);
+  EXPECT_NEAR(d.total(), 5.0, 1e-9);  // renormalized after sparsification
+  const TrafficMatrix dense = gravityMatrix(g, 5.0);
+  for (NodeId s = 0; s < g.numNodes(); ++s) {
+    int kept = 0;
+    double min_kept = 1e300, max_dropped = 0.0;
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      if (s == t) continue;
+      if (d.at(s, t) > 0.0) {
+        ++kept;
+        min_kept = std::min(min_kept, dense.at(s, t));
+      } else {
+        max_dropped = std::max(max_dropped, dense.at(s, t));
+      }
+    }
+    EXPECT_EQ(kept, 3) << "source " << s;
+    // The survivors really are the heaviest dense-gravity entries.
+    EXPECT_GE(min_kept, max_dropped - 1e-12) << "source " << s;
+  }
+  // Deterministic: two builds agree exactly.
+  const TrafficMatrix d2 = gravityMatrix(g, 5.0, opt);
+  EXPECT_TRUE(d == d2);
+}
+
+TEST(Gravity, EndpointPrefixRestrictsToEdgeSwitches) {
+  const Graph g = topo::fatTree(4);
+  GravityOptions opt;
+  opt.endpoint_prefix = "edge";
+  const TrafficMatrix d = gravityMatrix(g, 1.0, opt);
+  EXPECT_NEAR(d.total(), 1.0, 1e-12);
+  int endpoints = 0;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    endpoints += g.nodeName(v).rfind("edge", 0) == 0;
+  }
+  EXPECT_EQ(endpoints, 8);  // k^2/2 edge switches at k = 4
+  EXPECT_EQ(d.nonZeroPairs().size(),
+            static_cast<std::size_t>(endpoints * (endpoints - 1)));
+  for (const auto& [s, t] : d.nonZeroPairs()) {
+    EXPECT_EQ(g.nodeName(s).rfind("edge", 0), 0u);
+    EXPECT_EQ(g.nodeName(t).rfind("edge", 0), 0u);
+  }
 }
 
 TEST(Bimodal, DeterministicInSeed) {

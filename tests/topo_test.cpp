@@ -214,5 +214,202 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2.5, 3.0, 4.0),
                        ::testing::Values(1u, 9u)));
 
+// FNV-1a over the edge list (endpoints + capacity tier). Pins the exact
+// structure the splitmix64 stream (util/rng.hpp) produces, so a platform-
+// or refactor-induced drift in the generator's draw order fails loudly
+// instead of silently invalidating committed baselines.
+std::uint64_t structureHash(const Graph& g) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(g.numNodes());
+  mix(g.numEdges());
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    mix(g.edge(e).src);
+    mix(g.edge(e).dst);
+    // Capacities are drawn from {1, 2.5, 10} -- exact in one decimal.
+    mix(static_cast<std::uint64_t>(g.edge(e).capacity * 10.0 + 0.5));
+  }
+  return h;
+}
+
+TEST(Generator, RandomBackboneGoldenStructure) {
+  EXPECT_EQ(structureHash(randomBackbone(20, 3.0, 7)),
+            0x6eca76fbad4f9e41ull);
+  EXPECT_EQ(structureHash(randomBackbone(40, 3.5, 123)),
+            0xc1a78334819472adull);
+}
+
+// ---------------------------------------------------------------------------
+// Structured DC/HPC generators (the kScaling ladders). Closed-form counts,
+// degree histograms and diameter/bisection properties; see
+// docs/topologies.md for the math.
+
+std::vector<int> outDegreeHistogram(const Graph& g) {
+  std::vector<int> hist;
+  for (NodeId v = 0; v < g.numNodes(); ++v) {
+    const auto deg = g.outEdges(v).size();
+    if (deg >= hist.size()) hist.resize(deg + 1, 0);
+    ++hist[deg];
+  }
+  return hist;
+}
+
+class FatTreeProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeProperties, ClosedFormCountsAndDegrees) {
+  const int k = GetParam();
+  const Graph g = fatTree(k);
+  // 5k^2/4 switches (k^2/2 edge + k^2/2 agg + k^2/4 core), k^3/2 links.
+  EXPECT_EQ(g.numNodes(), 5 * k * k / 4);
+  EXPECT_EQ(g.numEdges(), static_cast<EdgeId>(k) * k * k);  // directed
+  EXPECT_TRUE(g.stronglyConnected());
+  // Degree histogram: edge switches have k/2 uplinks (hosts are not
+  // modeled as nodes); agg and core switches have full degree k.
+  const std::vector<int> hist = outDegreeHistogram(g);
+  ASSERT_EQ(static_cast<int>(hist.size()), k + 1);
+  EXPECT_EQ(hist[k / 2], k * k / 2);      // edge tier
+  EXPECT_EQ(hist[k], 3 * k * k / 4);      // agg + core tiers
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    if (d != static_cast<std::size_t>(k / 2) &&
+        d != static_cast<std::size_t>(k)) {
+      EXPECT_EQ(hist[d], 0) << "degree " << d;
+    }
+  }
+}
+
+TEST_P(FatTreeProperties, CapacityTiersAndBisection) {
+  const int k = GetParam();
+  const Graph g = fatTree(k);
+  const int half = k / 2;
+  const auto tier = [&](NodeId v) {
+    // Node-id layout: per-pod edge switches, per-pod agg switches, cores.
+    if (v < static_cast<NodeId>(k * half)) return 0;      // edge
+    if (v < static_cast<NodeId>(2 * k * half)) return 1;  // agg
+    return 2;                                             // core
+  };
+  EdgeId left_uplinks = 0;  // agg->core links leaving the left-half pods
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const int lo = std::min(tier(ed.src), tier(ed.dst));
+    const int hi = std::max(tier(ed.src), tier(ed.dst));
+    ASSERT_EQ(hi, lo + 1);  // strictly inter-tier wiring
+    EXPECT_DOUBLE_EQ(ed.capacity, lo == 0 ? 1.0 : 2.5);
+    if (tier(ed.src) == 1 && tier(ed.dst) == 2) {
+      const int pod = (static_cast<int>(ed.src) - k * half) / half;
+      if (pod < half) ++left_uplinks;
+    }
+  }
+  // Core-level bisection: the left k/2 pods own k^3/8 agg->core uplinks.
+  EXPECT_EQ(left_uplinks, static_cast<EdgeId>(k) * k * k / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeProperties, ::testing::Values(4, 8));
+
+class DragonflyProperties
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DragonflyProperties, UniformDegreeAndDiameterThree) {
+  const auto [a, h] = GetParam();
+  const Graph g = dragonfly(a, /*p=*/2, h);
+  const int groups = a * h + 1;
+  EXPECT_EQ(g.numNodes(), a * groups);
+  // Complete local graph per group + one global link per group pair.
+  EXPECT_EQ(g.numEdges(),
+            static_cast<EdgeId>(groups) * a * (a - 1) +
+                static_cast<EdgeId>(groups) * (groups - 1));
+  EXPECT_TRUE(g.stronglyConnected());
+  // Every router: (a-1) local neighbors + exactly h global links.
+  const std::vector<int> hist = outDegreeHistogram(g);
+  ASSERT_EQ(static_cast<int>(hist.size()), a + h);
+  EXPECT_EQ(hist[(a - 1) + h], a * groups);
+  // local -> global -> local reaches any router in <= 3 hops.
+  for (NodeId s = 0; s < g.numNodes(); ++s) {
+    std::vector<int> dist(g.numNodes(), -1);
+    std::vector<NodeId> frontier = {s};
+    dist[s] = 0;
+    for (int hops = 0; hops < 3 && !frontier.empty(); ++hops) {
+      std::vector<NodeId> next;
+      for (const NodeId v : frontier) {
+        for (const EdgeId e : g.outEdges(v)) {
+          const NodeId w = g.edge(e).dst;
+          if (dist[w] < 0) {
+            dist[w] = hops + 1;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (NodeId t = 0; t < g.numNodes(); ++t) {
+      ASSERT_GE(dist[t], 0) << "router " << t << " is > 3 hops from " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DragonflyProperties,
+                         ::testing::Values(std::tuple<int, int>{3, 2},
+                                           std::tuple<int, int>{4, 2},
+                                           std::tuple<int, int>{6, 3}));
+
+TEST(Generator, Torus2dShape) {
+  const Graph g = torus2d(4, 5);
+  EXPECT_EQ(g.numNodes(), 20);
+  // Every node has exactly 4 neighbors (grid + wraparound).
+  EXPECT_EQ(g.numEdges(), 4u * 20);
+  const std::vector<int> hist = outDegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 5u);
+  EXPECT_EQ(hist[4], 20);
+  EXPECT_TRUE(g.stronglyConnected());
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    EXPECT_DOUBLE_EQ(g.edge(e).capacity, 1.0);
+  }
+  EXPECT_THROW((void)torus2d(2, 5), std::invalid_argument);
+}
+
+TEST(Generator, HammingMeshShape) {
+  const int x = 2, y = 3, bx = 3, by = 2;
+  const Graph g = hammingMesh(x, y, bx, by);
+  EXPECT_EQ(g.numNodes(), x * y * bx * by);
+  EXPECT_TRUE(g.stronglyConnected());
+  // Intra-board links are the 2D-mesh links of every board; inter-board
+  // links pairwise-connect board-rows (one per node-row) and
+  // board-columns (one per node-column).
+  const EdgeId mesh_per_board = 2u * (by * (bx - 1) + bx * (by - 1));
+  const EdgeId intra = static_cast<EdgeId>(x * y) * mesh_per_board;
+  const EdgeId inter = 2u * (static_cast<EdgeId>(y) * (x * (x - 1) / 2) * by +
+                             static_cast<EdgeId>(x) * (y * (y - 1) / 2) * bx);
+  EXPECT_EQ(g.numEdges(), intra + inter);
+  // Capacity tiers: unit inside a board, 2.5 between boards.
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& ed = g.edge(e);
+    const int board_src = static_cast<int>(ed.src) / (bx * by);
+    const int board_dst = static_cast<int>(ed.dst) / (bx * by);
+    EXPECT_DOUBLE_EQ(ed.capacity, board_src == board_dst ? 1.0 : 2.5);
+  }
+}
+
+TEST(Generator, StructuredGeneratorsRejectBadArguments) {
+  EXPECT_THROW((void)fatTree(3), std::invalid_argument);   // odd k
+  EXPECT_THROW((void)fatTree(2), std::invalid_argument);   // k < 4
+  EXPECT_THROW((void)dragonfly(1, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)dragonfly(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)hammingMesh(0, 2, 2, 2), std::invalid_argument);
+  EXPECT_THROW((void)hammingMesh(2, 2, 1, 2), std::invalid_argument);
+}
+
+TEST(Generator, TieredGeneratorsUseInverseCapacityWeights) {
+  for (const Graph& g :
+       {fatTree(4), dragonfly(4, 2, 2), hammingMesh(2, 2, 2, 2)}) {
+    double max_cap = 0.0;
+    for (const Edge& e : g.edges()) max_cap = std::max(max_cap, e.capacity);
+    for (const Edge& e : g.edges()) {
+      EXPECT_NEAR(e.weight, max_cap / e.capacity, 1e-9);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace coyote::topo

@@ -26,6 +26,10 @@ int usage(const char* argv0, int code) {
                "  <scenario-id>      run this scenario (exact id)\n"
                "  --filter <pat>     add scenarios whose id or tags contain "
                "<pat>\n"
+               "  --kind <name>      add every scenario of this kind "
+               "(schemes, table,\n"
+               "                     failure, serve, scaling, ...; exact "
+               "name)\n"
                "  --all              add every registered scenario\n"
                "  --list             list the selection (default: all) and "
                "exit\n"
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   bool list = false;
   bool all = false;
   std::vector<std::string> filters;
+  std::vector<std::string> kinds;
   std::vector<std::string> ids;
 
   for (int i = 1; i < argc; ++i) {
@@ -137,6 +142,8 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--filter") {
       filters.emplace_back(next());
+    } else if (arg == "--kind") {
+      kinds.emplace_back(next());
     } else if (arg == "--json-dir") {
       opt.json_dir = next();
     } else if (arg == "--repeat") {
@@ -191,6 +198,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (const exp::Scenario* s : matched) select(s);
+  }
+  for (const std::string& kind : kinds) {
+    // Exact kind-name match (unlike --filter's substring semantics):
+    // "schemes" must not silently sweep in unrelated tags.
+    bool matched_any = false;
+    for (const exp::Scenario& s : registry.all()) {
+      if (kind == exp::kindName(s.kind)) {
+        select(&s);
+        matched_any = true;
+      }
+    }
+    if (!matched_any) {
+      std::fprintf(stderr, "--kind %s matched nothing (try --list)\n",
+                   kind.c_str());
+      return 2;
+    }
   }
   if (all) {
     for (const exp::Scenario& s : registry.all()) select(&s);
